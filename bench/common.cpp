@@ -1,0 +1,76 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rp::bench {
+
+bool fast_mode() {
+  const char* value = std::getenv("RP_BENCH_FAST");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+core::ScenarioConfig scenario_config() {
+  core::ScenarioConfig config;
+  config.seed = 2014;  // The paper's year; any seed reproduces bit-for-bit.
+  config.euroix = true;
+  if (fast_mode()) {
+    config.membership_scale = 0.10;
+    config.topology.tier2_count = 30;
+    config.topology.access_count = 150;
+    config.topology.content_count = 40;
+    config.topology.cdn_count = 8;
+    config.topology.nren_count = 6;
+    config.topology.enterprise_count = 80;
+  }
+  return config;
+}
+
+const core::Scenario& scenario() {
+  static const core::Scenario world = [] {
+    std::fprintf(stderr, "[bench] building %s scenario...\n",
+                 fast_mode() ? "fast" : "paper-scale");
+    return core::Scenario::build(scenario_config());
+  }();
+  return world;
+}
+
+const core::SpreadStudy& spread_study() {
+  static const core::SpreadStudy study = [] {
+    core::SpreadStudyConfig config;
+    // Collect the §3.3 route-server cross-check everywhere (the paper had
+    // it only at TorIX; the simulator gives it to us for free).
+    config.campaign.route_server_crosscheck = true;
+    if (fast_mode()) {
+      config.campaign.length = util::SimDuration::days(7);
+      config.campaign.queries_per_pch_lg = 4;
+      config.campaign.queries_per_ripe_lg = 3;
+    }
+    std::fprintf(stderr, "[bench] running measurement campaigns at %zu IXPs...\n",
+                 scenario().measured_ixps().size());
+    return core::SpreadStudy::run(scenario(), config);
+  }();
+  return study;
+}
+
+const core::OffloadStudy& offload_study() {
+  static const core::OffloadStudy study = [] {
+    core::OffloadStudyConfig config;
+    if (fast_mode()) config.rate_model.span = util::SimDuration::days(7);
+    std::fprintf(stderr, "[bench] building traffic matrix, RIB, and offload "
+                         "analyzer...\n");
+    return core::OffloadStudy::run(scenario(), config);
+  }();
+  return study;
+}
+
+void print_header(const std::string& artefact,
+                  const std::string& paper_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rp::bench

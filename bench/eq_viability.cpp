@@ -1,0 +1,175 @@
+// Regenerates the §5 economic analysis: fits the decay parameter b (eq. 3)
+// from the Fig. 9 greedy curve, evaluates the closed forms ñ (eq. 11) and
+// m̃ (eq. 13), checks them numerically, and sweeps b across the viability
+// boundary of eq. 14. Also reports the greedy-vs-exhaustive ablation for
+// small IXP subsets (DESIGN.md ablation: diminishing returns make greedy
+// near-optimal) and the exponential-fit quality ablation.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rp;
+
+/// Exhaustive best coverage over all k-subsets of the top IXP candidates
+/// (small k only), to score the greedy heuristic.
+double best_coverage_of_k(const offload::OffloadAnalyzer& analyzer,
+                          const std::vector<ixp::IxpId>& candidates,
+                          std::size_t k) {
+  double best = 0.0;
+  std::vector<ixp::IxpId> subset(k);
+  // Enumerate k-combinations by index.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = candidates[idx[i]];
+    best = std::max(best, analyzer
+                              .potential_at(subset, offload::PeerGroup::kAll)
+                              .total_bps());
+    // Next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + candidates.size() - k) break;
+      if (i == 0) return best;
+    }
+    ++idx[i];
+    for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Eqs. 11/13/14 - economic viability of remote peering",
+      "t = exp(-b(n+m)); closed-form n~, m~; viable iff "
+      "g(p-v)/(h(p-u)) >= e^b");
+
+  const auto& analyzer = bench::offload_study().analyzer();
+  const auto steps =
+      analyzer.greedy_by_traffic(offload::PeerGroup::kAll, 30);
+  const double initial =
+      analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps();
+
+  // --- Fit b from the empirical Fig. 9 curve ------------------------------
+  econ::CostParameters prices;  // Defaults: p=1, g=0.02, u=0.2, h=0.006, v=0.45.
+  const auto study =
+      core::ViabilityStudy::from_greedy_curve(steps, initial, prices);
+  std::cout << "decay b fitted from the greedy offload curve: "
+            << util::fmt_double(study.fitted_decay(), 4) << "\n";
+
+  // Fit-quality ablation: eq. 3 (floor-normalized, the way the study fits
+  // it) against the simulated Fig. 9 curve.
+  {
+    std::vector<double> fractions{1.0};
+    for (const auto& step : steps)
+      fractions.push_back(step.remaining / initial);
+    double floor_fraction = 1.0;
+    for (double f : fractions) floor_fraction = std::min(floor_fraction, f);
+    double worst_abs_error = 0.0;
+    for (std::size_t k = 0; k < fractions.size(); ++k) {
+      const double predicted =
+          floor_fraction +
+          (1.0 - floor_fraction) *
+              std::exp(-study.fitted_decay() * static_cast<double>(k));
+      worst_abs_error =
+          std::max(worst_abs_error, std::abs(predicted - fractions[k]));
+    }
+    std::cout << "exponential-fit worst absolute error over the curve: "
+              << util::fmt_double(worst_abs_error, 4)
+              << " (ablation: eq. 3 as a model of Fig. 9; achievable floor "
+              << util::fmt_percent(floor_fraction) << ")\n";
+  }
+
+  // --- Closed forms and numeric cross-check -------------------------------
+  const auto& model = study.model();
+  std::cout << "\ncost parameters: p=" << model.params().transit_price
+            << " g=" << model.params().direct_fixed
+            << " u=" << model.params().direct_unit
+            << " h=" << model.params().remote_fixed
+            << " v=" << model.params().remote_unit
+            << " b=" << util::fmt_double(model.params().decay, 4) << "\n";
+  std::cout << "eq. 11: n~ = " << util::fmt_double(study.optimal_direct_n(), 3)
+            << " directly reached IXPs, offloading "
+            << util::fmt_percent(study.optimal_direct_fraction()) << "\n";
+  std::cout << "eq. 13: m~ = " << util::fmt_double(study.optimal_remote_m(), 3)
+            << " additional remotely reached IXPs\n";
+  std::cout << "numeric check of m~ given n~: "
+            << util::fmt_double(
+                   model.numeric_optimal_m_given_n(study.optimal_direct_n()),
+                   3)
+            << "\n";
+  std::cout << "eq. 14: viability ratio g(p-v)/(h(p-u)) = "
+            << util::fmt_double(model.viability_ratio(), 3)
+            << " vs e^b = " << util::fmt_double(std::exp(model.params().decay), 3)
+            << " -> remote peering "
+            << (study.remote_viable() ? "VIABLE" : "NOT viable") << "\n";
+  std::cout << "critical decay b* = ln(ratio) = "
+            << util::fmt_double(model.critical_decay(), 3) << "\n";
+
+  // --- Viability-region sweep over b --------------------------------------
+  std::cout << "\nviability sweep over b (global traffic = low b):\n";
+  util::TextTable sweep({"b", "viable", "n~", "m~", "cost w/o remote",
+                         "cost with remote"});
+  for (const auto& point : study.sweep_decay(0.05, 2.0, 14)) {
+    sweep.add_row({util::fmt_double(point.decay, 2),
+                   point.viable ? "yes" : "no",
+                   util::fmt_double(point.optimal_n, 2),
+                   util::fmt_double(point.optimal_m, 2),
+                   util::fmt_double(point.cost_without_remote, 4),
+                   util::fmt_double(point.cost_with_remote, 4)});
+  }
+  sweep.render(std::cout);
+
+  // --- African-market scenario (§5.2): h << g ------------------------------
+  {
+    econ::CostParameters africa = prices;
+    africa.remote_fixed = prices.remote_fixed / 4.0;  // Local IXPs offer
+                                                      // little; remote is
+                                                      // comparatively cheap.
+    africa.decay = study.fitted_decay();
+    const econ::CostModel african_model(africa);
+    std::cout << "\nAfrican-market variant (h/4): viability ratio "
+              << util::fmt_double(african_model.viability_ratio(), 2)
+              << " -> " << (african_model.remote_viable() ? "VIABLE" : "not viable")
+              << " (paper: remote peering especially attractive in Africa)\n";
+  }
+
+  // --- Greedy vs exhaustive ablation ---------------------------------------
+  {
+    // Candidates: the 8 IXPs with the largest single-IXP potential.
+    std::vector<std::pair<double, ixp::IxpId>> ranked;
+    for (const auto& ixp : bench::scenario().ecosystem().ixps()) {
+      const std::vector<ixp::IxpId> just_this{ixp.id()};
+      ranked.emplace_back(
+          analyzer.potential_at(just_this, offload::PeerGroup::kAll)
+              .total_bps(),
+          ixp.id());
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::vector<ixp::IxpId> candidates;
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size()); ++i)
+      candidates.push_back(ranked[i].second);
+
+    std::cout << "\ngreedy vs exhaustive coverage (top-8 candidate IXPs):\n";
+    for (std::size_t k = 1; k <= 4; ++k) {
+      double greedy_coverage = 0.0;
+      for (std::size_t i = 0; i < std::min(k, steps.size()); ++i)
+        greedy_coverage += steps[i].gained;
+      const double best = best_coverage_of_k(analyzer, candidates, k);
+      std::cout << "  k=" << k << ": greedy "
+                << util::fmt_rate_bps(greedy_coverage) << ", exhaustive "
+                << util::fmt_rate_bps(best) << " (greedy/optimal = "
+                << util::fmt_double(best > 0 ? greedy_coverage / best : 1.0, 4)
+                << ")\n";
+    }
+    std::cout << "  (submodular coverage: greedy >= 1 - 1/e of optimal)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Fig. 2: the cumulative distribution of minimum RTTs over all
+// analyzed interfaces. The paper's shape: a majority of interfaces spread
+// almost uniformly between 0.3 and 2 ms (direct peers), a declining tail
+// toward and past the 10 ms remoteness threshold.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rp;
+  bench::print_header(
+      "Fig. 2 - CDF of minimum RTTs over all analyzed interfaces",
+      "majority of interfaces between 0.3 and 2 ms; no direct peer above "
+      "10 ms; long remote tail");
+
+  const auto& report = bench::spread_study().report();
+  const util::EmpiricalCdf cdf(report.min_rtts_ms());
+
+  util::TextTable table({"RTT (ms)", "fraction of analyzed interfaces"});
+  for (double ms : {0.1, 0.3, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0,
+                    100.0, 200.0, 400.0}) {
+    table.add_row({util::fmt_double(ms, 1), util::fmt_double(cdf.at(ms), 4)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nquantiles:\n";
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    std::cout << "  q" << util::fmt_double(q * 100, 0) << " = "
+              << util::fmt_double(cdf.quantile(q), 3) << " ms\n";
+  }
+  std::cout << "\nfraction below the 10 ms remoteness threshold: "
+            << util::fmt_percent(cdf.at(10.0 - 1e-9)) << "\n";
+  std::cout << "sample size: " << cdf.size() << " analyzed interfaces\n";
+  return 0;
+}

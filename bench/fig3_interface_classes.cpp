@@ -1,0 +1,43 @@
+// Regenerates Fig. 3: per-IXP classification of the analyzed interfaces
+// into the four minimum-RTT ranges (<10, 10-20, 20-50, >=50 ms). The paper
+// finds remote interfaces at 20 of 22 IXPs (all but DIX-IE and CABASE) and
+// intercontinental-range peering at a majority of them.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rp;
+  bench::print_header(
+      "Fig. 3 - analyzed interfaces per IXP by minimum-RTT range",
+      "remote interfaces at 20/22 IXPs; intercontinental (>=50 ms) peering "
+      "at 12 IXPs");
+
+  const auto& report = bench::spread_study().report();
+
+  util::TextTable table({"IXP", "<10 ms", "10-20 ms", "20-50 ms", ">=50 ms",
+                         "remote share"});
+  std::size_t ixps_with_intercontinental = 0;
+  for (const auto& row : report.rows()) {
+    const double analyzed = static_cast<double>(row.analyzed);
+    table.add_row({
+        row.acronym,
+        std::to_string(row.band_counts[0]),
+        std::to_string(row.band_counts[1]),
+        std::to_string(row.band_counts[2]),
+        std::to_string(row.band_counts[3]),
+        analyzed > 0
+            ? util::fmt_percent(static_cast<double>(row.remote_interfaces) /
+                                analyzed)
+            : "-",
+    });
+    if (row.band_counts[3] > 0) ++ixps_with_intercontinental;
+  }
+  table.render(std::cout);
+
+  std::cout << "\nIXPs with intercontinental-range (>=50 ms) interfaces: "
+            << ixps_with_intercontinental << " of " << report.rows().size()
+            << "  (paper: 12 of 22)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Quantifies the paper's headline (§1, §6): remote peering means more
+// peering WITHOUT Internet flattening.
+//
+// The vantage adopts remote peering at its greedy-best IXPs. On layer 3 the
+// offloaded paths bypass the transit provider — a BGP-based study would
+// report the Internet getting flatter. The organization-level view adds the
+// layer-2 entities that now mediate each path (the IXP fabric and the
+// remote-peering circuits), and the flattening disappears. Also reports the
+// §6 reliability implication: transit + remote peering bought from the same
+// organization is not redundant.
+#include <iostream>
+
+#include "common.hpp"
+#include "layer2/entity_path.hpp"
+#include "layer2/risk.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rp;
+  bench::print_header(
+      "Layer-2-aware path accounting - more peering without flattening",
+      "§1/§6: remote peering bypasses layer-3 transit but inserts layer-2 "
+      "organizations that BGP cannot see");
+
+  const auto& world = bench::scenario();
+  const auto& study = bench::offload_study();
+  const auto& analyzer = study.analyzer();
+
+  layer2::FlatteningStudy flattening(world.graph(), world.ecosystem(),
+                                     world.vantage(), study.rib(), analyzer);
+
+  // Adopt remote peering at the greedy-best five IXPs (the paper: "reaching
+  // only 5 IXPs realizes most of the overall offload potential").
+  const auto steps =
+      analyzer.greedy_by_traffic(offload::PeerGroup::kAll, 5);
+  std::vector<ixp::IxpId> reached;
+  std::cout << "adopted remote peering at:";
+  for (const auto& step : steps) {
+    reached.push_back(step.ixp_id);
+    std::cout << " " << step.acronym;
+  }
+  std::cout << "\n\n";
+
+  util::TextTable table({"peer group", "offloaded flows", "L3 before",
+                         "L3 after", "org before", "org after",
+                         "L3 flatter", "org not flatter", "invisible/flow"});
+  for (auto group : {offload::PeerGroup::kOpen, offload::PeerGroup::kAll}) {
+    const auto report = flattening.compare(reached, group);
+    table.add_row({
+        to_string(group),
+        std::to_string(report.flows),
+        util::fmt_double(report.mean_l3_before, 2),
+        util::fmt_double(report.mean_l3_after, 2),
+        util::fmt_double(report.mean_org_before, 2),
+        util::fmt_double(report.mean_org_after, 2),
+        util::fmt_percent(report.flows > 0
+                              ? static_cast<double>(report.l3_flatter) /
+                                    static_cast<double>(report.flows)
+                              : 0.0),
+        util::fmt_percent(report.flows > 0
+                              ? static_cast<double>(report.org_not_flatter) /
+                                    static_cast<double>(report.flows)
+                              : 0.0),
+        util::fmt_double(report.mean_invisible_after, 2),
+    });
+  }
+  table.render(std::cout);
+  std::cout <<
+      "\nreading: layer-3 intermediary counts drop on (almost) every "
+      "offloaded\npath, but organization-level counts do not — the bypassed "
+      "transit\nprovider is replaced by the IXP fabric and the remote-peering "
+      "circuit,\nboth invisible to BGP and traceroute (the accountability "
+      "concern of §6).\n";
+
+  // --- §6 reliability: multihoming with a conflated provider ----------------
+  std::cout << "\nmultihoming reliability under single-organization "
+               "failures:\n";
+  layer2::MultihomingRiskStudy risk(world.graph(), world.ecosystem(),
+                                    world.vantage(), analyzer);
+  util::TextTable risk_table({"procurement", "worst-case surviving traffic",
+                              "worst-case failure"});
+  for (auto procurement :
+       {layer2::Procurement::kDualTransit,
+        layer2::Procurement::kTransitPlusIndependentRemote,
+        layer2::Procurement::kTransitPlusConflatedRemote}) {
+    const auto report = risk.evaluate(procurement, reached,
+                                      offload::PeerGroup::kAll, 0);
+    risk_table.add_row({to_string(procurement),
+                        util::fmt_percent(report.worst_case_surviving),
+                        report.worst_case_organization.empty()
+                            ? "-"
+                            : report.worst_case_organization});
+  }
+  risk_table.render(std::cout);
+  std::cout << "\n(the §6 warning quantified: when one organization operates "
+               "both the\ntransit service and the remote-peering circuits, "
+               "the layer-3 view shows\ntwo independent paths but a single "
+               "failure takes down both)\n";
+  return 0;
+}

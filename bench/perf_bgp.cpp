@@ -1,0 +1,80 @@
+// Microbenchmarks of the BGP substrate: per-destination valley-free route
+// computation and full-RIB construction.
+#include <benchmark/benchmark.h>
+
+#include "bgp/rib.hpp"
+#include "topology/generator.hpp"
+
+namespace {
+
+using namespace rp;
+
+const topology::AsGraph& graph() {
+  static const topology::AsGraph g = [] {
+    topology::GeneratorConfig config;
+    config.tier1_count = 6;
+    config.tier2_count = 40;
+    config.access_count = 300;
+    config.content_count = 80;
+    config.cdn_count = 10;
+    config.nren_count = 10;
+    config.enterprise_count = 200;
+    util::Rng rng(3);
+    return topology::generate_topology(config, rng);
+  }();
+  return g;
+}
+
+void BM_RoutesToOneDestination(benchmark::State& state) {
+  const bgp::RouteComputer computer(graph());
+  const net::Asn dest = graph().nodes().front().asn;
+  for (auto _ : state) {
+    auto routes = computer.routes_to(dest);
+    benchmark::DoNotOptimize(routes);
+  }
+  state.counters["ases"] = static_cast<double>(graph().as_count());
+}
+BENCHMARK(BM_RoutesToOneDestination)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleRouteQuery(benchmark::State& state) {
+  const bgp::RouteComputer computer(graph());
+  const net::Asn src = graph().nodes()[10].asn;
+  const net::Asn dst = graph().nodes().back().asn;
+  for (auto _ : state) {
+    auto route = computer.route(src, dst);
+    benchmark::DoNotOptimize(route);
+  }
+}
+BENCHMARK(BM_SingleRouteQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_BuildFullRib(benchmark::State& state) {
+  net::Asn vantage;
+  for (const auto& node : graph().nodes())
+    if (node.cls == topology::AsClass::kNren) {
+      vantage = node.asn;
+      break;
+    }
+  for (auto _ : state) {
+    auto rib = bgp::Rib::build(graph(), vantage);
+    benchmark::DoNotOptimize(rib);
+    state.counters["prefixes"] = static_cast<double>(rib.prefix_count());
+  }
+}
+BENCHMARK(BM_BuildFullRib)->Unit(benchmark::kMillisecond);
+
+void BM_RibLookup(benchmark::State& state) {
+  net::Asn vantage = graph().nodes()[5].asn;
+  static const bgp::Rib rib = bgp::Rib::build(graph(), vantage);
+  util::Rng rng(9);
+  std::vector<net::Ipv4Addr> probes;
+  for (int i = 0; i < 1024; ++i)
+    probes.emplace_back(static_cast<std::uint32_t>(rng()) >> 1);  // Pool A.
+  std::size_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rib.lookup(probes[i++ & 1023]));
+}
+BENCHMARK(BM_RibLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks of the address-handling substrate: parsing, prefix-trie
+// inserts and longest-prefix matches — the operations on the RIB hot path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rp;
+
+void BM_ParseIpv4(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = net::Ipv4Addr::parse("203.119.45.67");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ParseIpv4);
+
+void BM_FormatIpv4(benchmark::State& state) {
+  const net::Ipv4Addr a(203, 119, 45, 67);
+  for (auto _ : state) {
+    auto s = a.to_string();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FormatIpv4);
+
+net::PrefixTrie<int> build_trie(std::size_t prefixes, util::Rng& rng) {
+  net::PrefixTrie<int> trie;
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    const auto length = static_cast<unsigned>(rng.uniform_int(8, 24));
+    trie.insert(net::Ipv4Prefix::make(
+                    net::Ipv4Addr{static_cast<std::uint32_t>(rng())}, length),
+                static_cast<int>(i));
+  }
+  return trie;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    auto trie = build_trie(static_cast<std::size_t>(state.range(0)), rng);
+    benchmark::DoNotOptimize(trie);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000);
+
+void BM_TrieLookup(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto trie = build_trie(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<net::Ipv4Addr> probes;
+  for (int i = 0; i < 1024; ++i)
+    probes.emplace_back(static_cast<std::uint32_t>(rng()));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLookup)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

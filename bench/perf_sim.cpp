@@ -1,0 +1,87 @@
+// Microbenchmarks of the discrete-event testbed: raw event throughput,
+// switched-LAN ping round trips, and a full small-IXP campaign.
+#include <benchmark/benchmark.h>
+
+#include "geo/cities.hpp"
+#include "measure/campaign.hpp"
+#include "net/subnet_allocator.hpp"
+#include "sim/host.hpp"
+#include "sim/l2_switch.hpp"
+
+namespace {
+
+using namespace rp;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const std::int64_t events = state.range(0);
+    for (std::int64_t i = 0; i < events; ++i)
+      sim.schedule_in(util::SimDuration::micros(i), [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Network network(sim);
+  auto& fabric = network.emplace_device<sim::L2Switch>("fabric");
+  sim::HostConfig lg_config;
+  lg_config.name = "lg";
+  lg_config.mac = net::MacAddr::from_id(1);
+  lg_config.ip = net::Ipv4Addr(198, 18, 0, 1);
+  lg_config.subnet = net::Ipv4Prefix::make(net::Ipv4Addr(198, 18, 0, 0), 24);
+  auto& lg = network.emplace_device<sim::Host>(sim, lg_config, util::Rng(1));
+  sim::HostConfig member_config = lg_config;
+  member_config.name = "member";
+  member_config.mac = net::MacAddr::from_id(2);
+  member_config.ip = net::Ipv4Addr(198, 18, 0, 2);
+  auto& member =
+      network.emplace_device<sim::Host>(sim, member_config, util::Rng(2));
+  benchmark::DoNotOptimize(member);
+  network.connect(fabric, lg, util::SimDuration::micros(10));
+  network.connect(fabric, member, util::SimDuration::micros(50));
+
+  for (auto _ : state) {
+    bool replied = false;
+    lg.ping(member_config.ip, util::SimDuration::seconds(2),
+            [&replied](const sim::PingOutcome& o) { replied = o.replied; });
+    sim.run();
+    benchmark::DoNotOptimize(replied);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PingRoundTrip);
+
+void BM_SmallIxpCampaign(benchmark::State& state) {
+  const auto& city = geo::CityRegistry::world().at("Amsterdam");
+  for (auto _ : state) {
+    state.PauseTiming();
+    ixp::Ixp ixp(0, "BENCH", "Bench IXP", city, 0.5,
+                 net::Ipv4Prefix::make(net::Ipv4Addr(198, 18, 0, 0), 23));
+    net::HostAllocator addrs(ixp.peering_lan());
+    ixp.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+    for (int i = 0; i < 100; ++i) {
+      ixp::MemberInterface iface;
+      iface.asn = net::Asn{static_cast<std::uint32_t>(100 + i)};
+      iface.addr = addrs.allocate();
+      iface.mac = net::MacAddr::from_id(static_cast<std::uint32_t>(i + 1));
+      iface.equipment_city = city;
+      ixp.add_interface(iface);
+    }
+    measure::CampaignConfig config;
+    config.length = util::SimDuration::days(2);
+    config.queries_per_pch_lg = 3;
+    util::Rng rng(42);
+    state.ResumeTiming();
+    auto measurement = measure::run_ixp_campaign(ixp, config, rng);
+    benchmark::DoNotOptimize(measurement);
+  }
+}
+BENCHMARK(BM_SmallIxpCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks of the topology substrate: generation and customer-cone
+// computation at several ecosystem sizes.
+#include <benchmark/benchmark.h>
+
+#include "topology/generator.hpp"
+
+namespace {
+
+using namespace rp;
+
+topology::GeneratorConfig sized(int scale) {
+  topology::GeneratorConfig config;
+  config.tier1_count = 6;
+  config.tier2_count = 20 * scale;
+  config.access_count = 100 * scale;
+  config.content_count = 30 * scale;
+  config.cdn_count = 5;
+  config.nren_count = 8;
+  config.enterprise_count = 100 * scale;
+  return config;
+}
+
+void BM_GenerateTopology(benchmark::State& state) {
+  const auto config = sized(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    auto graph = topology::generate_topology(config, rng);
+    benchmark::DoNotOptimize(graph);
+    state.counters["ases"] = static_cast<double>(graph.as_count());
+  }
+}
+BENCHMARK(BM_GenerateTopology)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CustomerCones(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto graph =
+      topology::generate_topology(sized(static_cast<int>(state.range(0))), rng);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& node : graph.nodes())
+      total += graph.customer_cone(node.asn).size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.as_count()));
+}
+BENCHMARK(BM_CustomerCones)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ConeAddressCount(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto graph = topology::generate_topology(sized(2), rng);
+  net::Asn tier1;
+  for (const auto& node : graph.nodes())
+    if (node.cls == topology::AsClass::kTier1) {
+      tier1 = node.asn;
+      break;
+    }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.cone_address_count(tier1));
+  }
+}
+BENCHMARK(BM_ConeAddressCount);
+
+}  // namespace
+
+BENCHMARK_MAIN();

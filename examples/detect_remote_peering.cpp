@@ -1,0 +1,121 @@
+// detect_remote_peering: the §3 methodology, from raw pings to verdicts.
+//
+// Instead of the high-level SpreadStudy facade, this example drives the
+// lower-level measure:: API directly on a hand-built exchange, so you can
+// see every stage: the testbed, the looking-glass campaign, the raw samples,
+// the six filters, and the remoteness classification — including how each
+// injected measurement artefact is caught by the filter built for it.
+#include <cstdio>
+
+#include "geo/cities.hpp"
+#include "measure/campaign.hpp"
+#include "measure/classifier.hpp"
+#include "measure/filters.hpp"
+#include "net/subnet_allocator.hpp"
+
+using namespace rp;
+
+namespace {
+
+const geo::City& city(const char* name) {
+  return geo::CityRegistry::world().at(name);
+}
+
+}  // namespace
+
+int main() {
+  // --- Build one exchange by hand -----------------------------------------
+  // A mid-sized IXP in Amsterdam with both PCH and RIPE NCC looking glasses.
+  ixp::Ixp ams(0, "DEMO-IX", "Demo Internet Exchange", city("Amsterdam"), 1.0,
+               *net::Ipv4Prefix::parse("198.18.0.0/24"));
+  net::HostAllocator addrs(ams.peering_lan());
+  ams.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+  ams.add_looking_glass(ixp::LookingGlass::ripe(addrs.allocate()));
+
+  struct Roster {
+    std::uint32_t asn;
+    ixp::AttachmentKind kind;
+    const char* home;
+    const char* note;
+  };
+  const Roster roster[] = {
+      {64500, ixp::AttachmentKind::kDirectColo, "Amsterdam",
+       "co-located router"},
+      {64501, ixp::AttachmentKind::kIpTransport, "Amsterdam",
+       "metro IP transport (still direct peering per the paper)"},
+      {64502, ixp::AttachmentKind::kRemoteViaProvider, "Budapest",
+       "remote peer via a layer-2 provider (like Invitel via Atrato)"},
+      {64503, ixp::AttachmentKind::kRemoteViaProvider, "Ankara",
+       "remote transit provider (like Turk Telecom)"},
+      {64504, ixp::AttachmentKind::kPartnerIxp, "Hong Kong",
+       "partner-IXP interconnect (like AMS-IX Hong Kong)"},
+      {64505, ixp::AttachmentKind::kRemoteViaProvider, "Sao Paulo",
+       "intercontinental remote peer"},
+  };
+  for (const auto& member : roster) {
+    ixp::MemberInterface iface;
+    iface.asn = net::Asn{member.asn};
+    iface.addr = addrs.allocate();
+    iface.mac = net::MacAddr::from_id(member.asn);
+    iface.kind = member.kind;
+    iface.equipment_city = city(member.home);
+    if (iface.is_remote_ground_truth()) {
+      iface.circuit_one_way = geo::propagation_delay(
+          iface.equipment_city.position, ams.city().position, 1.5);
+    }
+    ams.add_interface(iface);
+  }
+
+  // --- Run the campaign -----------------------------------------------------
+  // Probes go out as LG queries (5 echos per PCH query, 3 per RIPE query),
+  // one query a minute at most, spread over simulated days. Fault injection
+  // uses the library defaults, so an interface may catch an artefact.
+  measure::CampaignConfig campaign;
+  campaign.length = util::SimDuration::days(10);
+  campaign.queries_per_pch_lg = 6;
+  campaign.queries_per_ripe_lg = 4;
+  util::Rng rng(1234);
+  const measure::IxpMeasurement raw =
+      measure::run_ixp_campaign(ams, campaign, rng);
+
+  std::printf("campaign at %s: %zu interfaces probed\n\n",
+              raw.ixp_acronym.c_str(), raw.interfaces.size());
+  for (const auto& obs : raw.interfaces) {
+    std::size_t sent = 0;
+    for (const auto& [op, samples] : obs.samples) sent += samples.size();
+    std::printf("  %-14s %3zu probes, %3zu replies\n",
+                obs.addr.to_string().c_str(), sent, obs.reply_count());
+  }
+
+  // --- Filter and classify ---------------------------------------------------
+  const measure::FilterConfig filters;         // The paper's six filters.
+  const measure::ClassifierConfig classifier;  // 10 ms threshold.
+  const measure::IxpAnalysis analysis = measure::apply_filters(raw, filters);
+
+  std::printf("\n%-14s %-10s %-8s %-22s %s\n", "interface", "min RTT",
+              "verdict", "band", "ground truth");
+  for (std::size_t i = 0; i < analysis.interfaces.size(); ++i) {
+    const auto& iface = analysis.interfaces[i];
+    const auto& who = roster[i];
+    if (!iface.analyzed()) {
+      std::printf("%-14s %-10s discarded by %s  [%s]\n",
+                  iface.addr.to_string().c_str(), "-",
+                  to_string(*iface.discarded_by).c_str(), who.note);
+      continue;
+    }
+    const bool remote = measure::is_remote(iface.min_rtt, classifier);
+    std::printf("%-14s %-10s %-8s %-22s %s\n",
+                iface.addr.to_string().c_str(),
+                iface.min_rtt.to_string().c_str(),
+                remote ? "REMOTE" : "direct",
+                to_string(measure::band_of(iface.min_rtt, classifier)).c_str(),
+                who.note);
+  }
+
+  std::printf(
+      "\nhow to read this: direct members answer in well under 10 ms\n"
+      "(facility cross-connect or metro transport); remote members' minimum\n"
+      "RTT is dominated by their layer-2 circuit, placing them in the\n"
+      "intercity/intercountry/intercontinental bands exactly as in Fig. 3.\n");
+  return 0;
+}

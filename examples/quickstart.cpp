@@ -1,0 +1,79 @@
+// Quickstart: build a small world, detect remote peers at one IXP, and ask
+// the economic model whether remote peering pays off.
+//
+// This walks the three layers of the library in ~100 lines:
+//   1. core::Scenario        — a deterministic synthetic Internet
+//   2. core::SpreadStudy     — the ping-based detection method (paper §3)
+//   3. core::ViabilityStudy  — the cost model (paper §5)
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "core/spread_study.hpp"
+#include "core/viability_study.hpp"
+
+int main() {
+  using namespace rp;
+
+  // 1. A small world: shrink the AS counts and IXP rosters so the example
+  //    runs in a couple of seconds. Everything is seeded — rerunning gives
+  //    identical output.
+  core::ScenarioConfig config;
+  config.seed = 7;
+  config.euroix = false;          // Just the 22 measured IXPs of Table 1.
+  config.membership_scale = 0.15; // ~15% of the real member counts.
+  config.topology.tier2_count = 40;
+  config.topology.access_count = 200;
+  config.topology.content_count = 60;
+  config.topology.cdn_count = 10;
+  config.topology.nren_count = 8;
+  config.topology.enterprise_count = 150;
+
+  const core::Scenario scenario = core::Scenario::build(config);
+  std::printf("world: %zu ASes, %zu transit links, %zu peering links, %zu IXPs\n",
+              scenario.graph().as_count(),
+              scenario.graph().transit_link_count(),
+              scenario.graph().peering_link_count(),
+              scenario.ecosystem().ixps().size());
+
+  // 2. Run the §3 measurement study: ping campaigns from the looking
+  //    glasses, six conservative filters, 10 ms remoteness threshold.
+  core::SpreadStudyConfig study_config;
+  study_config.campaign.length = util::SimDuration::days(7);
+  study_config.campaign.queries_per_pch_lg = 4;
+  study_config.campaign.queries_per_ripe_lg = 3;
+
+  const core::SpreadStudy study = core::SpreadStudy::run(scenario, study_config);
+  const measure::SpreadReport& report = study.report();
+
+  std::printf("\nmeasurement study: %zu interfaces probed, %zu analyzed\n",
+              report.total_probed(), report.total_analyzed());
+  std::printf("remote peering detected at %.0f%% of the %zu measured IXPs\n",
+              100.0 * report.ixps_with_remote_fraction(),
+              report.rows().size());
+  std::printf("classifier vs ground truth: precision %.3f, recall %.3f\n",
+              report.validation().precision(), report.validation().recall());
+
+  std::printf("\n%-10s %8s %8s %8s\n", "IXP", "analyzed", "remote", "share");
+  for (const auto& row : report.rows()) {
+    if (row.analyzed == 0) continue;
+    std::printf("%-10s %8zu %8zu %7.1f%%\n", row.acronym.c_str(), row.analyzed,
+                row.remote_interfaces,
+                100.0 * static_cast<double>(row.remote_interfaces) /
+                    static_cast<double>(row.analyzed));
+  }
+
+  // 3. Feed the diminishing-returns curve into the §5 cost model. Here we
+  //    use a typical fitted decay; see the offload_study example for the
+  //    full pipeline that fits b from traffic data.
+  econ::CostParameters prices;  // Defaults: p=1, g=0.02, u=0.2, h=0.006, v=0.45.
+  const auto viability = core::ViabilityStudy::from_decay(0.5, prices);
+  std::printf("\neconomic model (b = %.2f):\n", viability.fitted_decay());
+  std::printf("  optimal direct-peering IXPs  n~ = %.2f (offloads %.0f%% of traffic)\n",
+              viability.optimal_direct_n(),
+              100.0 * viability.optimal_direct_fraction());
+  std::printf("  optimal remote-peering IXPs  m~ = %.2f\n",
+              viability.optimal_remote_m());
+  std::printf("  remote peering viable: %s\n",
+              viability.remote_viable() ? "yes" : "no");
+  return 0;
+}

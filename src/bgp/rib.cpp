@@ -1,0 +1,31 @@
+#include "bgp/rib.hpp"
+
+namespace rp::bgp {
+
+Rib Rib::build(const topology::AsGraph& graph, net::Asn vantage) {
+  Rib rib;
+  rib.vantage_ = vantage;
+  const RouteComputer computer(graph);
+  for (const auto& node : graph.nodes()) {
+    const auto routes = computer.routes_to(node.asn);
+    const auto route = routes.route_from(vantage);
+    if (!route) continue;
+    for (const auto& prefix : node.prefixes)
+      rib.trie_.insert(prefix, RibEntry{node.asn, *route});
+    rib.by_destination_.emplace(node.asn, *route);
+  }
+  return rib;
+}
+
+std::optional<net::Asn> Rib::lookup_origin(net::Ipv4Addr addr) const {
+  const RibEntry* entry = trie_.lookup(addr);
+  if (entry == nullptr) return std::nullopt;
+  return entry->origin;
+}
+
+const Route* Rib::route_to(net::Asn destination) const {
+  const auto it = by_destination_.find(destination);
+  return it == by_destination_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rp::bgp

@@ -1,0 +1,200 @@
+#include "bgp/route_computer.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rp::bgp {
+
+std::string to_string(RouteSource s) {
+  switch (s) {
+    case RouteSource::kOrigin: return "origin";
+    case RouteSource::kCustomer: return "customer";
+    case RouteSource::kPeer: return "peer";
+    case RouteSource::kProvider: return "provider";
+  }
+  return "unknown";
+}
+
+DestinationRoutes::DestinationRoutes(const topology::AsGraph& graph,
+                                     net::Asn destination,
+                                     std::vector<RouteSource> source,
+                                     std::vector<unsigned> hops,
+                                     std::vector<std::int32_t> next_hop,
+                                     std::vector<bool> reachable)
+    : graph_(&graph),
+      destination_(destination),
+      source_(std::move(source)),
+      hops_(std::move(hops)),
+      next_hop_(std::move(next_hop)),
+      reachable_(std::move(reachable)) {}
+
+bool DestinationRoutes::reachable_from(net::Asn asn) const {
+  return reachable_[graph_->index_of(asn)];
+}
+
+RouteSource DestinationRoutes::source_at(net::Asn asn) const {
+  const std::size_t i = graph_->index_of(asn);
+  if (!reachable_[i])
+    throw std::out_of_range("DestinationRoutes: unreachable from " +
+                            asn.to_string());
+  return source_[i];
+}
+
+unsigned DestinationRoutes::path_length_from(net::Asn asn) const {
+  const std::size_t i = graph_->index_of(asn);
+  if (!reachable_[i])
+    throw std::out_of_range("DestinationRoutes: unreachable from " +
+                            asn.to_string());
+  return hops_[i];
+}
+
+std::optional<Route> DestinationRoutes::route_from(net::Asn asn) const {
+  std::size_t i = graph_->index_of(asn);
+  if (!reachable_[i]) return std::nullopt;
+  Route route;
+  route.destination = destination_;
+  route.source = source_[i];
+  while (next_hop_[i] >= 0) {
+    i = static_cast<std::size_t>(next_hop_[i]);
+    route.as_path.push_back(graph_->nodes()[i].asn);
+  }
+  return route;
+}
+
+RouteComputer::RouteComputer(const topology::AsGraph& graph)
+    : graph_(&graph) {
+  const std::size_t n = graph.as_count();
+  providers_.resize(n);
+  customers_.resize(n);
+  peers_.resize(n);
+  asn_values_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Asn asn = graph.nodes()[i].asn;
+    asn_values_[i] = asn.value();
+    for (net::Asn p : graph.providers_of(asn))
+      providers_[i].push_back(static_cast<std::uint32_t>(graph.index_of(p)));
+    for (net::Asn c : graph.customers_of(asn))
+      customers_[i].push_back(static_cast<std::uint32_t>(graph.index_of(c)));
+    for (net::Asn p : graph.peers_of(asn))
+      peers_[i].push_back(static_cast<std::uint32_t>(graph.index_of(p)));
+  }
+}
+
+DestinationRoutes RouteComputer::routes_to(net::Asn destination) const {
+  const auto& graph = *graph_;
+  const std::size_t n = graph.as_count();
+  constexpr unsigned kUnset = std::numeric_limits<unsigned>::max();
+
+  std::vector<RouteSource> source(n, RouteSource::kProvider);
+  std::vector<unsigned> hops(n, kUnset);
+  std::vector<std::int32_t> next(n, -1);
+  std::vector<bool> reachable(n, false);
+
+  const std::size_t dest_index = graph.index_of(destination);
+  source[dest_index] = RouteSource::kOrigin;
+  hops[dest_index] = 0;
+  reachable[dest_index] = true;
+
+  // Phase 1 — customer routes ripple *up* the provider hierarchy: an AS that
+  // reaches the destination through a customer announces it to everyone,
+  // including its own providers. Level-synchronous BFS; ties between equal-
+  // level parents break toward the lower parent ASN.
+  std::vector<std::size_t> level{dest_index};
+  while (!level.empty()) {
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;  // (p, x)
+    for (std::size_t x : level) {
+      for (std::uint32_t p : providers_[x]) {
+        if (reachable[p]) continue;  // Already has a customer route (or is d).
+        candidates.emplace_back(p, x);
+      }
+    }
+    std::vector<std::size_t> next_level;
+    for (const auto& [p, x] : candidates) {
+      if (!reachable[p]) {
+        reachable[p] = true;
+        source[p] = RouteSource::kCustomer;
+        hops[p] = hops[x] + 1;
+        next[p] = static_cast<std::int32_t>(x);
+        next_level.push_back(p);
+      } else if (source[p] == RouteSource::kCustomer &&
+                 hops[p] == hops[x] + 1 &&
+                 asn_values_[x] <
+                     asn_values_[static_cast<std::size_t>(next[p])]) {
+        next[p] = static_cast<std::int32_t>(x);  // Same level, lower ASN.
+      }
+    }
+    level = std::move(next_level);
+  }
+
+  // Phase 2 — peer routes: one settlement-free edge at the top of the path.
+  // Only customer routes (or origination) may be announced across a peering
+  // edge, so eligibility is exactly "peer has a customer route".
+  for (std::size_t x = 0; x < n; ++x) {
+    if (reachable[x]) continue;
+    std::int32_t best_peer = -1;
+    unsigned best_hops = kUnset;
+    for (std::uint32_t y : peers_[x]) {
+      if (!reachable[y]) continue;
+      if (source[y] != RouteSource::kOrigin &&
+          source[y] != RouteSource::kCustomer)
+        continue;
+      const unsigned candidate_hops = hops[y] + 1;
+      if (candidate_hops < best_hops ||
+          (candidate_hops == best_hops && best_peer >= 0 &&
+           asn_values_[y] <
+               asn_values_[static_cast<std::size_t>(best_peer)])) {
+        best_hops = candidate_hops;
+        best_peer = static_cast<std::int32_t>(y);
+      }
+    }
+    if (best_peer >= 0) {
+      reachable[x] = true;
+      source[x] = RouteSource::kPeer;
+      hops[x] = best_hops;
+      next[x] = best_peer;
+    }
+  }
+
+  // Phase 3 — provider routes ripple *down* customer edges: any AS with a
+  // route announces it to its customers. Multi-source Dijkstra (edge weight
+  // 1, heterogeneous source depths), tie-break toward the lower parent ASN.
+  // Entries order by (hops, parent ASN) so equal-cost pops resolve toward
+  // the lower parent ASN; the parent index rides along for reconstruction.
+  using Entry = std::tuple<unsigned, std::uint32_t, std::uint32_t,
+                           std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (!reachable[x]) continue;
+    for (std::uint32_t c : customers_[x]) {
+      if (!reachable[c])
+        queue.emplace(hops[x] + 1, asn_values_[x],
+                      static_cast<std::uint32_t>(x), c);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [candidate_hops, parent_value, parent_index, x] = queue.top();
+    queue.pop();
+    if (reachable[x]) continue;  // Stale entry.
+    reachable[x] = true;
+    source[x] = RouteSource::kProvider;
+    hops[x] = candidate_hops;
+    next[x] = static_cast<std::int32_t>(parent_index);
+    for (std::uint32_t c : customers_[x]) {
+      if (!reachable[c])
+        queue.emplace(candidate_hops + 1, asn_values_[x],
+                      static_cast<std::uint32_t>(x), c);
+    }
+  }
+
+  return DestinationRoutes(graph, destination, std::move(source),
+                           std::move(hops), std::move(next),
+                           std::move(reachable));
+}
+
+std::optional<Route> RouteComputer::route(net::Asn source,
+                                          net::Asn destination) const {
+  return routes_to(destination).route_from(source);
+}
+
+}  // namespace rp::bgp

@@ -1,0 +1,38 @@
+#include "core/offload_study.hpp"
+
+namespace rp::core {
+
+OffloadStudy OffloadStudy::run(const Scenario& scenario,
+                               const OffloadStudyConfig& config) {
+  OffloadStudy study;
+  study.config_ = config;
+
+  util::Rng traffic_rng = scenario.fork_rng(0x200);
+  study.matrix_ = std::make_unique<flow::TrafficMatrix>(
+      flow::TrafficMatrix::generate(scenario.graph(), scenario.vantage(),
+                                    config.traffic, traffic_rng));
+  study.rates_ =
+      std::make_unique<flow::RateModel>(*study.matrix_, config.rate_model);
+  study.rib_ = std::make_unique<bgp::Rib>(
+      bgp::Rib::build(scenario.graph(), scenario.vantage()));
+  study.analyzer_ = std::make_unique<offload::OffloadAnalyzer>(
+      scenario.graph(), scenario.ecosystem(), scenario.vantage(),
+      *study.matrix_, *study.rib_, config.analyzer);
+  return study;
+}
+
+OffloadStudy::TimeSeries OffloadStudy::time_series(flow::Direction dir) const {
+  TimeSeries series;
+  std::vector<net::Asn> transit;
+  for (const auto& endpoint : analyzer_->transit_endpoints())
+    transit.push_back(endpoint.asn);
+  series.transit_bps = rates_->aggregate_series(transit, dir);
+
+  const auto everywhere = analyzer_->all_ixps();
+  const auto covered =
+      analyzer_->covered_endpoints(everywhere, offload::PeerGroup::kAll);
+  series.offload_bps = rates_->aggregate_series(covered, dir);
+  return series;
+}
+
+}  // namespace rp::core

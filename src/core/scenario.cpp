@@ -1,0 +1,350 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/cities.hpp"
+#include "net/subnet_allocator.hpp"
+
+namespace rp::core {
+namespace {
+
+/// How eager a network class is to join IXPs. CDNs chase eyeballs across
+/// many exchanges (Fig. 4a's tail reaches 18 IXPs); most regional transit
+/// providers, content farms, and enterprises never show up at the big
+/// exchanges at all — that scarcity is why the §4 offload potential stays
+/// partial even under the all-policies peer group.
+double class_appetite(topology::AsClass cls) {
+  switch (cls) {
+    case topology::AsClass::kCdn: return 20.0;
+    case topology::AsClass::kContent: return 0.9;
+    case topology::AsClass::kTier1: return 4.0;
+    case topology::AsClass::kTier2: return 0.35;
+    case topology::AsClass::kAccess: return 0.7;
+    case topology::AsClass::kNren: return 0.7;
+    case topology::AsClass::kEnterprise: return 0.12;
+  }
+  return 1.0;
+}
+
+double distance_km(const geo::City& a, const geo::City& b) {
+  return geo::great_circle_distance_m(a.position, b.position) / 1000.0;
+}
+
+}  // namespace
+
+Scenario Scenario::build(const ScenarioConfig& config) {
+  Scenario scenario;
+  scenario.config_ = config;
+  util::Rng rng(config.seed);
+  const auto& cities = geo::CityRegistry::world();
+
+  // --- Topology ------------------------------------------------------------
+  util::Rng topo_rng = rng.fork(1);
+  scenario.graph_ = topology::generate_topology(config.topology, topo_rng,
+                                                cities);
+  topology::AsGraph& graph = scenario.graph_;
+
+  // --- Vantage network (RedIRIS-like) --------------------------------------
+  net::Asn vantage{};
+  for (auto& node : graph.nodes()) {
+    if (node.cls == topology::AsClass::kNren &&
+        node.name != topology::kNrenBackboneName) {
+      vantage = node.asn;
+      break;
+    }
+  }
+  if (!vantage.is_valid())
+    throw std::logic_error("Scenario: topology has no NREN to act as vantage");
+  {
+    topology::AsNode& node = graph.node(vantage);
+    node.name = "RedIRIS-like";
+    node.home_city = cities.at("Madrid");
+    node.policy = topology::PeeringPolicy::kSelective;
+  }
+  scenario.vantage_ = vantage;
+
+  // Private peering with the top CDNs ("peers with major CDNs").
+  {
+    std::vector<net::Asn> cdns;
+    for (const auto& node : graph.nodes())
+      if (node.cls == topology::AsClass::kCdn) cdns.push_back(node.asn);
+    std::sort(cdns.begin(), cdns.end(), [&graph](net::Asn a, net::Asn b) {
+      return graph.node(a).traffic_scale > graph.node(b).traffic_scale;
+    });
+    std::size_t added = 0;
+    for (net::Asn cdn : cdns) {
+      if (added >= config.vantage_cdn_peerings) break;
+      if (graph.is_peering(vantage, cdn) || graph.is_transit(cdn, vantage) ||
+          graph.is_transit(vantage, cdn))
+        continue;
+      graph.add_peering(vantage, cdn);
+      ++added;
+    }
+  }
+
+  // --- Remote-peering providers ---------------------------------------------
+  ixp::IxpEcosystem& ecosystem = scenario.ecosystem_;
+  for (const auto& seed : ixp::provider_seeds()) {
+    ixp::RemotePeeringProvider provider;
+    provider.name = seed.name;
+    provider.path_stretch = seed.path_stretch;
+    for (const auto& pop_city : seed.pop_cities)
+      provider.pops.push_back(cities.at(pop_city));
+    ecosystem.add_provider(provider);
+  }
+
+  // --- The member pool -------------------------------------------------------
+  // Membership is modeled in two stages, mirroring the real ecosystem: a
+  // small pool of networks peers publicly at all (the paper's candidate
+  // population is 2,192 networks out of ~45k ASes), and each pool member
+  // has a heavy-tailed target number of IXPs (Fig. 4a: most networks at one
+  // exchange, a tail reaching eighteen). Rosters are then filled from the
+  // pool with geographic affinity.
+  util::Rng appetite_rng = rng.fork(2);
+  std::vector<double> appetite(graph.as_count());
+  for (std::size_t i = 0; i < graph.as_count(); ++i) {
+    const auto& node = graph.nodes()[i];
+    appetite[i] = appetite_rng.pareto(1.0, config.appetite_alpha) *
+                  class_appetite(node.cls);
+  }
+  // The vantage's memberships are fixed (CATNIX/ESpanix below), and the
+  // NREN backbone does not show up at commercial exchanges.
+  appetite[graph.index_of(vantage)] = 0.0;
+  for (const auto& node : graph.nodes())
+    if (node.name == topology::kNrenBackboneName)
+      appetite[graph.index_of(node.asn)] = 0.0;
+
+  // Total roster slots across the chosen IXP universe.
+  const auto& seeds =
+      config.euroix ? ixp::euroix_seeds() : ixp::table1_seeds();
+  double total_slots = 0.0;
+  for (const auto& seed : seeds)
+    total_slots += std::max(
+        3.0, std::round(seed.member_count * config.membership_scale));
+
+  // Pool size: scale the paper-era candidate population with the roster
+  // volume (2,600 distinct members over ~8,100 slots at full scale).
+  const auto pool_target = static_cast<std::size_t>(std::min(
+      static_cast<double>(graph.as_count()) * 0.8,
+      std::max(50.0, config.member_pool_size * config.membership_scale)));
+
+  // Draw the pool by appetite, then give each member a heavy-tailed IXP
+  // budget proportional to its appetite, normalized to the slot volume.
+  std::vector<double> remaining_slots(graph.as_count(), 0.0);
+  {
+    std::vector<double> draw_weights = appetite;
+    std::vector<std::size_t> pool;
+    for (std::size_t k = 0; k < pool_target; ++k) {
+      double total = 0.0;
+      for (double w : draw_weights) total += w;
+      if (total <= 0.0) break;
+      const std::size_t pick = appetite_rng.weighted_index(draw_weights);
+      draw_weights[pick] = 0.0;
+      pool.push_back(pick);
+    }
+    double weight_sum = 0.0;
+    for (std::size_t i : pool) weight_sum += appetite[i];
+    for (std::size_t i : pool) {
+      const double share = appetite[i] / weight_sum * total_slots;
+      remaining_slots[i] = std::max(1.0, std::round(share));
+    }
+  }
+
+  // --- IXPs, memberships, attachments ---------------------------------------
+  // Peering LANs come from 198.18.0.0/15 (outside every AS address pool).
+  net::SubnetAllocator lan_pool(
+      net::Ipv4Prefix::make(net::Ipv4Addr{198, 18, 0, 0}, 15));
+  util::Rng member_rng = rng.fork(3);
+  std::uint32_t mac_serial = 1;
+
+  for (const auto& seed : seeds) {
+    const geo::City& city = cities.at(seed.city);
+    const net::Ipv4Prefix lan = lan_pool.allocate(22);
+    const ixp::IxpId id = ecosystem.add_ixp(
+        seed.acronym, seed.full_name, city, seed.peak_traffic_tbps, lan);
+    ixp::Ixp& ixp = ecosystem.ixp(id);
+    ixp.set_site_count(seed.site_count);
+    net::HostAllocator host_addrs(lan);
+
+    if (seed.in_measurement_study) {
+      if (seed.has_pch_lg)
+        ixp.add_looking_glass(ixp::LookingGlass::pch(host_addrs.allocate()));
+      if (seed.has_ripe_lg)
+        ixp.add_looking_glass(ixp::LookingGlass::ripe(host_addrs.allocate()));
+      scenario.measured_ixps_.push_back(id);
+    }
+
+    // Member counts, split into locally attached and remote members.
+    const auto target_members = static_cast<std::size_t>(std::max(
+        3.0, std::round(seed.member_count * config.membership_scale)));
+    auto remote_target = static_cast<std::size_t>(
+        std::round(static_cast<double>(target_members) *
+                   seed.remote_member_fraction));
+
+    // Sampling weights for the two pools: only pool members with remaining
+    // IXP budget are candidates, with geographic affinity deciding whether
+    // they show up locally or remotely.
+    std::vector<double> local_weights(graph.as_count());
+    std::vector<double> remote_weights(graph.as_count());
+    for (std::size_t i = 0; i < graph.as_count(); ++i) {
+      if (remaining_slots[i] <= 0.0) continue;
+      const auto& node = graph.nodes()[i];
+      const double km = distance_km(node.home_city, city);
+      const bool same_continent = node.home_city.continent == city.continent;
+      const double budget = remaining_slots[i];
+      // Local pool: nearby networks, or big ones that extend infrastructure.
+      double local = budget;
+      if (!same_continent) local *= 0.03;
+      else if (km > 2500.0) local *= 0.35;
+      local_weights[i] = local;
+      // Remote pool: distant networks that cannot justify their own
+      // presence; bigger classes rarely need remote peering. Regional
+      // (same-continent) remote peering dominates in the paper — Brazilian
+      // networks make up most of PTT's remote peers, E4A and Invitel reach
+      // European exchanges — with a thinner intercontinental tail (E4A at
+      // TorIX and TIE).
+      double remote = budget;
+      if (km < 500.0) remote *= 0.05;
+      if (node.cls == topology::AsClass::kTier1 ||
+          node.cls == topology::AsClass::kCdn)
+        remote *= 0.2;
+      if (!same_continent) remote *= 0.15;
+      remote_weights[i] = remote;
+    }
+
+    // Draw members without replacement across both pools, consuming the
+    // member's global IXP budget.
+    std::vector<std::pair<std::size_t, bool>> members;  // (node idx, remote?)
+    auto draw = [&](std::vector<double>& weights, bool remote) {
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) return false;
+      const std::size_t pick = member_rng.weighted_index(weights);
+      members.emplace_back(pick, remote);
+      local_weights[pick] = 0.0;
+      remote_weights[pick] = 0.0;
+      remaining_slots[pick] -= 1.0;
+      return true;
+    };
+    for (std::size_t k = 0; k < target_members; ++k) {
+      const bool want_remote = k < remote_target;
+      if (!draw(want_remote ? remote_weights : local_weights, want_remote) &&
+          !draw(want_remote ? local_weights : remote_weights, !want_remote))
+        break;  // Ecosystem smaller than the roster; accept fewer members.
+    }
+
+    // Interface counts: measurement-study IXPs probe roughly the Table-1
+    // analyzed count (plus headroom for filter discards); elsewhere every
+    // member simply has one (non-probed) interface.
+    std::size_t probe_target = members.size();
+    if (seed.in_measurement_study) {
+      probe_target = static_cast<std::size_t>(
+          std::round(seed.analyzed_interfaces * config.probe_headroom *
+                     config.membership_scale));
+      probe_target = std::max<std::size_t>(probe_target, 1);
+    }
+
+    std::size_t created = 0;
+    auto add_interface = [&](std::size_t node_index, bool remote,
+                             bool discoverable) {
+      const auto& node = graph.nodes()[node_index];
+      ixp::MemberInterface iface;
+      iface.asn = node.asn;
+      iface.addr = host_addrs.allocate();
+      iface.mac = net::MacAddr::from_id(mac_serial++);
+      iface.uses_route_server =
+          node.policy == topology::PeeringPolicy::kOpen &&
+          member_rng.chance(0.9);
+      iface.discoverable = discoverable;
+      if (remote) {
+        iface.equipment_city = node.home_city;
+        if (member_rng.chance(config.partner_ixp_share)) {
+          iface.kind = ixp::AttachmentKind::kPartnerIxp;
+          iface.circuit_one_way = geo::propagation_delay(
+              node.home_city.position, city.position, 1.6);
+        } else {
+          iface.kind = ixp::AttachmentKind::kRemoteViaProvider;
+          // Cheapest provider by circuit latency.
+          std::size_t best = 0;
+          util::SimDuration best_delay = util::SimDuration::days(1);
+          for (std::size_t pi = 0; pi < ecosystem.providers().size(); ++pi) {
+            const auto delay = ecosystem.providers()[pi].circuit_delay(
+                node.home_city, city);
+            if (delay < best_delay) {
+              best_delay = delay;
+              best = pi;
+            }
+          }
+          iface.provider_index = best;
+          iface.circuit_one_way = best_delay;
+        }
+      } else {
+        iface.equipment_city = city;
+        iface.kind = member_rng.chance(config.ip_transport_share)
+                         ? ixp::AttachmentKind::kIpTransport
+                         : ixp::AttachmentKind::kDirectColo;
+        iface.circuit_one_way = util::SimDuration::nanos(0);
+      }
+      ixp.add_interface(std::move(iface));
+      ++created;
+    };
+
+    // First interface per member; discoverability covers the first
+    // `probe_target` interfaces (the ones with published addresses).
+    for (const auto& [node_index, remote] : members)
+      add_interface(node_index, remote, created < probe_target);
+    // Extra interfaces (members with several ports) until the probe target
+    // is met at measurement-study IXPs.
+    std::size_t guard = 0;
+    while (created < probe_target && !members.empty() &&
+           guard < probe_target * 4) {
+      ++guard;
+      const auto& [node_index, remote] =
+          members[member_rng.uniform_int(0, members.size() - 1)];
+      add_interface(node_index, remote, true);
+    }
+  }
+
+  // --- The vantage's own memberships (CATNIX, ESpanix) ----------------------
+  auto force_membership = [&mac_serial](ixp::Ixp& ixp, net::Asn member) {
+    if (ixp.has_member(member)) return;
+    net::HostAllocator addrs(ixp.peering_lan());
+    // Skip addresses already taken by existing interfaces and LGs.
+    auto taken = [&ixp](net::Ipv4Addr candidate) {
+      if (ixp.interface_at(candidate) != nullptr) return true;
+      for (const auto& lg : ixp.looking_glasses())
+        if (lg.addr == candidate) return true;
+      return false;
+    };
+    net::Ipv4Addr addr = addrs.allocate();
+    while (taken(addr)) addr = addrs.allocate();
+    ixp::MemberInterface iface;
+    iface.asn = member;
+    iface.addr = addr;
+    iface.mac = net::MacAddr::from_id(mac_serial++);
+    iface.kind = ixp::AttachmentKind::kDirectColo;
+    iface.equipment_city = ixp.city();
+    iface.discoverable = true;
+    ixp.add_interface(std::move(iface));
+  };
+  for (const char* home : {"ESpanix", "CATNIX"}) {
+    if (ixp::Ixp* ixp = ecosystem.find(home)) force_membership(*ixp, vantage);
+  }
+  // Every tier-1 keeps a presence at the national exchange of the vantage's
+  // market. This reproduces the paper's §4.2 exclusion logic verbatim: "we
+  // exclude all the other tier-1 networks because they have memberships in
+  // ESpanix" — without it, a single tier-1 member at any reached IXP would
+  // cover the whole Internet in its customer cone and the offload potential
+  // would degenerate to ~100%.
+  if (ixp::Ixp* espanix = ecosystem.find("ESpanix")) {
+    for (const auto& node : graph.nodes())
+      if (node.cls == topology::AsClass::kTier1)
+        force_membership(*espanix, node.asn);
+  }
+
+  return scenario;
+}
+
+}  // namespace rp::core

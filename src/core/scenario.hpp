@@ -1,0 +1,86 @@
+// Scenario: the deterministic synthetic world behind every experiment.
+//
+// A Scenario bundles the AS-level topology, the IXP ecosystem (Table-1 and
+// Euro-IX seeds, memberships, attachments, remote-peering providers, looking
+// glasses), and a RedIRIS-like vantage network. Everything derives from one
+// seed: rebuilding a Scenario from the same config yields an identical world,
+// so studies, tests, and benches are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ixp/ixp.hpp"
+#include "ixp/seeds.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rp::core {
+
+/// Scenario knobs. Defaults build the full paper-scale world; tests shrink
+/// the counts.
+struct ScenarioConfig {
+  topology::GeneratorConfig topology;
+  /// Use the 65-IXP Euro-IX universe; false restricts to Table 1's 22 IXPs.
+  bool euroix = true;
+  /// Probed interfaces per measurement-study IXP relative to Table 1's
+  /// analyzed column (headroom absorbs the interfaces the filters discard).
+  double probe_headroom = 1.06;
+  /// Scale factor on all IXP member counts (tests use < 1).
+  double membership_scale = 1.0;
+  /// Pareto shape of the per-network "IXP appetite" (how many IXPs a
+  /// network tends to join); smaller alpha = heavier multi-IXP tail.
+  double appetite_alpha = 1.15;
+  /// Distinct networks that peer publicly anywhere at all (the candidate
+  /// pool; paper-era Euro-IX had a few thousand distinct members while the
+  /// AS universe was ~45k). Scaled by membership_scale.
+  double member_pool_size = 2300.0;
+  /// Probability that a remote attachment runs over a partner-IXP
+  /// interconnect instead of a remote-peering provider.
+  double partner_ixp_share = 0.15;
+  /// Share of direct attachments using a metro IP transport (still direct
+  /// peering per §2.2) rather than co-location.
+  double ip_transport_share = 0.30;
+  /// How many top CDNs the vantage privately peers with (RedIRIS "peers
+  /// with major CDNs").
+  std::size_t vantage_cdn_peerings = 16;
+  std::uint64_t seed = 42;
+};
+
+class Scenario {
+ public:
+  /// Builds the world. Throws std::logic_error if the configuration cannot
+  /// be satisfied (e.g. no NREN to serve as vantage).
+  static Scenario build(const ScenarioConfig& config);
+
+  const ScenarioConfig& config() const { return config_; }
+  const topology::AsGraph& graph() const { return graph_; }
+  topology::AsGraph& graph() { return graph_; }
+  const ixp::IxpEcosystem& ecosystem() const { return ecosystem_; }
+
+  /// The RedIRIS-like vantage network (an NREN homed in Madrid, transit
+  /// from two tier-1s, member of CATNIX/ESpanix when those exist).
+  net::Asn vantage() const { return vantage_; }
+
+  /// IXPs that are part of the §3 measurement study (have looking glasses).
+  const std::vector<ixp::IxpId>& measured_ixps() const {
+    return measured_ixps_;
+  }
+
+  /// A deterministic child RNG for downstream stages.
+  util::Rng fork_rng(std::uint64_t label) const {
+    util::Rng base(config_.seed);
+    return base.fork(label);
+  }
+
+ private:
+  Scenario() = default;
+
+  ScenarioConfig config_;
+  topology::AsGraph graph_;
+  ixp::IxpEcosystem ecosystem_;
+  net::Asn vantage_;
+  std::vector<ixp::IxpId> measured_ixps_;
+};
+
+}  // namespace rp::core

@@ -1,0 +1,37 @@
+#include "core/spread_study.hpp"
+
+namespace rp::core {
+
+SpreadStudy SpreadStudy::run(const Scenario& scenario,
+                             const SpreadStudyConfig& config) {
+  SpreadStudy study;
+  study.config_ = config;
+  for (ixp::IxpId id : scenario.measured_ixps()) {
+    const ixp::Ixp& ixp = scenario.ecosystem().ixp(id);
+    util::Rng campaign_rng = scenario.fork_rng(0x100 + id);
+    study.raw_.push_back(
+        measure::run_ixp_campaign(ixp, config.campaign, campaign_rng));
+  }
+  for (const auto& measurement : study.raw_)
+    study.analyses_.push_back(
+        measure::apply_filters(measurement, config.filters));
+  study.report_ =
+      measure::SpreadReport::build(study.analyses_, config.classifier);
+  return study;
+}
+
+SpreadStudy SpreadStudy::reanalyze(
+    const std::vector<measure::IxpMeasurement>& raw,
+    const SpreadStudyConfig& config) {
+  SpreadStudy study;
+  study.config_ = config;
+  study.raw_ = raw;
+  for (const auto& measurement : study.raw_)
+    study.analyses_.push_back(
+        measure::apply_filters(measurement, config.filters));
+  study.report_ =
+      measure::SpreadReport::build(study.analyses_, config.classifier);
+  return study;
+}
+
+}  // namespace rp::core

@@ -1,0 +1,52 @@
+// SpreadStudy: the §3 measurement study end-to-end.
+//
+// Runs the ping campaign at every measured IXP of a Scenario, applies the
+// six-filter pipeline, classifies remoteness, and aggregates the SpreadReport
+// that backs Table 1 and Figs. 2-4.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "measure/campaign.hpp"
+#include "measure/classifier.hpp"
+#include "measure/filters.hpp"
+#include "measure/report.hpp"
+
+namespace rp::core {
+
+/// Configuration of the §3 study.
+struct SpreadStudyConfig {
+  measure::CampaignConfig campaign;
+  measure::FilterConfig filters;
+  measure::ClassifierConfig classifier;
+};
+
+class SpreadStudy {
+ public:
+  /// Runs campaigns at all measured IXPs. Deterministic given the scenario.
+  static SpreadStudy run(const Scenario& scenario,
+                         const SpreadStudyConfig& config = {});
+
+  /// Re-analyzes prior raw measurements under different filter/classifier
+  /// settings without re-running the simulations (the ablation path).
+  static SpreadStudy reanalyze(const std::vector<measure::IxpMeasurement>& raw,
+                               const SpreadStudyConfig& config);
+
+  const measure::SpreadReport& report() const { return report_; }
+  const std::vector<measure::IxpAnalysis>& analyses() const {
+    return analyses_;
+  }
+  const std::vector<measure::IxpMeasurement>& raw_measurements() const {
+    return raw_;
+  }
+  const SpreadStudyConfig& study_config() const { return config_; }
+
+ private:
+  SpreadStudyConfig config_;
+  std::vector<measure::IxpMeasurement> raw_;
+  std::vector<measure::IxpAnalysis> analyses_;
+  measure::SpreadReport report_;
+};
+
+}  // namespace rp::core

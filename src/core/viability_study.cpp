@@ -1,0 +1,66 @@
+#include "core/viability_study.hpp"
+
+#include <stdexcept>
+
+namespace rp::core {
+
+ViabilityStudy ViabilityStudy::from_greedy_curve(
+    const std::vector<offload::GreedyStep>& steps, double initial_weight,
+    econ::CostParameters prices) {
+  if (initial_weight <= 0.0)
+    throw std::invalid_argument("ViabilityStudy: initial weight must be > 0");
+  // Eq. 3 models the *offloadable* traffic decaying with each reached IXP.
+  // A single vantage cannot offload everything (Fig. 9 flattens out at its
+  // achievable floor), so the curve is normalized by that floor before
+  // fitting: t_k = floor + (1 - floor) exp(-b k). Fitting the raw curve
+  // instead would dilute b toward 0 and make the cost analysis vacuous.
+  double floor_weight = initial_weight;
+  for (const auto& step : steps)
+    floor_weight = std::min(floor_weight, step.remaining);
+  const double floor_fraction = floor_weight / initial_weight;
+  if (floor_fraction >= 1.0 - 1e-12)
+    throw std::invalid_argument(
+        "ViabilityStudy: the curve never offloads anything");
+  std::vector<double> normalized{1.0};
+  for (const auto& step : steps) {
+    const double remaining = step.remaining / initial_weight;
+    normalized.push_back((remaining - floor_fraction) /
+                         (1.0 - floor_fraction));
+  }
+  const double decay = econ::fit_decay_parameter(normalized);
+  prices.decay = decay;
+  return ViabilityStudy(decay, econ::CostModel(prices));
+}
+
+ViabilityStudy ViabilityStudy::from_decay(double decay,
+                                          econ::CostParameters prices) {
+  prices.decay = decay;
+  return ViabilityStudy(decay, econ::CostModel(prices));
+}
+
+std::vector<ViabilityStudy::SweepPoint> ViabilityStudy::sweep_decay(
+    double lo, double hi, std::size_t points) const {
+  if (points < 2 || !(lo < hi) || lo < 0.0)
+    throw std::invalid_argument("ViabilityStudy::sweep_decay: bad range");
+  std::vector<SweepPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    econ::CostParameters params = model_.params();
+    params.decay =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(points - 1);
+    const econ::CostModel model(params);
+    SweepPoint point;
+    point.decay = params.decay;
+    point.viable = model.remote_viable();
+    point.optimal_n = model.optimal_direct_n();
+    point.optimal_m = model.optimal_remote_m();
+    point.cost_without_remote = model.cost_without_remote(point.optimal_n);
+    point.cost_with_remote =
+        model.total_cost(point.optimal_n, point.optimal_m);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace rp::core

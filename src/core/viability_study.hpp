@@ -1,0 +1,61 @@
+// ViabilityStudy: the §5 economic analysis, parameterized by §4 results.
+//
+// Fits the decay parameter b (eq. 3) from an empirical remaining-transit
+// curve, instantiates the cost model, and exposes the closed-form optima
+// (eqs. 11 and 13), the viability condition (eq. 14), and parameter sweeps
+// for the viability-region bench.
+#pragma once
+
+#include <vector>
+
+#include "econ/cost_model.hpp"
+#include "offload/analyzer.hpp"
+
+namespace rp::core {
+
+class ViabilityStudy {
+ public:
+  /// Builds the study from a greedy offload curve (Fig. 9 output): the
+  /// remaining-transit weights become the empirical decay curve.
+  static ViabilityStudy from_greedy_curve(
+      const std::vector<offload::GreedyStep>& steps, double initial_weight,
+      econ::CostParameters prices);
+
+  /// Builds from an explicit decay parameter.
+  static ViabilityStudy from_decay(double decay, econ::CostParameters prices);
+
+  double fitted_decay() const { return decay_; }
+  const econ::CostModel& model() const { return model_; }
+
+  /// Eq. 11: optimal directly reached IXPs and offloaded fraction.
+  double optimal_direct_n() const { return model_.optimal_direct_n(); }
+  double optimal_direct_fraction() const {
+    return model_.optimal_direct_fraction();
+  }
+  /// Eq. 13: optimal additional remotely reached IXPs.
+  double optimal_remote_m() const { return model_.optimal_remote_m(); }
+  /// Eq. 14.
+  bool remote_viable() const { return model_.remote_viable(); }
+
+  /// Sweeps decay b and reports, per value, whether remote peering is viable
+  /// and the optimal (ñ, m̃) — the viability-region series.
+  struct SweepPoint {
+    double decay = 0.0;
+    bool viable = false;
+    double optimal_n = 0.0;
+    double optimal_m = 0.0;
+    double cost_without_remote = 0.0;
+    double cost_with_remote = 0.0;
+  };
+  std::vector<SweepPoint> sweep_decay(double lo, double hi,
+                                      std::size_t points) const;
+
+ private:
+  ViabilityStudy(double decay, econ::CostModel model)
+      : decay_(decay), model_(std::move(model)) {}
+
+  double decay_;
+  econ::CostModel model_;
+};
+
+}  // namespace rp::core

@@ -1,0 +1,165 @@
+#include "econ/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fit.hpp"
+
+namespace rp::econ {
+
+std::optional<std::string> CostParameters::validate() const {
+  if (transit_price <= 0.0 || direct_fixed <= 0.0 || direct_unit < 0.0 ||
+      remote_fixed <= 0.0 || remote_unit < 0.0 || decay < 0.0)
+    return "parameters must be positive (decay and unit costs may be zero)";
+  if (!(remote_fixed < direct_fixed))
+    return "ineq. 7 violated: remote fixed cost h must be below direct g";
+  if (!(direct_unit < remote_unit))
+    return "ineq. 8 violated: direct unit cost u must be below remote v";
+  if (!(remote_unit < transit_price))
+    return "ineq. 8 violated: remote unit cost v must be below transit p";
+  return std::nullopt;
+}
+
+CostModel::CostModel(CostParameters params) : params_(params) {
+  if (const auto problem = params_.validate())
+    throw std::invalid_argument("CostModel: " + *problem);
+}
+
+double CostModel::transit_fraction(double reached_ixps) const {
+  return std::exp(-params_.decay * reached_ixps);
+}
+
+Allocation CostModel::allocation(double n, double m) const {
+  if (n < 0.0 || m < 0.0)
+    throw std::invalid_argument("CostModel::allocation: negative IXP count");
+  Allocation a;
+  a.n = n;
+  a.m = m;
+  a.transit_fraction = transit_fraction(n + m);
+  a.direct_fraction = 1.0 - transit_fraction(n);
+  a.remote_fraction = transit_fraction(n) - a.transit_fraction;
+  return a;
+}
+
+double CostModel::total_cost(double n, double m) const {
+  const Allocation a = allocation(n, m);
+  return params_.transit_price * a.transit_fraction +
+         params_.direct_fixed * n + params_.direct_unit * a.direct_fraction +
+         params_.remote_fixed * m + params_.remote_unit * a.remote_fraction;
+}
+
+double CostModel::optimal_direct_n() const {
+  // Eq. 11: ñ = log(b (p - u) / g) / b. When the argument is <= 1 even one
+  // directly reached IXP costs more than it saves.
+  const double b = params_.decay;
+  if (b == 0.0) return 0.0;
+  const double argument =
+      b * (params_.transit_price - params_.direct_unit) / params_.direct_fixed;
+  if (argument <= 1.0) return 0.0;
+  return std::log(argument) / b;
+}
+
+double CostModel::optimal_direct_fraction() const {
+  return 1.0 - transit_fraction(optimal_direct_n());
+}
+
+double CostModel::optimal_remote_m() const {
+  // Eq. 13: m̃ = log(g (p - v) / (h (p - u))) / b. The closed form
+  // substitutes the interior ñ of eq. 11; when ñ clamps to 0 (direct
+  // peering never pays) the continuation from the corner is
+  // m* = log(b (p - v) / h) / b instead.
+  const double b = params_.decay;
+  if (b == 0.0) return 0.0;
+  if (optimal_direct_n() > 0.0) {
+    const double ratio = viability_ratio();
+    if (ratio <= 1.0) return 0.0;
+    return std::log(ratio) / b;
+  }
+  const double argument =
+      b * (params_.transit_price - params_.remote_unit) / params_.remote_fixed;
+  if (argument <= 1.0) return 0.0;
+  return std::log(argument) / b;
+}
+
+double CostModel::viability_ratio() const {
+  return params_.direct_fixed * (params_.transit_price - params_.remote_unit) /
+         (params_.remote_fixed *
+          (params_.transit_price - params_.direct_unit));
+}
+
+bool CostModel::remote_viable() const {
+  // b = 0 means peering (direct or remote) offloads nothing; the eq. 14
+  // comparison presumes an interior eq. 11 solution, so fall back to the
+  // equivalent statement m̃ >= 1 which also covers the ñ = 0 corner.
+  if (params_.decay == 0.0) return false;
+  if (optimal_direct_n() > 0.0)
+    return viability_ratio() >= std::exp(params_.decay);
+  return optimal_remote_m() >= 1.0;
+}
+
+double CostModel::critical_decay() const {
+  const double ratio = viability_ratio();
+  return ratio <= 0.0 ? 0.0 : std::log(ratio);
+}
+
+double CostModel::numeric_optimal_m_given_n(double n, double max_m) const {
+  constexpr double kPhi = 0.6180339887498949;
+  double lo = 0.0, hi = max_m;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const double x1 = hi - kPhi * (hi - lo);
+    const double x2 = lo + kPhi * (hi - lo);
+    if (total_cost(n, x1) < total_cost(n, x2)) hi = x2; else lo = x1;
+  }
+  return (lo + hi) / 2.0;
+}
+
+Optimum CostModel::numeric_optimum(double max_n, double max_m,
+                                   double step) const {
+  if (step <= 0.0)
+    throw std::invalid_argument("numeric_optimum: step must be positive");
+  Optimum best{0.0, 0.0, total_cost(0.0, 0.0)};
+  for (double n = 0.0; n <= max_n; n += step) {
+    for (double m = 0.0; m <= max_m; m += step) {
+      const double cost = total_cost(n, m);
+      if (cost < best.cost) best = {n, m, cost};
+    }
+  }
+  // Golden-section refinement along each axis around the best grid cell.
+  auto refine = [this](double& n, double& m, bool along_n, double radius) {
+    constexpr double kPhi = 0.6180339887498949;
+    double lo = std::max(0.0, (along_n ? n : m) - radius);
+    double hi = (along_n ? n : m) + radius;
+    for (int iteration = 0; iteration < 60; ++iteration) {
+      const double x1 = hi - kPhi * (hi - lo);
+      const double x2 = lo + kPhi * (hi - lo);
+      const double f1 = along_n ? total_cost(x1, m) : total_cost(n, x1);
+      const double f2 = along_n ? total_cost(x2, m) : total_cost(n, x2);
+      if (f1 < f2) hi = x2; else lo = x1;
+    }
+    (along_n ? n : m) = (lo + hi) / 2.0;
+  };
+  double n = best.n, m = best.m;
+  for (int pass = 0; pass < 3; ++pass) {
+    refine(n, m, /*along_n=*/true, step * 2.0);
+    refine(n, m, /*along_n=*/false, step * 2.0);
+  }
+  const double refined = total_cost(n, m);
+  if (refined < best.cost) best = {n, m, refined};
+  return best;
+}
+
+double fit_decay_parameter(const std::vector<double>& remaining_fractions) {
+  if (remaining_fractions.size() < 2)
+    throw std::invalid_argument("fit_decay_parameter: need >= 2 points");
+  std::vector<double> x, y;
+  for (std::size_t k = 0; k < remaining_fractions.size(); ++k) {
+    if (remaining_fractions[k] <= 0.0) break;  // Fully offloaded; log blows up.
+    x.push_back(static_cast<double>(k));
+    y.push_back(remaining_fractions[k]);
+  }
+  if (x.size() < 2)
+    throw std::invalid_argument("fit_decay_parameter: degenerate curve");
+  return util::fit_exponential_decay(x, y).decay;
+}
+
+}  // namespace rp::econ

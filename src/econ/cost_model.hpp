@@ -1,0 +1,112 @@
+// The economic model of §5: transit vs direct peering vs remote peering.
+//
+// A network delivers its traffic through three options (eq. 1): a fraction t
+// via transit, d via direct peering at n distant IXPs, and r via remote
+// peering at m further IXPs. Generalizing the measured diminishing marginal
+// utility (Figs. 9/10), the transit fraction decays exponentially with the
+// number of reached IXPs (eq. 3): t = exp(-b (n+m)). Costs (eqs. 4-6):
+//   C_t = p * t,   C_d = g * n + u * d,   C_r = h * m + v * r,
+// with the §2 orderings h < g (remote peering shares IXP-side costs) and
+// u < v < p (remote peering's traffic cost sits between direct peering's and
+// transit's). Closed forms: the optimal number of directly reached IXPs
+// (eq. 11), the optimal number of additional remotely reached IXPs (eq. 13),
+// and the viability condition g(p-v)/(h(p-u)) >= e^b (eq. 14).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rp::econ {
+
+/// Parameters of the cost model (the paper's p, g, u, h, v, b).
+struct CostParameters {
+  double transit_price = 1.0;          ///< p: normalized per-unit transit.
+  double direct_fixed = 0.02;          ///< g: per-IXP cost, direct peering.
+  double direct_unit = 0.20;           ///< u: per-unit cost, direct peering.
+  double remote_fixed = 0.006;         ///< h: per-IXP cost, remote peering.
+  double remote_unit = 0.45;           ///< v: per-unit cost, remote peering.
+  double decay = 0.35;                 ///< b: transit-fraction decay (eq. 3).
+
+  /// Checks the structural assumptions (ineqs. 7-8) and positivity.
+  /// Returns an explanatory message for the first violation, or nullopt.
+  std::optional<std::string> validate() const;
+};
+
+/// Traffic split for a given strategy (n directly, m remotely reached IXPs).
+struct Allocation {
+  double n = 0.0;
+  double m = 0.0;
+  double transit_fraction = 0.0;  ///< t = exp(-b (n+m)).
+  double direct_fraction = 0.0;   ///< d = 1 - exp(-b n): realized first.
+  double remote_fraction = 0.0;   ///< r = exp(-b n) - exp(-b (n+m)).
+};
+
+/// A numerically located cost minimum.
+struct Optimum {
+  double n = 0.0;
+  double m = 0.0;
+  double cost = 0.0;
+};
+
+class CostModel {
+ public:
+  /// Throws std::invalid_argument when parameters violate the assumptions.
+  explicit CostModel(CostParameters params);
+
+  const CostParameters& params() const { return params_; }
+
+  /// t as a function of the total number of reached IXPs (eq. 3).
+  double transit_fraction(double reached_ixps) const;
+
+  /// Traffic split when peering directly at n IXPs and remotely at m more.
+  Allocation allocation(double n, double m) const;
+
+  /// Total delivery cost C(n, m) (eq. 9, with d and r from allocation()).
+  double total_cost(double n, double m) const;
+
+  /// Total cost restricted to transit + direct peering (eq. 10).
+  double cost_without_remote(double n) const { return total_cost(n, 0.0); }
+
+  /// Optimal number of directly reached IXPs ñ (eq. 11); clamped at 0 when
+  /// even the first IXP does not pay off.
+  double optimal_direct_n() const;
+  /// The traffic fraction d̃ offloaded at the optimum (eq. 11).
+  double optimal_direct_fraction() const;
+  /// Optimal number of additional remotely reached IXPs m̃ (eq. 13), given
+  /// the network already peers directly at ñ; clamped at 0.
+  double optimal_remote_m() const;
+
+  /// Left side of the viability condition: g (p - v) / (h (p - u)).
+  double viability_ratio() const;
+  /// Remote peering is economically viable iff viability_ratio() >= e^b
+  /// (eq. 14) — equivalently m̃ >= 1.
+  bool remote_viable() const;
+  /// The largest decay b at which remote peering stays viable with these
+  /// prices: b* = ln(viability_ratio()).
+  double critical_decay() const;
+
+  /// Numeric cross-check of eq. 13: the cost-minimizing m for a *fixed* n
+  /// (the paper's sequential setting — first pick ñ, then widen with remote
+  /// peering). Golden-section search over [0, max_m].
+  double numeric_optimal_m_given_n(double n, double max_m = 60.0) const;
+
+  /// The *joint* cost minimum over n, m >= 0: grid search at `step`
+  /// resolution with golden-section refinement. Note the paper's eqs. 11/13
+  /// describe the sequential strategy; the joint optimum shifts some
+  /// directly-reached IXPs to remote ones whenever h < g, so its cost is a
+  /// lower bound on the sequential strategy's.
+  Optimum numeric_optimum(double max_n = 40.0, double max_m = 40.0,
+                          double step = 0.05) const;
+
+ private:
+  CostParameters params_;
+};
+
+/// Fits the decay parameter b (eq. 3) from an empirical remaining-transit
+/// curve: fractions[k] is the transit fraction remaining after reaching k
+/// IXPs (fractions[0] == 1). Returns the fitted b. This is how the §4
+/// measurements parameterize the §5 model.
+double fit_decay_parameter(const std::vector<double>& remaining_fractions);
+
+}  // namespace rp::econ

@@ -1,0 +1,81 @@
+#include "flow/netflow.hpp"
+
+namespace rp::flow {
+
+FlowSampler::FlowSampler(const topology::AsGraph& graph, net::Asn vantage,
+                         const RateModel& rates, util::Rng rng)
+    : graph_(&graph),
+      vantage_node_(&graph.node(vantage)),
+      rates_(&rates),
+      rng_(rng) {}
+
+net::Ipv4Addr FlowSampler::random_address_in(const topology::AsNode& node) {
+  const auto& prefixes = node.prefixes;
+  const auto& prefix =
+      prefixes[prefixes.size() == 1
+                   ? 0
+                   : rng_.uniform_int(0, prefixes.size() - 1)];
+  return prefix.address_at(rng_.uniform_int(0, prefix.size() - 1));
+}
+
+std::vector<FlowRecord> FlowSampler::sample_bin(
+    std::size_t bin, double min_rate_bps, std::size_t max_flows_per_network) {
+  std::vector<FlowRecord> records;
+  const double bin_seconds =
+      rates_->config().bin_length.as_seconds_f();
+
+  for (const auto& node : graph_->nodes()) {
+    if (node.asn == vantage_node_->asn) continue;
+    for (const Direction dir : {Direction::kInbound, Direction::kOutbound}) {
+      const double rate = rates_->rate_bps(node.asn, dir, bin);
+      if (rate < min_rate_bps) continue;
+      const double total_bytes = rate * bin_seconds / 8.0;
+      const std::size_t flows =
+          1 + rng_.uniform_int(0, max_flows_per_network - 1);
+      // Random split of the bin's bytes across the flows.
+      std::vector<double> weights(flows);
+      double weight_sum = 0.0;
+      for (auto& w : weights) {
+        w = rng_.uniform(0.2, 1.0);
+        weight_sum += w;
+      }
+      for (double w : weights) {
+        FlowRecord record;
+        record.bin = bin;
+        record.direction = dir;
+        record.bytes = total_bytes * (w / weight_sum);
+        const net::Ipv4Addr remote = random_address_in(node);
+        const net::Ipv4Addr local = random_address_in(*vantage_node_);
+        if (dir == Direction::kInbound) {
+          record.src = remote;
+          record.dst = local;
+        } else {
+          record.src = local;
+          record.dst = remote;
+        }
+        records.push_back(record);
+      }
+    }
+  }
+  return records;
+}
+
+void NetFlowCollector::add(const FlowRecord& record) {
+  ++records_;
+  const net::Ipv4Addr remote =
+      record.direction == Direction::kInbound ? record.src : record.dst;
+  const auto origin = rib_->lookup_origin(remote);
+  if (!origin) {
+    ++unclassified_;
+    return;
+  }
+  PerNetwork& entry = by_network_[*origin];
+  ++entry.records;
+  if (record.direction == Direction::kInbound) {
+    entry.inbound_bytes += record.bytes;
+  } else {
+    entry.outbound_bytes += record.bytes;
+  }
+}
+
+}  // namespace rp::flow

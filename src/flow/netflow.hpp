@@ -1,0 +1,79 @@
+// NetFlow-style records and the NetFlow/BGP join.
+//
+// The paper collects one month of NetFlow at the vantage's border routers
+// and joins it with the routers' BGP tables to attribute every flow to an
+// AS-level path (§4.1). FlowSampler emits address-level records from the
+// rate model; NetFlowCollector performs the join back to per-network rates
+// via longest-prefix match into the vantage RIB — closing the loop the way
+// the paper's tooling does.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "flow/rate_model.hpp"
+#include "util/rng.hpp"
+
+namespace rp::flow {
+
+/// One exported flow record (5-minute bin granularity).
+struct FlowRecord {
+  std::size_t bin = 0;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  Direction direction = Direction::kInbound;
+  double bytes = 0.0;
+};
+
+/// Draws address-level flow records consistent with the rate model.
+class FlowSampler {
+ public:
+  FlowSampler(const topology::AsGraph& graph, net::Asn vantage,
+              const RateModel& rates, util::Rng rng);
+
+  /// Records for one bin. Every network whose bin rate is at least
+  /// `min_rate_bps` yields up to `max_flows_per_network` records per
+  /// direction; bytes split randomly among them and sum to rate * bin.
+  std::vector<FlowRecord> sample_bin(std::size_t bin, double min_rate_bps,
+                                     std::size_t max_flows_per_network);
+
+ private:
+  net::Ipv4Addr random_address_in(const topology::AsNode& node);
+
+  const topology::AsGraph* graph_;
+  const topology::AsNode* vantage_node_;
+  const RateModel* rates_;
+  util::Rng rng_;
+};
+
+/// Joins flow records with the vantage RIB (longest-prefix match) to recover
+/// per-network byte counts — the paper's NetFlow/BGP join.
+class NetFlowCollector {
+ public:
+  explicit NetFlowCollector(const bgp::Rib& rib) : rib_(&rib) {}
+
+  void add(const FlowRecord& record);
+
+  struct PerNetwork {
+    double inbound_bytes = 0.0;
+    double outbound_bytes = 0.0;
+    std::size_t records = 0;
+  };
+
+  const std::unordered_map<net::Asn, PerNetwork>& by_network() const {
+    return by_network_;
+  }
+  /// Records whose remote address matched no routed prefix.
+  std::size_t unclassified() const { return unclassified_; }
+  std::size_t record_count() const { return records_; }
+
+ private:
+  const bgp::Rib* rib_;
+  std::unordered_map<net::Asn, PerNetwork> by_network_;
+  std::size_t unclassified_ = 0;
+  std::size_t records_ = 0;
+};
+
+}  // namespace rp::flow

@@ -1,0 +1,68 @@
+// Time structure of the traffic: 5-minute bins with diurnal and weekly
+// periodicity plus per-bin noise.
+//
+// Fig. 5b of the paper shows one month of RedIRIS transit traffic at 5-minute
+// granularity with clearly pronounced daily and weekly fluctuations, and the
+// offload potential peaking together with the total — the property that makes
+// offload reduce 95th-percentile transit bills. The model is deterministic:
+// the rate of network E at bin k is its average rate times shared diurnal and
+// weekly factors (with a small per-network phase) times hash-seeded noise,
+// so series can be recomputed bin-by-bin without storing a matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/traffic_matrix.hpp"
+#include "util/sim_time.hpp"
+
+namespace rp::flow {
+
+/// Knobs of the temporal model.
+struct RateModelConfig {
+  util::SimDuration bin_length = util::SimDuration::minutes(5);
+  util::SimDuration span = util::SimDuration::days(28);
+  /// Relative amplitude of the daily cycle per direction.
+  double diurnal_amplitude_in = 0.45;
+  double diurnal_amplitude_out = 0.30;
+  /// Hour of peak traffic (local time of the vantage).
+  double peak_hour = 21.0;
+  /// Weekend rate multiplier (research network: weekends are quiet).
+  double weekend_factor = 0.70;
+  /// Lognormal sigma of per-bin multiplicative noise.
+  double noise_sigma = 0.18;
+  /// Sigma (hours) of each network's diurnal phase offset.
+  double phase_jitter_hours = 1.2;
+  std::uint64_t seed = 0x5eedf00d;
+};
+
+/// Deterministic per-bin rates for the networks of a TrafficMatrix.
+class RateModel {
+ public:
+  RateModel(const TrafficMatrix& matrix, RateModelConfig config);
+
+  std::size_t bin_count() const;
+  const RateModelConfig& config() const { return config_; }
+
+  /// Rate (bps) of network `asn` in direction `dir` during bin `bin`.
+  double rate_bps(net::Asn asn, Direction dir, std::size_t bin) const;
+
+  /// Sum of rates over an arbitrary set of networks for every bin — used
+  /// for the Fig. 5b series (all transit networks vs the offloadable set).
+  std::vector<double> aggregate_series(const std::vector<net::Asn>& networks,
+                                       Direction dir) const;
+
+  /// The diurnal/weekly modulation factor at a bin for a given phase offset
+  /// (exposed for tests).
+  double modulation(std::size_t bin, Direction dir,
+                    double phase_offset_hours) const;
+
+ private:
+  double noise(net::Asn asn, Direction dir, std::size_t bin) const;
+  double phase_offset_hours(net::Asn asn) const;
+
+  const TrafficMatrix* matrix_;
+  RateModelConfig config_;
+};
+
+}  // namespace rp::flow

@@ -1,0 +1,80 @@
+#include "flow/traffic_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::flow {
+
+const NetworkContribution* TrafficMatrix::find(net::Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &ranked_[it->second];
+}
+
+TrafficMatrix TrafficMatrix::generate(const topology::AsGraph& graph,
+                                      net::Asn vantage,
+                                      const TrafficConfig& config,
+                                      util::Rng& rng) {
+  // Order candidate networks by popularity (with jitter): the rank decides
+  // where each lands on the rank-size curve.
+  struct Candidate {
+    net::Asn asn;
+    double weight;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(graph.as_count());
+  for (const auto& node : graph.nodes()) {
+    if (node.asn == vantage) continue;
+    const double jitter = rng.lognormal(0.0, config.rank_jitter_sigma);
+    candidates.push_back({node.asn, node.traffic_scale * jitter});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.weight > b.weight;
+            });
+
+  const std::size_t knee = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.knee_fraction *
+                                  static_cast<double>(candidates.size())));
+  const util::DoubleParetoSampler law(1.0, config.head_alpha,
+                                      config.tail_alpha, knee);
+
+  TrafficMatrix matrix;
+  matrix.ranked_.reserve(candidates.size());
+  double sum_in = 0.0, sum_out = 0.0;
+  for (std::size_t rank = 0; rank < candidates.size(); ++rank) {
+    NetworkContribution c;
+    c.asn = candidates[rank].asn;
+    const double volume = law.volume_at_rank(rank + 1);
+    // Per-network direction split: content-heavy networks push traffic at
+    // us, eyeball-ish ones pull; lognormal ratio keeps both realistic.
+    const double ratio = rng.lognormal(0.0, config.direction_ratio_sigma);
+    c.inbound_bps = volume;
+    c.outbound_bps = volume * ratio;
+    sum_in += c.inbound_bps;
+    sum_out += c.outbound_bps;
+    matrix.ranked_.push_back(c);
+  }
+
+  // Normalize each direction to the configured totals.
+  const double in_scale =
+      sum_in > 0.0 ? config.total_inbound_gbps * 1e9 / sum_in : 0.0;
+  const double out_scale =
+      sum_out > 0.0 ? config.total_outbound_gbps * 1e9 / sum_out : 0.0;
+  for (auto& c : matrix.ranked_) {
+    c.inbound_bps *= in_scale;
+    c.outbound_bps *= out_scale;
+  }
+
+  // Re-rank by total contribution after the direction split.
+  std::sort(matrix.ranked_.begin(), matrix.ranked_.end(),
+            [](const NetworkContribution& a, const NetworkContribution& b) {
+              return a.total_bps() > b.total_bps();
+            });
+  for (std::size_t i = 0; i < matrix.ranked_.size(); ++i)
+    matrix.index_.emplace(matrix.ranked_[i].asn, i);
+  matrix.total_in_ = config.total_inbound_gbps * 1e9;
+  matrix.total_out_ = config.total_outbound_gbps * 1e9;
+  return matrix;
+}
+
+}  // namespace rp::flow

@@ -1,0 +1,78 @@
+// The vantage network's inter-domain traffic matrix.
+//
+// Substitute for the RedIRIS NetFlow ground truth (§4.1): for every other
+// network, an average inbound rate (traffic the vantage receives that the
+// network originates) and outbound rate (traffic the vantage sends that the
+// network terminates). Contributions follow a rank-size law with a knee —
+// Fig. 5a shows a few near-Gbps contributors, a long gentle tail, and a bend
+// around rank ~20,000 where individual contributions start falling faster.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rp::flow {
+
+/// Traffic direction relative to the vantage network.
+enum class Direction { kInbound, kOutbound };
+
+/// One remote network's average contribution to the vantage's traffic.
+struct NetworkContribution {
+  net::Asn asn;
+  double inbound_bps = 0.0;   ///< The network originates this much toward us.
+  double outbound_bps = 0.0;  ///< We send this much toward the network.
+
+  double total_bps() const { return inbound_bps + outbound_bps; }
+};
+
+/// Knobs of the traffic matrix generator. Defaults reproduce the RedIRIS
+/// regime: ~8 Gbps inbound / ~5 Gbps outbound of transit-provider traffic
+/// at the busiest times, heavy-tailed across contributing networks.
+struct TrafficConfig {
+  double total_inbound_gbps = 8.0;
+  double total_outbound_gbps = 5.0;
+  /// Rank-size exponent before the knee (gentle decline).
+  double head_alpha = 0.85;
+  /// Rank-size exponent after the knee (the Fig. 5a bend to faster decline).
+  double tail_alpha = 2.4;
+  /// Knee position as a fraction of ranked networks (paper: ~20k of 29.5k).
+  double knee_fraction = 0.67;
+  /// Lognormal sigma of the multiplicative jitter on individual ranks.
+  double rank_jitter_sigma = 0.5;
+  /// Lognormal sigma of the per-network outbound/inbound ratio.
+  double direction_ratio_sigma = 0.7;
+};
+
+/// The full per-network matrix for one vantage.
+class TrafficMatrix {
+ public:
+  /// Contributions in decreasing order of total rate.
+  const std::vector<NetworkContribution>& ranked() const { return ranked_; }
+
+  const NetworkContribution* find(net::Asn asn) const;
+
+  double total_inbound_bps() const { return total_in_; }
+  double total_outbound_bps() const { return total_out_; }
+  std::size_t network_count() const { return ranked_.size(); }
+
+  /// Builds the matrix over every AS in the graph except the vantage
+  /// itself. Rates are assigned by a double-Pareto rank-size law over the
+  /// networks' popularity (AsNode::traffic_scale) with multiplicative
+  /// jitter, then normalized to the configured totals.
+  static TrafficMatrix generate(const topology::AsGraph& graph,
+                                net::Asn vantage, const TrafficConfig& config,
+                                util::Rng& rng);
+
+ private:
+  std::vector<NetworkContribution> ranked_;
+  std::unordered_map<net::Asn, std::size_t> index_;
+  double total_in_ = 0.0;
+  double total_out_ = 0.0;
+};
+
+}  // namespace rp::flow

@@ -1,0 +1,132 @@
+#include "geo/cities.hpp"
+
+#include <stdexcept>
+
+namespace rp::geo {
+namespace {
+
+std::vector<City> build_world() {
+  using C = Continent;
+  return {
+      // Cities hosting the 22 IXPs of Table 1.
+      {"Amsterdam", "Netherlands", C::kEurope, {52.37, 4.90}},
+      {"Frankfurt", "Germany", C::kEurope, {50.11, 8.68}},
+      {"London", "UK", C::kEurope, {51.51, -0.13}},
+      {"Hong Kong", "China", C::kAsia, {22.32, 114.17}},
+      {"New York", "USA", C::kNorthAmerica, {40.71, -74.01}},
+      {"Moscow", "Russia", C::kEurope, {55.76, 37.62}},
+      {"Warsaw", "Poland", C::kEurope, {52.23, 21.01}},
+      {"Paris", "France", C::kEurope, {48.86, 2.35}},
+      {"Sao Paulo", "Brazil", C::kSouthAmerica, {-23.55, -46.63}},
+      {"Seattle", "USA", C::kNorthAmerica, {47.61, -122.33}},
+      {"Tokyo", "Japan", C::kAsia, {35.68, 139.69}},
+      {"Toronto", "Canada", C::kNorthAmerica, {43.65, -79.38}},
+      {"Vienna", "Austria", C::kEurope, {48.21, 16.37}},
+      {"Milan", "Italy", C::kEurope, {45.46, 9.19}},
+      {"Turin", "Italy", C::kEurope, {45.07, 7.69}},
+      {"Stockholm", "Sweden", C::kEurope, {59.33, 18.07}},
+      {"Seoul", "South Korea", C::kAsia, {37.57, 126.98}},
+      {"Buenos Aires", "Argentina", C::kSouthAmerica, {-34.60, -58.38}},
+      {"Dublin", "Ireland", C::kEurope, {53.35, -6.26}},
+      // Cities from the paper's §4 offload study and validation cases.
+      {"Miami", "USA", C::kNorthAmerica, {25.76, -80.19}},
+      {"Madrid", "Spain", C::kEurope, {40.42, -3.70}},
+      {"Barcelona", "Spain", C::kEurope, {41.39, 2.17}},
+      {"Padua", "Italy", C::kEurope, {45.41, 11.88}},
+      {"Lyon", "France", C::kEurope, {45.76, 4.84}},
+      {"Budapest", "Hungary", C::kEurope, {47.50, 19.04}},   // Invitel.
+      {"Ankara", "Turkey", C::kAsia, {39.93, 32.86}},        // Turk Telecom.
+      // Additional European cities for synthetic networks and Euro-IX sites.
+      {"Berlin", "Germany", C::kEurope, {52.52, 13.41}},
+      {"Munich", "Germany", C::kEurope, {48.14, 11.58}},
+      {"Zurich", "Switzerland", C::kEurope, {47.37, 8.54}},
+      {"Geneva", "Switzerland", C::kEurope, {46.20, 6.14}},
+      {"Brussels", "Belgium", C::kEurope, {50.85, 4.35}},
+      {"Copenhagen", "Denmark", C::kEurope, {55.68, 12.57}},
+      {"Oslo", "Norway", C::kEurope, {59.91, 10.75}},
+      {"Helsinki", "Finland", C::kEurope, {60.17, 24.94}},
+      {"Prague", "Czech Republic", C::kEurope, {50.08, 14.44}},
+      {"Bratislava", "Slovakia", C::kEurope, {48.15, 17.11}},
+      {"Bucharest", "Romania", C::kEurope, {44.43, 26.10}},
+      {"Sofia", "Bulgaria", C::kEurope, {42.70, 23.32}},
+      {"Athens", "Greece", C::kEurope, {37.98, 23.73}},
+      {"Rome", "Italy", C::kEurope, {41.90, 12.50}},
+      {"Lisbon", "Portugal", C::kEurope, {38.72, -9.14}},
+      {"Kyiv", "Ukraine", C::kEurope, {50.45, 30.52}},
+      {"Riga", "Latvia", C::kEurope, {56.95, 24.11}},
+      {"Manchester", "UK", C::kEurope, {53.48, -2.24}},
+      {"Edinburgh", "UK", C::kEurope, {55.95, -3.19}},
+      {"Marseille", "France", C::kEurope, {43.30, 5.37}},
+      {"Luxembourg", "Luxembourg", C::kEurope, {49.61, 6.13}},
+      // North America.
+      {"Ashburn", "USA", C::kNorthAmerica, {39.04, -77.49}},
+      {"Chicago", "USA", C::kNorthAmerica, {41.88, -87.63}},
+      {"Dallas", "USA", C::kNorthAmerica, {32.78, -96.80}},
+      {"Los Angeles", "USA", C::kNorthAmerica, {34.05, -118.24}},
+      {"San Jose", "USA", C::kNorthAmerica, {37.34, -121.89}},
+      {"Atlanta", "USA", C::kNorthAmerica, {33.75, -84.39}},
+      {"Denver", "USA", C::kNorthAmerica, {39.74, -104.99}},
+      {"Montreal", "Canada", C::kNorthAmerica, {45.50, -73.57}},
+      {"Vancouver", "Canada", C::kNorthAmerica, {49.28, -123.12}},
+      {"Mexico City", "Mexico", C::kNorthAmerica, {19.43, -99.13}},
+      // South America.
+      {"Rio de Janeiro", "Brazil", C::kSouthAmerica, {-22.91, -43.17}},
+      {"Porto Alegre", "Brazil", C::kSouthAmerica, {-30.03, -51.22}},
+      {"Curitiba", "Brazil", C::kSouthAmerica, {-25.43, -49.27}},
+      {"Santiago", "Chile", C::kSouthAmerica, {-33.45, -70.67}},
+      {"Bogota", "Colombia", C::kSouthAmerica, {4.71, -74.07}},
+      {"Lima", "Peru", C::kSouthAmerica, {-12.05, -77.04}},
+      {"Caracas", "Venezuela", C::kSouthAmerica, {10.48, -66.90}},
+      // Asia & Oceania.
+      {"Singapore", "Singapore", C::kAsia, {1.35, 103.82}},
+      {"Taipei", "Taiwan", C::kAsia, {25.03, 121.57}},
+      {"Osaka", "Japan", C::kAsia, {34.69, 135.50}},
+      {"Mumbai", "India", C::kAsia, {19.08, 72.88}},
+      {"Jakarta", "Indonesia", C::kAsia, {-6.21, 106.85}},
+      {"Kuala Lumpur", "Malaysia", C::kAsia, {3.14, 101.69}},
+      {"Bangkok", "Thailand", C::kAsia, {13.76, 100.50}},
+      {"Manila", "Philippines", C::kAsia, {14.60, 120.98}},
+      {"Dubai", "UAE", C::kAsia, {25.20, 55.27}},
+      {"Tel Aviv", "Israel", C::kAsia, {32.09, 34.78}},
+      {"Sydney", "Australia", C::kOceania, {-33.87, 151.21}},
+      {"Auckland", "New Zealand", C::kOceania, {-36.85, 174.76}},
+      // Africa — the paper's §5 discusses remote peering economics there.
+      {"Johannesburg", "South Africa", C::kAfrica, {-26.20, 28.05}},
+      {"Cape Town", "South Africa", C::kAfrica, {-33.92, 18.42}},
+      {"Nairobi", "Kenya", C::kAfrica, {-1.29, 36.82}},
+      {"Lagos", "Nigeria", C::kAfrica, {6.52, 3.38}},
+      {"Cairo", "Egypt", C::kAfrica, {30.04, 31.24}},
+      {"Accra", "Ghana", C::kAfrica, {5.60, -0.19}},
+  };
+}
+
+}  // namespace
+
+CityRegistry::CityRegistry(std::vector<City> cities)
+    : cities_(std::move(cities)) {}
+
+const CityRegistry& CityRegistry::world() {
+  static const CityRegistry registry{build_world()};
+  return registry;
+}
+
+std::optional<City> CityRegistry::find(const std::string& name) const {
+  for (const auto& c : cities_)
+    if (c.name == name) return c;
+  return std::nullopt;
+}
+
+const City& CityRegistry::at(const std::string& name) const {
+  for (const auto& c : cities_)
+    if (c.name == name) return c;
+  throw std::out_of_range("CityRegistry: unknown city " + name);
+}
+
+std::vector<City> CityRegistry::on_continent(Continent continent) const {
+  std::vector<City> out;
+  for (const auto& c : cities_)
+    if (c.continent == continent) out.push_back(c);
+  return out;
+}
+
+}  // namespace rp::geo

@@ -1,0 +1,38 @@
+// A registry of world cities used to place IXPs, member-network PoPs, and
+// remote-peering-provider PoPs.
+//
+// The registry covers every city hosting one of the 22 IXPs of the paper's
+// Table 1, the extra locations that appear in its §4 Euro-IX analysis (e.g.
+// Miami for Terremark), and enough additional cities on all continents for
+// the topology generator to spread synthetic networks realistically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace rp::geo {
+
+/// Immutable world city registry with lookup by name.
+class CityRegistry {
+ public:
+  /// The built-in world registry (see cities.cpp for the full list).
+  static const CityRegistry& world();
+
+  /// Case-sensitive lookup by city name; nullopt if absent.
+  std::optional<City> find(const std::string& name) const;
+  /// As find(), but throws std::out_of_range for unknown cities.
+  const City& at(const std::string& name) const;
+
+  const std::vector<City>& all() const { return cities_; }
+  /// All cities on a given continent.
+  std::vector<City> on_continent(Continent c) const;
+
+  explicit CityRegistry(std::vector<City> cities);
+
+ private:
+  std::vector<City> cities_;
+};
+
+}  // namespace rp::geo

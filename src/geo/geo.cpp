@@ -1,0 +1,48 @@
+#include "geo/geo.hpp"
+
+#include <cmath>
+
+namespace rp::geo {
+namespace {
+
+constexpr double kEarthRadiusM = 6'371'008.8;  // Mean Earth radius (IUGG).
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+
+}  // namespace
+
+double great_circle_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.latitude_deg * kDegToRad;
+  const double lat2 = b.latitude_deg * kDegToRad;
+  const double dlat = (b.latitude_deg - a.latitude_deg) * kDegToRad;
+  const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+util::SimDuration propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                                    double path_stretch) {
+  return propagation_delay_for_distance(great_circle_distance_m(a, b) *
+                                        path_stretch);
+}
+
+util::SimDuration propagation_delay_for_distance(double distance_m) {
+  const double seconds =
+      distance_m / (kSpeedOfLightMps * kFiberVelocityFactor);
+  return util::SimDuration::from_seconds_f(seconds);
+}
+
+std::string to_string(Continent c) {
+  switch (c) {
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kEurope: return "Europe";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kOceania: return "Oceania";
+    case Continent::kSouthAmerica: return "South America";
+  }
+  return "Unknown";
+}
+
+}  // namespace rp::geo

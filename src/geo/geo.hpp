@@ -1,0 +1,65 @@
+// Geography: coordinates, great-circle distances, and the fiber propagation
+// delay model.
+//
+// The paper classifies remote peers by minimum RTT into bands that "roughly
+// correspond to intercity, intercountry, and intercontinental distances"
+// (10-20, 20-50, >= 50 ms). Our simulator derives layer-2 circuit latency
+// from geographic distance, so those bands emerge from geography exactly as
+// they do in the real measurements.
+#pragma once
+
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace rp::geo {
+
+/// Speed of light in vacuum, meters per second.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+/// Refraction slows light in fiber to roughly 2/3 c (n ~ 1.47).
+inline constexpr double kFiberVelocityFactor = 2.0 / 3.0;
+/// Real circuits do not follow geodesics: conduits hug roads, seabeds, and
+/// rings. A path-stretch factor of ~1.4 over great-circle distance is the
+/// conventional rule of thumb for terrestrial/submarine fiber routes.
+inline constexpr double kDefaultPathStretch = 1.4;
+
+/// A WGS-84 coordinate (degrees).
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle (haversine) distance in meters over the mean Earth radius.
+double great_circle_distance_m(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay over a fiber path between two points,
+/// accounting for the fiber velocity factor and path stretch.
+util::SimDuration propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                                    double path_stretch = kDefaultPathStretch);
+
+/// One-way propagation delay for an explicit route length in meters.
+util::SimDuration propagation_delay_for_distance(double distance_m);
+
+/// A continent tag; used to report the paper's "4 continents" coverage and
+/// intercontinental peering results.
+enum class Continent {
+  kAfrica,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kOceania,
+  kSouthAmerica,
+};
+
+std::string to_string(Continent c);
+
+/// A named location with coordinates, used for IXP sites, network PoPs, and
+/// remote-peering-provider PoPs.
+struct City {
+  std::string name;
+  std::string country;
+  Continent continent = Continent::kEurope;
+  GeoPoint position;
+};
+
+}  // namespace rp::geo

@@ -1,0 +1,187 @@
+#include "ixp/seeds.hpp"
+
+namespace rp::ixp {
+namespace {
+
+std::vector<IxpSeed> build_table1() {
+  // Columns mirror Table 1: acronym, name, city, peak traffic (Tbps),
+  // members, analyzed interfaces. LG assignment: the three big European
+  // exchanges plus a few others host both PCH and RIPE NCC servers (the
+  // LG-consistent filter needs at least one IXP with both); the rest have a
+  // single PCH server, matching the paper's reliance on PCH coverage.
+  std::vector<IxpSeed> seeds = {
+      {"AMS-IX", "Amsterdam Internet Exchange", "Amsterdam", 5.48, 638, 665,
+       true, true, 0.20, true},
+      {"DE-CIX", "German Commercial Internet Exchange", "Frankfurt", 3.21, 463,
+       535, true, true, 0.17, true},
+      {"LINX", "London Internet Exchange", "London", 2.60, 497, 521, true,
+       true, 0.15, true},
+      {"HKIX", "Hong Kong Internet Exchange", "Hong Kong", 0.48, 213, 278,
+       true, false, 0.12, true},
+      {"NYIIX", "New York International Internet Exchange", "New York", 0.46,
+       132, 239, true, false, 0.12, true},
+      {"MSK-IX", "Moscow Internet eXchange", "Moscow", 1.32, 367, 218, true,
+       true, 0.08, true},
+      {"PLIX", "Polish Internet Exchange", "Warsaw", 0.63, 235, 207, true,
+       false, 0.08, true},
+      {"France-IX", "France-IX", "Paris", 0.23, 230, 201, true, true, 0.16,
+       true},
+      {"PTT", "PTTMetro Sao Paolo", "Sao Paulo", 0.30, 482, 180, true, false,
+       0.15, true},
+      {"SIX", "Seattle Internet Exchange", "Seattle", 0.53, 177, 175, true,
+       false, 0.09, true},
+      {"LoNAP", "London Network Access Point", "London", 0.10, 142, 166, true,
+       false, 0.13, true},
+      {"JPIX", "Japan Internet Exchange", "Tokyo", 0.43, 131, 163, true, false,
+       0.11, true},
+      {"TorIX", "Toronto Internet Exchange", "Toronto", 0.28, 177, 161, true,
+       false, 0.10, true},
+      {"VIX", "Vienna Internet Exchange", "Vienna", 0.19, 121, 134, true, true,
+       0.09, true},
+      {"MIX", "Milan Internet Exchange", "Milan", 0.16, 133, 131, true, false,
+       0.10, true},
+      {"TOP-IX", "Torino Piemonte Internet Exchange", "Turin", 0.05, 80, 91,
+       true, false, 0.22, true},
+      {"Netnod", "Netnod Internet Exchange", "Stockholm", 1.34, 89, 71, true,
+       true, 0.08, true},
+      {"KINX", "Korea Internet Neutral Exchange", "Seoul", 0.15, 46, 71, true,
+       false, 0.07, true},
+      {"CABASE", "Argentine Chamber of Internet", "Buenos Aires", 0.02, 101,
+       68, true, false, 0.0, true},
+      {"INEX", "Internet Neutral Exchange", "Dublin", 0.13, 63, 66, true,
+       false, 0.09, true},
+      {"DIX-IE", "Distributed Internet Exchange in Edo", "Tokyo", -1.0, 36, 56,
+       true, false, 0.0, true},
+      {"TIE", "Telx Internet Exchange", "New York", 0.02, 149, 54, true, false,
+       0.12, true},
+  };
+  // Multi-site metro fabrics (the §3.1 "IXPs with multiple locations"
+  // discussion): the big European exchanges, the explicitly distributed
+  // DIX-IE, Moscow's multi-PoP MSK-IX, and Sao Paulo's PTT.
+  for (auto& seed : seeds) {
+    if (seed.acronym == "AMS-IX" || seed.acronym == "LINX") seed.site_count = 3;
+    if (seed.acronym == "DE-CIX" || seed.acronym == "MSK-IX" ||
+        seed.acronym == "PTT" || seed.acronym == "DIX-IE")
+      seed.site_count = 2;
+  }
+  return seeds;
+}
+
+std::vector<IxpSeed> build_euroix() {
+  std::vector<IxpSeed> seeds = build_table1();
+  // Named exchanges from the §4 analysis (Fig. 7's top-10 includes Terremark,
+  // SFINX, CoreSite, NL-ix) and the vantage network's own memberships
+  // (CATNIX Barcelona, ESpanix Madrid). No LG constraint here.
+  auto add = [&seeds](std::string acronym, std::string name, std::string city,
+                      double tbps, int members, double remote_fraction) {
+    IxpSeed s;
+    s.acronym = std::move(acronym);
+    s.full_name = std::move(name);
+    s.city = std::move(city);
+    s.peak_traffic_tbps = tbps;
+    s.member_count = members;
+    s.analyzed_interfaces = 0;  // Not in the measurement study.
+    s.remote_member_fraction = remote_fraction;
+    seeds.push_back(std::move(s));
+  };
+  add("Terremark", "Terremark NAP of the Americas", "Miami", 0.40, 267, 0.12);
+  add("SFINX", "Service for French Internet Exchange", "Paris", 0.05, 90,
+      0.08);
+  add("CoreSite", "CoreSite Any2 Exchange", "Los Angeles", 0.30, 180, 0.10);
+  add("NL-ix", "Netherlands Internet Exchange", "Amsterdam", 0.35, 220, 0.14);
+  add("ESpanix", "Espana Internet Exchange", "Madrid", 0.20, 60, 0.05);
+  add("CATNIX", "Catalunya Neutral Internet Exchange", "Barcelona", 0.02, 30,
+      0.05);
+  add("VSIX", "Veneto South Internet Exchange", "Padua", 0.02, 40, 0.10);
+  add("LyonIX", "Lyon Internet Exchange", "Lyon", 0.03, 50, 0.10);
+  add("ECIX", "European Commercial Internet Exchange", "Berlin", 0.15, 110,
+      0.10);
+  add("BIX", "Budapest Internet Exchange", "Budapest", 0.20, 60, 0.06);
+  add("NIX-CZ", "Neutral Internet Exchange Czech", "Prague", 0.25, 100, 0.06);
+  add("SIX-SK", "Slovak Internet Exchange", "Bratislava", 0.08, 50, 0.05);
+  add("InterLAN", "InterLAN Internet Exchange", "Bucharest", 0.10, 60, 0.05);
+  add("BG-IX", "Bulgarian Internet Exchange", "Sofia", 0.06, 40, 0.05);
+  add("GR-IX", "Greek Internet Exchange", "Athens", 0.05, 30, 0.06);
+  add("NaMeX", "Nautilus Mediterranean Exchange", "Rome", 0.05, 50, 0.08);
+  add("GigaPIX", "Gigabit Portuguese Internet Exchange", "Lisbon", 0.03, 30,
+      0.06);
+  add("UA-IX", "Ukrainian Internet Exchange", "Kyiv", 0.30, 90, 0.04);
+  add("SMILE", "Latvian Internet Exchange", "Riga", 0.04, 30, 0.04);
+  add("IXManchester", "Internet Exchange Manchester", "Manchester", 0.04, 50,
+      0.10);
+  add("IXScotland", "Internet Exchange Scotland", "Edinburgh", 0.01, 20, 0.10);
+  add("DE-CIX-MUC", "DE-CIX Munich", "Munich", 0.10, 60, 0.12);
+  add("SwissIX", "Swiss Internet Exchange", "Zurich", 0.25, 120, 0.08);
+  add("CIXP", "CERN Internet Exchange Point", "Geneva", 0.03, 30, 0.05);
+  add("BNIX", "Belgian National Internet Exchange", "Brussels", 0.12, 50,
+      0.06);
+  add("DIX", "Danish Internet Exchange", "Copenhagen", 0.08, 50, 0.05);
+  add("NIX-NO", "Norwegian Internet Exchange", "Oslo", 0.07, 40, 0.05);
+  add("FICIX", "Finnish Communication Internet Exchange", "Helsinki", 0.09, 30,
+      0.04);
+  add("LU-CIX", "Luxembourg Commercial Internet Exchange", "Luxembourg", 0.04,
+      40, 0.08);
+  add("France-IX-MRS", "France-IX Marseille", "Marseille", 0.02, 30, 0.12);
+  add("Equinix-ASH", "Equinix Internet Exchange Ashburn", "Ashburn", 0.50, 200,
+      0.10);
+  add("Equinix-CHI", "Equinix Internet Exchange Chicago", "Chicago", 0.30, 150,
+      0.09);
+  add("Equinix-DAL", "Equinix Internet Exchange Dallas", "Dallas", 0.20, 120,
+      0.09);
+  add("Any2-SJC", "Any2 San Jose", "San Jose", 0.15, 100, 0.10);
+  add("TELXATL", "Telx Atlanta Internet Exchange", "Atlanta", 0.05, 60, 0.08);
+  add("QIX", "Quebec Internet Exchange", "Montreal", 0.03, 40, 0.06);
+  add("VANIX", "Vancouver Internet Exchange", "Vancouver", 0.02, 30, 0.06);
+  add("MEX-IX", "Mexico Internet Exchange", "Mexico City", 0.01, 20, 0.08);
+  add("PTT-RJ", "PTTMetro Rio de Janeiro", "Rio de Janeiro", 0.10, 150, 0.12);
+  add("PTT-RS", "PTTMetro Porto Alegre", "Porto Alegre", 0.04, 80, 0.12);
+  add("NAP-CL", "NAP Chile", "Santiago", 0.05, 40, 0.06);
+  add("NAP-CO", "NAP Colombia", "Bogota", 0.03, 30, 0.06);
+  add("Equinix-SG", "Equinix Internet Exchange Singapore", "Singapore", 0.25,
+      150, 0.12);
+  // 65 total = 22 (Table 1) + 43 additional sites.
+  return seeds;
+}
+
+std::vector<ProviderSeed> build_providers() {
+  return {
+      // Patterned after IX Reach: dense European footprint reaching into
+      // North America and Asia.
+      {"IXCarrier",
+       {"London", "Amsterdam", "Frankfurt", "Paris", "Madrid", "Milan",
+        "Stockholm", "Vienna", "Warsaw", "New York", "Miami", "Seattle",
+        "Hong Kong", "Tokyo"},
+       1.5},
+      // Patterned after Atrato IP Networks (the provider Invitel used to
+      // reach AMS-IX and DE-CIX in the paper's validation).
+      {"AtratoNet",
+       {"Amsterdam", "Frankfurt", "Budapest", "Zurich", "London", "New York"},
+       1.45},
+      // A traditional transit provider leveraging its backbone for
+      // remote-peering services (§2.3 notes incumbents entering the niche).
+      {"GlobalTransitRP",
+       {"London", "Frankfurt", "Singapore", "Sao Paulo", "Buenos Aires",
+        "Johannesburg", "Dubai", "Sydney", "Los Angeles", "Toronto",
+        "Moscow", "Seoul"},
+       1.6},
+  };
+}
+
+}  // namespace
+
+const std::vector<IxpSeed>& table1_seeds() {
+  static const std::vector<IxpSeed> seeds = build_table1();
+  return seeds;
+}
+
+const std::vector<IxpSeed>& euroix_seeds() {
+  static const std::vector<IxpSeed> seeds = build_euroix();
+  return seeds;
+}
+
+const std::vector<ProviderSeed>& provider_seeds() {
+  static const std::vector<ProviderSeed> seeds = build_providers();
+  return seeds;
+}
+
+}  // namespace rp::ixp

@@ -1,0 +1,65 @@
+// Seed data for the IXP ecosystem.
+//
+// Table 1 of the paper lists the 22 IXPs of the §3 measurement study with
+// location, peak traffic, member count, and the number of interfaces that
+// survived the filters. The §4 offload study widens the set to the 65 IXPs of
+// the February-2013 Euro-IX data (dropping the looking-glass constraint) and
+// names a few more exchanges among the top-10 offload sites (Terremark,
+// SFINX, CoreSite, NL-ix, plus the vantage's own CATNIX and ESpanix). These
+// seeds reproduce that inventory; member rosters are synthesized on top by
+// the scenario builder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/cities.hpp"
+
+namespace rp::ixp {
+
+/// Static description of one IXP used to instantiate a scenario.
+struct IxpSeed {
+  std::string acronym;
+  std::string full_name;
+  std::string city;  ///< Must resolve in the CityRegistry.
+  /// Peak traffic in Tbps; negative when unpublished (N/A in Table 1).
+  double peak_traffic_tbps = 0.0;
+  /// Members as crawled from the IXP website (Table 1 column).
+  int member_count = 0;
+  /// Interfaces surviving all six filters (Table 1 column); used by the
+  /// scenario builder to scale how many interfaces members bring.
+  int analyzed_interfaces = 0;
+  bool has_pch_lg = false;
+  bool has_ripe_lg = false;
+  /// Fraction of members attached remotely (provider pseudowire or partner
+  /// IXP). Seeded from the paper's observations: about one fifth at AMS-IX,
+  /// zero observed at DIX-IE and CABASE, elevated at TOP-IX (VSIX/LyonIX
+  /// interconnects).
+  double remote_member_fraction = 0.10;
+  /// Whether this is one of the paper's 22 measured IXPs (has an LG).
+  bool in_measurement_study = false;
+  /// Number of interconnected switch sites in the metro area (§3.1 "IXPs
+  /// with multiple locations"): probes from an LG at one site to a member
+  /// at another cross inter-site trunks, which must not push a direct
+  /// member past the remoteness threshold.
+  int site_count = 1;
+};
+
+/// The 22 IXPs of Table 1, in the table's row order.
+const std::vector<IxpSeed>& table1_seeds();
+
+/// The full 65-IXP set of the §4 offload study: the 22 above plus the
+/// additional Euro-IX members and named offload sites.
+const std::vector<IxpSeed>& euroix_seeds();
+
+/// Remote-peering provider seeds patterned after IX Reach and Atrato IP
+/// Networks, plus a transit provider acting in the remote-peering niche.
+struct ProviderSeed {
+  std::string name;
+  std::vector<std::string> pop_cities;
+  double path_stretch = 1.5;
+};
+
+const std::vector<ProviderSeed>& provider_seeds();
+
+}  // namespace rp::ixp

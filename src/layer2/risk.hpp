@@ -1,0 +1,81 @@
+// Multihoming reliability with invisible layer-2 intermediaries (§6).
+//
+// "When a provider offers transit and remote peering, buying both might not
+// yield reliable multihoming": on layer 3 the two services look like
+// independent paths, but if one organization operates both, a single failure
+// takes both down. This module quantifies that by evaluating single-
+// organization failures against three procurement configurations:
+//   * dual transit (the classic redundant baseline),
+//   * one transit contract plus remote peering from an independent layer-2
+//     provider,
+//   * one transit contract plus remote peering that shares infrastructure
+//     with the same organization (the paper's warning).
+// Scope: failures of the organizations the vantage directly buys from (its
+// transit providers, its remote-peering provider, the reached IXPs).
+// Failures deeper in the hierarchy affect all configurations alike and are
+// out of scope.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "offload/analyzer.hpp"
+
+namespace rp::layer2 {
+
+/// How the vantage buys its connectivity.
+enum class Procurement {
+  /// Two transit contracts with distinct organizations.
+  kDualTransit,
+  /// One transit contract plus remote-peering circuits from an organization
+  /// independent of the transit provider.
+  kTransitPlusIndependentRemote,
+  /// One transit contract plus remote-peering circuits operated by the same
+  /// organization as the transit provider (shared infrastructure).
+  kTransitPlusConflatedRemote,
+};
+
+std::string to_string(Procurement p);
+
+/// Result of one single-organization failure.
+struct FailureImpact {
+  std::string organization;
+  /// Fraction of the vantage's transit-endpoint traffic still deliverable
+  /// (over any surviving service).
+  double surviving_traffic_fraction = 1.0;
+};
+
+/// Reliability summary of one procurement configuration.
+struct RiskReport {
+  Procurement procurement = Procurement::kDualTransit;
+  /// Fraction of traffic that survives *every* single-organization failure.
+  double tolerant_traffic_fraction = 0.0;
+  /// The worst single failure: surviving fraction and the organization.
+  double worst_case_surviving = 1.0;
+  std::string worst_case_organization;
+  std::vector<FailureImpact> failures;
+};
+
+class MultihomingRiskStudy {
+ public:
+  MultihomingRiskStudy(const topology::AsGraph& graph,
+                       const ixp::IxpEcosystem& ecosystem, net::Asn vantage,
+                       const offload::OffloadAnalyzer& analyzer);
+
+  /// Evaluates a procurement configuration. Remote-peering circuits reach
+  /// `ixps` through provider `provider_index`, and peering follows `group`.
+  /// For kDualTransit, the remote-peering arguments are ignored.
+  RiskReport evaluate(Procurement procurement,
+                      std::span<const ixp::IxpId> ixps,
+                      offload::PeerGroup group,
+                      std::size_t provider_index) const;
+
+ private:
+  const topology::AsGraph* graph_;
+  const ixp::IxpEcosystem* ecosystem_;
+  net::Asn vantage_;
+  const offload::OffloadAnalyzer* analyzer_;
+};
+
+}  // namespace rp::layer2

@@ -1,0 +1,26 @@
+#include "measure/classifier.hpp"
+
+namespace rp::measure {
+
+std::string to_string(RttBand band) {
+  switch (band) {
+    case RttBand::kLocal: return "RTT < 10 ms";
+    case RttBand::kIntercity: return "10 ms <= RTT < 20 ms";
+    case RttBand::kIntercountry: return "20 ms <= RTT < 50 ms";
+    case RttBand::kIntercontinental: return "RTT >= 50 ms";
+  }
+  return "unknown";
+}
+
+RttBand band_of(util::SimDuration min_rtt, const ClassifierConfig& config) {
+  if (min_rtt < config.remoteness_threshold) return RttBand::kLocal;
+  if (min_rtt < config.intercountry_edge) return RttBand::kIntercity;
+  if (min_rtt < config.intercontinental_edge) return RttBand::kIntercountry;
+  return RttBand::kIntercontinental;
+}
+
+bool is_remote(util::SimDuration min_rtt, const ClassifierConfig& config) {
+  return min_rtt >= config.remoteness_threshold;
+}
+
+}  // namespace rp::measure

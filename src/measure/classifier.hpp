@@ -1,0 +1,43 @@
+// Remoteness classification from minimum RTTs (§3.1, "Threshold for
+// remoteness" and Fig. 3's distance bands).
+//
+// An analyzed interface is classified remote when its minimum RTT exceeds
+// the threshold (10 ms in the paper — high enough that no directly peering
+// network was ever observed above it, trading false negatives for a
+// conservative estimate). Bands refine the picture: 10-20 ms ~ intercity,
+// 20-50 ms ~ intercountry, >= 50 ms ~ intercontinental.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace rp::measure {
+
+/// Distance band of a minimum RTT.
+enum class RttBand : std::size_t {
+  kLocal = 0,             ///< [0, 10) ms — consistent with direct peering.
+  kIntercity = 1,         ///< [10, 20) ms.
+  kIntercountry = 2,      ///< [20, 50) ms.
+  kIntercontinental = 3,  ///< [50, inf) ms.
+};
+
+inline constexpr std::size_t kBandCount = 4;
+
+std::string to_string(RttBand band);
+
+/// Thresholds of the classifier (defaults are the paper's).
+struct ClassifierConfig {
+  util::SimDuration remoteness_threshold = util::SimDuration::millis(10);
+  util::SimDuration intercountry_edge = util::SimDuration::millis(20);
+  util::SimDuration intercontinental_edge = util::SimDuration::millis(50);
+};
+
+/// Band of a minimum RTT under `config`.
+RttBand band_of(util::SimDuration min_rtt, const ClassifierConfig& config);
+
+/// True when the minimum RTT classifies the interface as remotely peering.
+bool is_remote(util::SimDuration min_rtt, const ClassifierConfig& config);
+
+}  // namespace rp::measure

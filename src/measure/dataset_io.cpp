@@ -1,0 +1,205 @@
+#include "measure/dataset_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rp::measure {
+namespace {
+
+const char* kind_code(ixp::AttachmentKind kind) {
+  switch (kind) {
+    case ixp::AttachmentKind::kDirectColo: return "colo";
+    case ixp::AttachmentKind::kIpTransport: return "transport";
+    case ixp::AttachmentKind::kRemoteViaProvider: return "remote";
+    case ixp::AttachmentKind::kPartnerIxp: return "partner";
+  }
+  return "colo";
+}
+
+std::optional<ixp::AttachmentKind> parse_kind(std::string_view s) {
+  if (s == "colo") return ixp::AttachmentKind::kDirectColo;
+  if (s == "transport") return ixp::AttachmentKind::kIpTransport;
+  if (s == "remote") return ixp::AttachmentKind::kRemoteViaProvider;
+  if (s == "partner") return ixp::AttachmentKind::kPartnerIxp;
+  return std::nullopt;
+}
+
+void write_sample_fields(std::ostream& os, const PingSample& sample) {
+  os << ',' << sample.sent_at.count_nanos() << ','
+     << (sample.replied ? 1 : 0) << ',' << sample.rtt.count_nanos() << ','
+     << static_cast<unsigned>(sample.reply_ttl) << ','
+     << sample.reply_src.to_string();
+}
+
+bool parse_i64(std::string_view s, long long& out) {
+  if (s.empty()) return false;
+  bool negative = false;
+  if (s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  unsigned long long value = 0;
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  out = negative ? -static_cast<long long>(value)
+                 : static_cast<long long>(value);
+  return true;
+}
+
+/// Parses the shared sample fields starting at parts[offset].
+bool parse_sample(const std::vector<std::string>& parts, std::size_t offset,
+                  PingSample& sample) {
+  if (parts.size() != offset + 5) return false;
+  long long sent = 0, rtt = 0, replied = 0, ttl = 0;
+  if (!parse_i64(parts[offset], sent) ||
+      !parse_i64(parts[offset + 1], replied) ||
+      !parse_i64(parts[offset + 2], rtt) ||
+      !parse_i64(parts[offset + 3], ttl))
+    return false;
+  const auto src = net::Ipv4Addr::parse(parts[offset + 4]);
+  if (!src || ttl < 0 || ttl > 255) return false;
+  sample.sent_at = util::SimTime::at(util::SimDuration::nanos(sent));
+  sample.replied = replied != 0;
+  sample.rtt = util::SimDuration::nanos(rtt);
+  sample.reply_ttl = static_cast<std::uint8_t>(ttl);
+  sample.reply_src = *src;
+  return true;
+}
+
+}  // namespace
+
+void write_dataset(const IxpMeasurement& measurement, std::ostream& os) {
+  os << "# remote-peering raw campaign dataset\n";
+  os << "H," << measurement.ixp_id << ',' << measurement.ixp_acronym << ','
+     << measurement.campaign_start.count_nanos() << ','
+     << measurement.campaign_length.count_nanos() << '\n';
+  for (std::size_t i = 0; i < measurement.interfaces.size(); ++i) {
+    const auto& obs = measurement.interfaces[i];
+    os << "I," << i << ',' << obs.addr.to_string() << ','
+       << (obs.truth_remote ? 1 : 0) << ',' << kind_code(obs.truth_kind)
+       << ',' << obs.truth_circuit_one_way.count_nanos() << '\n';
+    for (const auto& [when, asn] : obs.registry_asn)
+      os << "R," << i << ',' << when.count_nanos() << ',' << asn.value()
+         << '\n';
+    for (const auto& [op, samples] : obs.samples) {
+      const char* lg = op == ixp::LgOperator::kPch ? "pch" : "ripe";
+      for (const auto& sample : samples) {
+        os << "S," << i << ',' << lg;
+        write_sample_fields(os, sample);
+        os << '\n';
+      }
+    }
+    for (const auto& sample : obs.route_server_samples) {
+      os << "Q," << i;
+      write_sample_fields(os, sample);
+      os << '\n';
+    }
+  }
+}
+
+std::optional<IxpMeasurement> read_dataset(std::istream& is,
+                                           std::string* error) {
+  auto fail = [error](const std::string& message,
+                      std::size_t line) -> std::optional<IxpMeasurement> {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line) + ": " + message;
+    return std::nullopt;
+  };
+
+  IxpMeasurement measurement;
+  bool have_header = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+    const auto parts = util::split(line, ',');
+    if (parts.empty()) continue;
+    const std::string& tag = parts[0];
+
+    if (tag == "H") {
+      if (parts.size() != 5) return fail("malformed header", line_number);
+      long long ixp_id = 0, start = 0, length = 0;
+      if (!parse_i64(parts[1], ixp_id) || !parse_i64(parts[3], start) ||
+          !parse_i64(parts[4], length))
+        return fail("bad header numbers", line_number);
+      measurement.ixp_id = static_cast<ixp::IxpId>(ixp_id);
+      measurement.ixp_acronym = parts[2];
+      measurement.campaign_start =
+          util::SimTime::at(util::SimDuration::nanos(start));
+      measurement.campaign_length = util::SimDuration::nanos(length);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) return fail("data before header", line_number);
+
+    long long index = 0;
+    if (parts.size() < 2 || !parse_i64(parts[1], index) || index < 0)
+      return fail("bad interface index", line_number);
+
+    if (tag == "I") {
+      if (parts.size() != 6) return fail("malformed I line", line_number);
+      if (static_cast<std::size_t>(index) != measurement.interfaces.size())
+        return fail("interface indices must be dense and ordered",
+                    line_number);
+      InterfaceObservation obs;
+      const auto addr = net::Ipv4Addr::parse(parts[2]);
+      const auto kind = parse_kind(parts[4]);
+      long long remote = 0, one_way = 0;
+      if (!addr || !kind || !parse_i64(parts[3], remote) ||
+          !parse_i64(parts[5], one_way))
+        return fail("bad I fields", line_number);
+      obs.addr = *addr;
+      obs.ixp_id = measurement.ixp_id;
+      obs.truth_remote = remote != 0;
+      obs.truth_kind = *kind;
+      obs.truth_circuit_one_way = util::SimDuration::nanos(one_way);
+      measurement.interfaces.push_back(std::move(obs));
+      continue;
+    }
+
+    if (static_cast<std::size_t>(index) >= measurement.interfaces.size())
+      return fail("sample references unknown interface", line_number);
+    InterfaceObservation& obs = measurement.interfaces[index];
+
+    if (tag == "R") {
+      if (parts.size() != 4) return fail("malformed R line", line_number);
+      long long when = 0, asn = 0;
+      if (!parse_i64(parts[2], when) || !parse_i64(parts[3], asn) || asn < 0)
+        return fail("bad R fields", line_number);
+      obs.registry_asn.emplace_back(
+          util::SimTime::at(util::SimDuration::nanos(when)),
+          net::Asn{static_cast<std::uint32_t>(asn)});
+    } else if (tag == "S") {
+      if (parts.size() != 8) return fail("malformed S line", line_number);
+      const auto op = parts[2] == "pch"
+                          ? ixp::LgOperator::kPch
+                          : (parts[2] == "ripe"
+                                 ? ixp::LgOperator::kRipeNcc
+                                 : static_cast<ixp::LgOperator>(255));
+      if (static_cast<int>(op) == 255)
+        return fail("unknown looking glass", line_number);
+      PingSample sample;
+      if (!parse_sample(parts, 3, sample))
+        return fail("bad S fields", line_number);
+      obs.samples[op].push_back(sample);
+    } else if (tag == "Q") {
+      PingSample sample;
+      if (!parse_sample(parts, 2, sample))
+        return fail("bad Q fields", line_number);
+      obs.route_server_samples.push_back(sample);
+    } else {
+      return fail("unknown tag '" + tag + "'", line_number);
+    }
+  }
+  if (!have_header) return fail("missing header", 0);
+  return measurement;
+}
+
+}  // namespace rp::measure

@@ -1,0 +1,34 @@
+// Persistence for raw measurement datasets.
+//
+// The paper released its measurement data publicly; this module provides the
+// equivalent for simulated campaigns: a line-oriented CSV dump of every ping
+// sample and registry observation, plus a loader that reconstructs the
+// IxpMeasurement bit-for-bit. Useful for re-analyzing a campaign offline
+// (the SpreadStudy::reanalyze path) without re-running the simulator.
+//
+// Format (one file per campaign):
+//   H,<ixp_id>,<acronym>,<campaign_start_ns>,<campaign_length_ns>
+//   I,<index>,<addr>,<truth_remote>,<truth_kind>,<truth_one_way_ns>
+//   R,<index>,<when_ns>,<asn>              # registry ASN observation
+//   S,<index>,<lg>,<sent_ns>,<replied>,<rtt_ns>,<ttl>,<reply_src>
+//   Q,<index>,<sent_ns>,<replied>,<rtt_ns>,<ttl>,<reply_src>   # route server
+// Lines starting with '#' are comments. Fields never contain commas.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "measure/sample.hpp"
+
+namespace rp::measure {
+
+/// Writes the full raw dataset of one campaign.
+void write_dataset(const IxpMeasurement& measurement, std::ostream& os);
+
+/// Parses a dataset written by write_dataset. Returns nullopt (with a
+/// message in `error` when provided) on malformed input.
+std::optional<IxpMeasurement> read_dataset(std::istream& is,
+                                           std::string* error = nullptr);
+
+}  // namespace rp::measure

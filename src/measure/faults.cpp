@@ -1,0 +1,50 @@
+#include "measure/faults.hpp"
+
+namespace rp::measure {
+
+FaultPlan plan_faults(const ixp::Ixp& ixp, const FaultPlanConfig& config,
+                      util::SimTime campaign_start,
+                      util::SimDuration campaign_length, util::Rng& rng) {
+  FaultPlan plan;
+  const bool has_two_lgs = ixp.looking_glasses().size() >= 2;
+
+  for (const auto& iface : ixp.interfaces()) {
+    InterfaceFaults faults;
+
+    // Headline artefact: draw one (or none) per interface.
+    const double u = rng.uniform();
+    double edge = config.blackhole_rate;
+    if (u < edge) {
+      faults.blackhole = true;
+    } else if (u < (edge += config.absent_rate)) {
+      faults.absent = true;
+    } else if (u < (edge += config.ttl_switch_rate)) {
+      // Switch somewhere in the middle 80% of the campaign so both TTLs are
+      // observed.
+      const double at = rng.uniform(0.1, 0.9);
+      faults.ttl_switch_at =
+          campaign_start + util::SimDuration::from_seconds_f(
+                               campaign_length.as_seconds_f() * at);
+    } else if (u < (edge += config.odd_ttl_rate)) {
+      faults.odd_initial_ttl = rng.chance(0.5) ? 32 : 128;
+    } else if (u < (edge += config.proxy_reply_rate)) {
+      faults.reply_extra_hops = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    } else if (u < (edge += config.persistent_congestion_rate)) {
+      faults.persistent_congestion = true;
+    } else if (has_two_lgs && u < (edge += config.lg_asymmetry_rate)) {
+      faults.lg_asymmetry = rng.chance(0.5) ? ixp::LgOperator::kPch
+                                            : ixp::LgOperator::kRipeNcc;
+    } else if (u < (edge += config.asn_change_rate)) {
+      faults.asn_change = true;
+    }
+
+    // Orthogonal nuisances.
+    if (rng.chance(config.unidentified_rate)) faults.unidentified = true;
+    if (rng.chance(config.lossy_rate)) faults.reply_loss = config.lossy_reply_loss;
+
+    plan.assign(iface.addr, faults);
+  }
+  return plan;
+}
+
+}  // namespace rp::measure

@@ -1,0 +1,193 @@
+#include "measure/filters.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace rp::measure {
+namespace {
+
+bool ttl_accepted(std::uint8_t ttl, const FilterConfig& config) {
+  return std::find(config.accepted_max_ttls.begin(),
+                   config.accepted_max_ttls.end(),
+                   ttl) != config.accepted_max_ttls.end();
+}
+
+util::SimDuration consistency_margin(util::SimDuration min_rtt,
+                                     const FilterConfig& config) {
+  const auto fractional = util::SimDuration::from_seconds_f(
+      min_rtt.as_seconds_f() * config.consistency_fraction);
+  return std::max(config.consistency_floor, fractional);
+}
+
+}  // namespace
+
+std::string to_string(Filter f) {
+  switch (f) {
+    case Filter::kSampleSize: return "sample-size";
+    case Filter::kTtlSwitch: return "TTL-switch";
+    case Filter::kTtlMatch: return "TTL-match";
+    case Filter::kRttConsistent: return "RTT-consistent";
+    case Filter::kLgConsistent: return "LG-consistent";
+    case Filter::kAsnChange: return "ASN-change";
+  }
+  return "unknown";
+}
+
+std::size_t IxpAnalysis::analyzed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(interfaces.begin(), interfaces.end(),
+                    [](const InterfaceAnalysis& a) { return a.analyzed(); }));
+}
+
+InterfaceAnalysis analyze_interface(const InterfaceObservation& obs,
+                                    const FilterConfig& config) {
+  InterfaceAnalysis analysis;
+  analysis.addr = obs.addr;
+  analysis.ixp_id = obs.ixp_id;
+  analysis.asn = obs.registry_asn_final();
+  analysis.truth_remote = obs.truth_remote;
+  analysis.truth_kind = obs.truth_kind;
+  analysis.truth_circuit_one_way = obs.truth_circuit_one_way;
+  for (const auto& sample : obs.route_server_samples) {
+    if (!sample.replied) continue;
+    if (!analysis.route_server_min_rtt ||
+        sample.rtt < *analysis.route_server_min_rtt)
+      analysis.route_server_min_rtt = sample.rtt;
+  }
+
+  // --- Filter 1: sample-size ---------------------------------------------
+  // Each probing LG must have produced enough replies on its own; an LG
+  // that probed and saw (almost) nothing signals blackholing or a stale
+  // registry address.
+  if (config.is_enabled(Filter::kSampleSize)) {
+    if (obs.samples.empty()) {
+      analysis.discarded_by = Filter::kSampleSize;
+      return analysis;
+    }
+    for (const auto& [op, list] : obs.samples) {
+      const auto replies = static_cast<int>(
+          std::count_if(list.begin(), list.end(),
+                        [](const PingSample& s) { return s.replied; }));
+      if (replies < config.min_replies_per_lg) {
+        analysis.discarded_by = Filter::kSampleSize;
+        return analysis;
+      }
+    }
+  }
+
+  // --- Filter 2: TTL-switch ----------------------------------------------
+  if (config.is_enabled(Filter::kTtlSwitch)) {
+    std::set<std::uint8_t> distinct;
+    for (const auto& [op, list] : obs.samples)
+      for (const auto& s : list)
+        if (s.replied) distinct.insert(s.reply_ttl);
+    if (distinct.size() > 1) {
+      analysis.discarded_by = Filter::kTtlSwitch;
+      return analysis;
+    }
+  }
+
+  // --- Filter 3: TTL-match -----------------------------------------------
+  // Keep only replies whose TTL equals an expected OS maximum; if nothing
+  // remains the interface is dropped.
+  std::map<ixp::LgOperator, std::vector<const PingSample*>> accepted;
+  for (const auto& [op, list] : obs.samples) {
+    for (const auto& s : list) {
+      if (!s.replied) continue;
+      if (config.is_enabled(Filter::kTtlMatch) &&
+          !ttl_accepted(s.reply_ttl, config))
+        continue;
+      accepted[op].push_back(&s);
+    }
+  }
+  if (config.is_enabled(Filter::kTtlMatch)) {
+    bool any = false;
+    for (const auto& [op, list] : accepted) any = any || !list.empty();
+    if (!any) {
+      analysis.discarded_by = Filter::kTtlMatch;
+      return analysis;
+    }
+  }
+
+  // Minimum RTT over accepted replies, overall and per LG.
+  auto min_over = [](const std::vector<const PingSample*>& list) {
+    util::SimDuration best =
+        util::SimDuration::nanos(std::numeric_limits<std::int64_t>::max());
+    for (const PingSample* s : list) best = std::min(best, s->rtt);
+    return best;
+  };
+  util::SimDuration overall_min =
+      util::SimDuration::nanos(std::numeric_limits<std::int64_t>::max());
+  std::size_t accepted_total = 0;
+  for (const auto& [op, list] : accepted) {
+    if (list.empty()) continue;
+    overall_min = std::min(overall_min, min_over(list));
+    accepted_total += list.size();
+  }
+  if (accepted_total == 0) {
+    // Only reachable when both sample-size and TTL-match are disabled.
+    analysis.discarded_by = Filter::kSampleSize;
+    return analysis;
+  }
+  analysis.min_rtt = overall_min;
+  analysis.accepted_replies = accepted_total;
+
+  // --- Filter 4: RTT-consistent ------------------------------------------
+  if (config.is_enabled(Filter::kRttConsistent)) {
+    const util::SimDuration cutoff =
+        overall_min + consistency_margin(overall_min, config);
+    int consistent = 0;
+    for (const auto& [op, list] : accepted)
+      for (const PingSample* s : list)
+        if (s->rtt <= cutoff) ++consistent;
+    if (consistent < config.min_consistent_replies) {
+      analysis.discarded_by = Filter::kRttConsistent;
+      return analysis;
+    }
+  }
+
+  // --- Filter 5: LG-consistent -------------------------------------------
+  if (config.is_enabled(Filter::kLgConsistent) && accepted.size() >= 2) {
+    std::vector<util::SimDuration> minima;
+    for (const auto& [op, list] : accepted)
+      if (!list.empty()) minima.push_back(min_over(list));
+    if (minima.size() >= 2) {
+      const auto [small_it, large_it] =
+          std::minmax_element(minima.begin(), minima.end());
+      if (*large_it > *small_it + consistency_margin(*small_it, config)) {
+        analysis.discarded_by = Filter::kLgConsistent;
+        return analysis;
+      }
+    }
+  }
+
+  // --- Filter 6: ASN-change ----------------------------------------------
+  if (config.is_enabled(Filter::kAsnChange)) {
+    std::set<net::Asn> distinct;
+    for (const auto& [when, asn] : obs.registry_asn) distinct.insert(asn);
+    if (distinct.size() > 1) {
+      analysis.discarded_by = Filter::kAsnChange;
+      return analysis;
+    }
+  }
+
+  return analysis;
+}
+
+IxpAnalysis apply_filters(const IxpMeasurement& measurement,
+                          const FilterConfig& config) {
+  IxpAnalysis out;
+  out.ixp_id = measurement.ixp_id;
+  out.ixp_acronym = measurement.ixp_acronym;
+  out.interfaces.reserve(measurement.interfaces.size());
+  for (const auto& obs : measurement.interfaces) {
+    InterfaceAnalysis analysis = analyze_interface(obs, config);
+    if (analysis.discarded_by)
+      ++out.discard_counts[static_cast<std::size_t>(*analysis.discarded_by)];
+    out.interfaces.push_back(std::move(analysis));
+  }
+  return out;
+}
+
+}  // namespace rp::measure

@@ -1,0 +1,109 @@
+// The six conservative filters of §3.1 and the per-interface analysis.
+//
+// Applied in the paper's order — sample-size, TTL-switch, TTL-match,
+// RTT-consistent, LG-consistent, ASN-change — each filter discards
+// interfaces whose measurements could mislead the remoteness classifier:
+//   sample-size     too few replies from some probing LG (blackholing,
+//                   stale registry addresses, heavy loss);
+//   TTL-switch      reply TTL changed mid-campaign (OS change);
+//   TTL-match       reply TTL is not an expected OS maximum, so the reply
+//                   crossed an extra IP hop (proxied reply, off-subnet
+//                   target) or came from an odd stack;
+//   RTT-consistent  too few replies near the minimum (persistent congestion);
+//   LG-consistent   the two LGs' minima disagree (sick path segment);
+//   ASN-change      the registry remapped the interface mid-campaign.
+// Every filter can be disabled individually for the ablation study.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/sample.hpp"
+
+namespace rp::measure {
+
+/// The filters, in application order.
+enum class Filter : std::size_t {
+  kSampleSize = 0,
+  kTtlSwitch = 1,
+  kTtlMatch = 2,
+  kRttConsistent = 3,
+  kLgConsistent = 4,
+  kAsnChange = 5,
+};
+
+inline constexpr std::size_t kFilterCount = 6;
+
+std::string to_string(Filter f);
+
+/// Thresholds of the filter pipeline (defaults are the paper's).
+struct FilterConfig {
+  /// Minimum TTL-accepted replies required from *each* probing LG.
+  int min_replies_per_lg = 8;
+  /// Expected OS maximum TTLs; replies with any other TTL are discarded.
+  std::vector<std::uint8_t> accepted_max_ttls = {64, 255};
+  /// At least this many replies must fall within the consistency margin of
+  /// the minimum RTT.
+  int min_consistent_replies = 4;
+  /// Consistency margin: max(floor, fraction * min RTT).
+  double consistency_fraction = 0.10;
+  util::SimDuration consistency_floor = util::SimDuration::millis(5);
+
+  /// Per-filter enable switches (all on by default); the ablation bench
+  /// turns filters off one at a time.
+  std::array<bool, kFilterCount> enabled = {true, true, true,
+                                            true, true, true};
+
+  bool is_enabled(Filter f) const {
+    return enabled[static_cast<std::size_t>(f)];
+  }
+};
+
+/// The verdict for one probed interface.
+struct InterfaceAnalysis {
+  net::Ipv4Addr addr;
+  ixp::IxpId ixp_id = 0;
+  /// Which filter discarded the interface; nullopt => analyzed.
+  std::optional<Filter> discarded_by;
+  /// Minimum RTT over accepted replies (valid when analyzed).
+  util::SimDuration min_rtt;
+  /// Accepted reply count backing min_rtt.
+  std::size_t accepted_replies = 0;
+  /// Final registry ASN, when the network is identified.
+  std::optional<net::Asn> asn;
+
+  /// Minimum RTT over the independent route-server cross-check samples,
+  /// when the campaign collected any (§3.3 validation).
+  std::optional<util::SimDuration> route_server_min_rtt;
+
+  /// Ground truth carried through for validation.
+  bool truth_remote = false;
+  ixp::AttachmentKind truth_kind = ixp::AttachmentKind::kDirectColo;
+  util::SimDuration truth_circuit_one_way;
+
+  bool analyzed() const { return !discarded_by.has_value(); }
+};
+
+/// All verdicts for one IXP campaign plus per-filter discard counts.
+struct IxpAnalysis {
+  ixp::IxpId ixp_id = 0;
+  std::string ixp_acronym;
+  std::vector<InterfaceAnalysis> interfaces;
+  std::array<std::size_t, kFilterCount> discard_counts{};
+
+  std::size_t probed_count() const { return interfaces.size(); }
+  std::size_t analyzed_count() const;
+};
+
+/// Runs the filter pipeline over one campaign's raw data.
+IxpAnalysis apply_filters(const IxpMeasurement& measurement,
+                          const FilterConfig& config);
+
+/// Analyzes a single interface (exposed for unit tests and the ablation
+/// bench). `two_lgs` tells whether the campaign probed from two LGs.
+InterfaceAnalysis analyze_interface(const InterfaceObservation& obs,
+                                    const FilterConfig& config);
+
+}  // namespace rp::measure

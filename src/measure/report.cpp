@@ -1,0 +1,183 @@
+#include "measure/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace rp::measure {
+
+double ValidationSummary::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ValidationSummary::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+SpreadReport SpreadReport::build(const std::vector<IxpAnalysis>& analyses,
+                                 const ClassifierConfig& classifier) {
+  SpreadReport report;
+  report.classifier_ = classifier;
+
+  struct NetworkAccumulator {
+    std::set<ixp::IxpId> ixps;
+    std::size_t interfaces = 0;
+    std::array<std::size_t, kBandCount> bands{};
+    bool remote = false;
+  };
+  std::unordered_map<net::Asn, NetworkAccumulator> by_network;
+
+  std::vector<double> rtt_errors_ms;
+  std::vector<double> rs_diffs_ms;
+
+  for (const auto& analysis : analyses) {
+    IxpSpreadRow row;
+    row.ixp_id = analysis.ixp_id;
+    row.acronym = analysis.ixp_acronym;
+    row.probed = analysis.probed_count();
+    row.discard_counts = analysis.discard_counts;
+
+    for (const auto& iface : analysis.interfaces) {
+      if (!iface.analyzed()) continue;
+      ++row.analyzed;
+      const RttBand band = band_of(iface.min_rtt, classifier);
+      ++row.band_counts[static_cast<std::size_t>(band)];
+      const bool classified_remote = is_remote(iface.min_rtt, classifier);
+      if (classified_remote) ++row.remote_interfaces;
+
+      report.min_rtts_ms_.push_back(iface.min_rtt.as_millis_f());
+
+      // Ground-truth validation.
+      if (classified_remote && iface.truth_remote)
+        ++report.validation_.true_positives;
+      else if (classified_remote && !iface.truth_remote)
+        ++report.validation_.false_positives;
+      else if (!classified_remote && iface.truth_remote)
+        ++report.validation_.false_negatives;
+      else
+        ++report.validation_.true_negatives;
+      rtt_errors_ms.push_back(iface.min_rtt.as_millis_f() -
+                              2.0 * iface.truth_circuit_one_way.as_millis_f());
+      if (iface.route_server_min_rtt) {
+        rs_diffs_ms.push_back(iface.min_rtt.as_millis_f() -
+                              iface.route_server_min_rtt->as_millis_f());
+      }
+
+      if (iface.asn) {
+        ++report.identified_interfaces_;
+        auto& acc = by_network[*iface.asn];
+        acc.ixps.insert(analysis.ixp_id);
+        ++acc.interfaces;
+        ++acc.bands[static_cast<std::size_t>(band)];
+        acc.remote = acc.remote || classified_remote;
+      }
+    }
+    report.total_probed_ += row.probed;
+    report.total_analyzed_ += row.analyzed;
+    report.rows_.push_back(std::move(row));
+  }
+
+  for (const auto& [asn, acc] : by_network) {
+    NetworkSpread n;
+    n.asn = asn;
+    n.ixp_count = acc.ixps.size();
+    n.analyzed_interfaces = acc.interfaces;
+    n.band_counts = acc.bands;
+    n.remote_peer = acc.remote;
+    report.networks_.push_back(n);
+  }
+  std::sort(report.networks_.begin(), report.networks_.end(),
+            [](const NetworkSpread& a, const NetworkSpread& b) {
+              return a.asn < b.asn;
+            });
+
+  if (!rtt_errors_ms.empty()) {
+    double sum = 0.0;
+    for (double e : rtt_errors_ms) sum += e;
+    const double mean = sum / static_cast<double>(rtt_errors_ms.size());
+    double sq = 0.0;
+    for (double e : rtt_errors_ms) sq += (e - mean) * (e - mean);
+    report.validation_.rtt_error_mean_ms = mean;
+    report.validation_.rtt_error_variance_ms2 =
+        sq / static_cast<double>(rtt_errors_ms.size());
+    report.validation_.rtt_error_median_ms =
+        util::percentile(rtt_errors_ms, 50.0);
+    std::vector<double> abs_errors;
+    abs_errors.reserve(rtt_errors_ms.size());
+    for (double e : rtt_errors_ms) abs_errors.push_back(std::abs(e));
+    report.validation_.rtt_error_p90_abs_ms =
+        util::percentile(abs_errors, 90.0);
+  }
+  if (!rs_diffs_ms.empty()) {
+    const auto summary = util::summarize(rs_diffs_ms);
+    report.validation_.rs_compared_interfaces = rs_diffs_ms.size();
+    report.validation_.rs_diff_mean_ms = summary->mean;
+    report.validation_.rs_diff_variance_ms2 = summary->variance;
+  }
+  return report;
+}
+
+std::size_t SpreadReport::remote_networks() const {
+  return static_cast<std::size_t>(
+      std::count_if(networks_.begin(), networks_.end(),
+                    [](const NetworkSpread& n) { return n.remote_peer; }));
+}
+
+double SpreadReport::ixps_with_remote_fraction() const {
+  if (rows_.empty()) return 0.0;
+  const auto with_remote = static_cast<double>(
+      std::count_if(rows_.begin(), rows_.end(),
+                    [](const IxpSpreadRow& r) { return r.has_remote(); }));
+  return with_remote / static_cast<double>(rows_.size());
+}
+
+std::array<std::size_t, kFilterCount> SpreadReport::total_discards() const {
+  std::array<std::size_t, kFilterCount> totals{};
+  for (const auto& row : rows_)
+    for (std::size_t f = 0; f < kFilterCount; ++f)
+      totals[f] += row.discard_counts[f];
+  return totals;
+}
+
+std::map<std::size_t, std::size_t> SpreadReport::ixp_count_histogram(
+    bool remote_only) const {
+  std::map<std::size_t, std::size_t> histogram;
+  for (const auto& network : networks_) {
+    if (remote_only && !network.remote_peer) continue;
+    ++histogram[network.ixp_count];
+  }
+  return histogram;
+}
+
+std::map<std::size_t, std::array<double, kBandCount>>
+SpreadReport::band_fractions_by_ixp_count() const {
+  std::map<std::size_t, std::array<std::size_t, kBandCount>> counts;
+  for (const auto& network : networks_) {
+    if (!network.remote_peer) continue;
+    auto& bucket = counts[network.ixp_count];
+    for (std::size_t b = 0; b < kBandCount; ++b)
+      bucket[b] += network.band_counts[b];
+  }
+  std::map<std::size_t, std::array<double, kBandCount>> fractions;
+  for (const auto& [ixp_count, bucket] : counts) {
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < kBandCount; ++b) total += bucket[b];
+    std::array<double, kBandCount> f{};
+    if (total > 0)
+      for (std::size_t b = 0; b < kBandCount; ++b)
+        f[b] = static_cast<double>(bucket[b]) / static_cast<double>(total);
+    fractions[ixp_count] = f;
+  }
+  return fractions;
+}
+
+}  // namespace rp::measure

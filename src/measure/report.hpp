@@ -1,0 +1,118 @@
+// Aggregation of per-IXP analyses into the paper's §3 results:
+// Table 1 (analyzed interfaces per IXP), Fig. 2 (min-RTT CDF), Fig. 3
+// (per-IXP band classification), Fig. 4a (IXP-count distributions), Fig. 4b
+// (band mix by IXP count), and the §3.3 validation against ground truth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/classifier.hpp"
+#include "measure/filters.hpp"
+
+namespace rp::measure {
+
+/// One row of the Table-1/Fig-3 style per-IXP summary.
+struct IxpSpreadRow {
+  ixp::IxpId ixp_id = 0;
+  std::string acronym;
+  std::size_t probed = 0;
+  std::size_t analyzed = 0;
+  std::array<std::size_t, kBandCount> band_counts{};
+  std::size_t remote_interfaces = 0;
+  std::array<std::size_t, kFilterCount> discard_counts{};
+
+  bool has_remote() const { return remote_interfaces > 0; }
+};
+
+/// Per-network view across IXPs (Fig. 4).
+struct NetworkSpread {
+  net::Asn asn;
+  /// Distinct studied IXPs where the network has analyzed interfaces.
+  std::size_t ixp_count = 0;
+  std::size_t analyzed_interfaces = 0;
+  std::array<std::size_t, kBandCount> band_counts{};
+  /// True when at least one interface classifies as remote.
+  bool remote_peer = false;
+};
+
+/// §3.3-style validation of the classifier against simulator ground truth.
+struct ValidationSummary {
+  std::size_t true_positives = 0;   ///< remote classified remote
+  std::size_t false_positives = 0;  ///< direct classified remote
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;  ///< remote classified direct
+  /// Mean and variance (ms) of min-RTT minus twice the ground-truth one-way
+  /// circuit delay — the analogue of the TorIX route-server cross-check
+  /// (paper: mean 0.3 ms, variance 1.6 ms^2). The mean/variance pair can be
+  /// dominated by a single congested survivor, so the robust median and
+  /// 90th-percentile absolute error are reported alongside.
+  double rtt_error_mean_ms = 0.0;
+  double rtt_error_variance_ms2 = 0.0;
+  double rtt_error_median_ms = 0.0;
+  double rtt_error_p90_abs_ms = 0.0;
+
+  /// The route-server cross-check proper (when the campaign collected RS
+  /// samples): LG-based minimum RTT minus route-server minimum RTT per
+  /// analyzed interface. The paper reports mean 0.3 ms and variance
+  /// 1.6 ms^2 for TorIX.
+  std::size_t rs_compared_interfaces = 0;
+  double rs_diff_mean_ms = 0.0;
+  double rs_diff_variance_ms2 = 0.0;
+
+  double precision() const;
+  double recall() const;
+};
+
+/// The §3 study output across all measured IXPs.
+class SpreadReport {
+ public:
+  static SpreadReport build(const std::vector<IxpAnalysis>& analyses,
+                            const ClassifierConfig& classifier);
+
+  const std::vector<IxpSpreadRow>& rows() const { return rows_; }
+  const std::vector<NetworkSpread>& networks() const { return networks_; }
+
+  /// All analyzed interfaces' minimum RTTs in milliseconds (Fig. 2 input).
+  const std::vector<double>& min_rtts_ms() const { return min_rtts_ms_; }
+
+  std::size_t total_probed() const { return total_probed_; }
+  std::size_t total_analyzed() const { return total_analyzed_; }
+  std::size_t identified_interfaces() const { return identified_interfaces_; }
+  std::size_t identified_networks() const { return networks_.size(); }
+  std::size_t remote_networks() const;
+
+  /// Fraction of studied IXPs where remote peering was detected (paper: 91%).
+  double ixps_with_remote_fraction() const;
+
+  /// Total discards per filter, in pipeline order (paper: 20/82/20/100/28/5).
+  std::array<std::size_t, kFilterCount> total_discards() const;
+
+  /// Fig. 4a: histogram of IXP counts, over all identified networks or over
+  /// remotely peering networks only.
+  std::map<std::size_t, std::size_t> ixp_count_histogram(
+      bool remote_only) const;
+
+  /// Fig. 4b: per IXP count, the fraction of the remotely peering networks'
+  /// analyzed interfaces in each RTT band.
+  std::map<std::size_t, std::array<double, kBandCount>>
+  band_fractions_by_ixp_count() const;
+
+  /// Ground-truth validation over all analyzed interfaces.
+  const ValidationSummary& validation() const { return validation_; }
+
+ private:
+  std::vector<IxpSpreadRow> rows_;
+  std::vector<NetworkSpread> networks_;
+  std::vector<double> min_rtts_ms_;
+  std::size_t total_probed_ = 0;
+  std::size_t total_analyzed_ = 0;
+  std::size_t identified_interfaces_ = 0;
+  ValidationSummary validation_;
+  ClassifierConfig classifier_;
+};
+
+}  // namespace rp::measure

@@ -1,0 +1,76 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rp::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    unsigned long octet = 0;
+    if (!util::parse_u32(part, octet) || octet > 255) return std::nullopt;
+    if (part.size() > 1 && part.front() == '0') return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr{bits};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return buf;
+}
+
+Ipv4Prefix Ipv4Prefix::make(Ipv4Addr addr, unsigned length) {
+  if (length > 32) throw std::invalid_argument("Ipv4Prefix: length > 32");
+  const std::uint32_t mask =
+      length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  return Ipv4Prefix{Ipv4Addr{addr.to_u32() & mask}, length};
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned long len = 0;
+  if (!util::parse_u32(s.substr(slash + 1), len) || len > 32)
+    return std::nullopt;
+  return make(*addr, static_cast<unsigned>(len));
+}
+
+Ipv4Addr Ipv4Prefix::mask() const {
+  if (length_ == 0) return Ipv4Addr{0};
+  return Ipv4Addr{~std::uint32_t{0} << (32 - length_)};
+}
+
+std::uint64_t Ipv4Prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const {
+  return (addr.to_u32() & mask().to_u32()) == network_.to_u32();
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const {
+  return other.length() >= length_ && contains(other.network());
+}
+
+Ipv4Addr Ipv4Prefix::address_at(std::uint64_t index) const {
+  if (index >= size()) throw std::out_of_range("Ipv4Prefix::address_at");
+  return Ipv4Addr{network_.to_u32() + static_cast<std::uint32_t>(index)};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string Asn::to_string() const { return "AS" + std::to_string(value_); }
+
+}  // namespace rp::net

@@ -1,0 +1,111 @@
+// IPv4 value types: addresses, prefixes, and autonomous-system numbers.
+//
+// The measurement study probes IP interfaces in IXP peering LANs (e.g.
+// 80.249.208.0/21 at AMS-IX); the offload study attributes traffic to origin
+// and destination ASes. These small, regular value types underpin both.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rp::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"); nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  constexpr std::uint32_t to_u32() const { return bits_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv4 prefix (address + length) in canonical form: host bits are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Canonicalizes by masking host bits. Requires length <= 32.
+  static Ipv4Prefix make(Ipv4Addr addr, unsigned length);
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view s);
+
+  constexpr Ipv4Addr network() const { return network_; }
+  constexpr unsigned length() const { return length_; }
+  /// The netmask as an address (e.g. /24 -> 255.255.255.0).
+  Ipv4Addr mask() const;
+  /// Number of addresses covered: 2^(32-length).
+  std::uint64_t size() const;
+  /// True if `addr` falls inside this prefix.
+  bool contains(Ipv4Addr addr) const;
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const Ipv4Prefix& other) const;
+  /// The i-th address in the prefix; throws std::out_of_range beyond size().
+  Ipv4Addr address_at(std::uint64_t index) const;
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  constexpr Ipv4Prefix(Ipv4Addr network, unsigned length)
+      : network_(network), length_(length) {}
+  Ipv4Addr network_{};
+  unsigned length_ = 0;
+};
+
+/// An autonomous-system number (32-bit, RFC 6793).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_valid() const { return value_ != 0; }
+  /// Renders as "AS64500".
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Asn&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;  ///< 0 is reserved and used as "unset".
+};
+
+}  // namespace rp::net
+
+template <>
+struct std::hash<rp::net::Ipv4Addr> {
+  std::size_t operator()(const rp::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.to_u32());
+  }
+};
+
+template <>
+struct std::hash<rp::net::Asn> {
+  std::size_t operator()(const rp::net::Asn& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<rp::net::Ipv4Prefix> {
+  std::size_t operator()(const rp::net::Ipv4Prefix& p) const noexcept {
+    const std::size_t h = std::hash<std::uint32_t>{}(p.network().to_u32());
+    return h ^ (std::hash<unsigned>{}(p.length()) + 0x9e3779b9 + (h << 6));
+  }
+};

@@ -1,0 +1,50 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace rp::net {
+
+MacAddr MacAddr::from_id(std::uint32_t id) {
+  // 0x02 => locally administered, unicast.
+  return MacAddr{{0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                  static_cast<std::uint8_t>(id >> 16),
+                  static_cast<std::uint8_t>(id >> 8),
+                  static_cast<std::uint8_t>(id)}};
+}
+
+std::optional<MacAddr> MacAddr::parse(std::string_view s) {
+  const auto parts = util::split(s, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& p = parts[i];
+    if (p.size() != 2) return std::nullopt;
+    unsigned value = 0;
+    for (char c : p) {
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    octets[i] = static_cast<std::uint8_t>(value);
+  }
+  return MacAddr{octets};
+}
+
+std::uint64_t MacAddr::to_u64() const {
+  std::uint64_t v = 0;
+  for (std::uint8_t o : octets_) v = (v << 8) | o;
+  return v;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace rp::net

@@ -1,0 +1,55 @@
+// MAC addresses for the layer-2 fabric simulation.
+//
+// Remote peering is a layer-2 service: frames cross the IXP switching fabric
+// and the remote-peering provider's pseudowire addressed by MAC, invisible to
+// layer-3 tooling — which is exactly why the paper needs a delay-based
+// detection method.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rp::net {
+
+/// A 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Broadcast ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddr broadcast() {
+    return MacAddr{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+  /// A locally-administered unicast address derived from a 32-bit id.
+  static MacAddr from_id(std::uint32_t id);
+  /// Parses "aa:bb:cc:dd:ee:ff"; nullopt on malformed input.
+  static std::optional<MacAddr> parse(std::string_view s);
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  bool is_broadcast() const { return *this == broadcast(); }
+  bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  std::uint64_t to_u64() const;
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace rp::net
+
+template <>
+struct std::hash<rp::net::MacAddr> {
+  std::size_t operator()(const rp::net::MacAddr& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

@@ -1,0 +1,42 @@
+#include "net/subnet_allocator.hpp"
+
+namespace rp::net {
+
+SubnetAllocator::SubnetAllocator(Ipv4Prefix pool) : pool_(pool) {}
+
+Ipv4Prefix SubnetAllocator::allocate(unsigned length) {
+  if (length > 32 || length < pool_.length())
+    throw std::invalid_argument("SubnetAllocator: bad child length");
+  const std::uint64_t child_size = std::uint64_t{1} << (32 - length);
+  // Align the offset up to the child size.
+  std::uint64_t offset = (next_offset_ + child_size - 1) & ~(child_size - 1);
+  if (offset + child_size > pool_.size())
+    throw std::length_error("SubnetAllocator: pool " + pool_.to_string() +
+                            " exhausted allocating /" +
+                            std::to_string(length));
+  next_offset_ = offset + child_size;
+  return Ipv4Prefix::make(
+      Ipv4Addr{pool_.network().to_u32() + static_cast<std::uint32_t>(offset)},
+      length);
+}
+
+std::uint64_t SubnetAllocator::remaining() const {
+  return pool_.size() - next_offset_;
+}
+
+HostAllocator::HostAllocator(Ipv4Prefix subnet)
+    : subnet_(subnet),
+      next_index_(subnet.length() >= 31 ? 0 : 1),
+      end_index_(subnet.length() >= 31 ? subnet.size() : subnet.size() - 1) {}
+
+Ipv4Addr HostAllocator::allocate() {
+  if (next_index_ >= end_index_)
+    throw std::length_error("HostAllocator: subnet exhausted");
+  return subnet_.address_at(next_index_++);
+}
+
+std::uint64_t HostAllocator::remaining() const {
+  return end_index_ - next_index_;
+}
+
+}  // namespace rp::net

@@ -1,0 +1,52 @@
+// Deterministic carving of a supernet into child prefixes and host addresses.
+//
+// The scenario generator needs many disjoint address blocks: one peering-LAN
+// prefix per IXP, and per-AS address space whose size enters the Fig. 10
+// reachable-interfaces metric. This allocator hands out non-overlapping
+// prefixes from a pool in a deterministic first-fit order.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/ip.hpp"
+
+namespace rp::net {
+
+/// Allocates consecutive, aligned, non-overlapping child prefixes from a
+/// supernet. Throws std::length_error when the pool is exhausted.
+class SubnetAllocator {
+ public:
+  explicit SubnetAllocator(Ipv4Prefix pool);
+
+  /// Allocates the next free child prefix of the given length
+  /// (length >= pool length). The result is aligned to its own size.
+  Ipv4Prefix allocate(unsigned length);
+
+  /// Addresses not yet covered by any allocation.
+  std::uint64_t remaining() const;
+  const Ipv4Prefix& pool() const { return pool_; }
+
+ private:
+  Ipv4Prefix pool_;
+  std::uint64_t next_offset_ = 0;  ///< First unallocated address offset.
+};
+
+/// Hands out individual host addresses from a prefix (used to assign member
+/// interface IPs inside an IXP peering LAN). Skips the network and broadcast
+/// addresses for prefixes shorter than /31.
+class HostAllocator {
+ public:
+  explicit HostAllocator(Ipv4Prefix subnet);
+
+  Ipv4Addr allocate();
+  std::uint64_t remaining() const;
+  const Ipv4Prefix& subnet() const { return subnet_; }
+
+ private:
+  Ipv4Prefix subnet_;
+  std::uint64_t next_index_;
+  std::uint64_t end_index_;
+};
+
+}  // namespace rp::net

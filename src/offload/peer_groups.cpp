@@ -1,0 +1,32 @@
+#include "offload/peer_groups.hpp"
+
+namespace rp::offload {
+
+std::string to_string(PeerGroup g) {
+  switch (g) {
+    case PeerGroup::kOpen: return "all open policies";
+    case PeerGroup::kOpenTop10Selective:
+      return "all open and top 10 selective policies";
+    case PeerGroup::kOpenSelective: return "all open and selective policies";
+    case PeerGroup::kAll: return "all policies";
+  }
+  return "unknown";
+}
+
+bool policy_in_group(topology::PeeringPolicy policy, PeerGroup group) {
+  using topology::PeeringPolicy;
+  switch (group) {
+    case PeerGroup::kOpen:
+    case PeerGroup::kOpenTop10Selective:
+      // Group 2's selective members are added by the analyzer.
+      return policy == PeeringPolicy::kOpen;
+    case PeerGroup::kOpenSelective:
+      return policy == PeeringPolicy::kOpen ||
+             policy == PeeringPolicy::kSelective;
+    case PeerGroup::kAll:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace rp::offload

@@ -1,0 +1,34 @@
+// Peer groups (§4.2): who might actually peer with the vantage network.
+//
+// Even after exclusion rules, which members would agree to peer is uncertain,
+// so the paper brackets the answer with four nested groups built from
+// PeeringDB-style policies:
+//   group 1  all open policies (lower bound — open networks typically peer
+//            automatically via the IXP route server),
+//   group 2  group 1 plus the 10 selective networks with the largest
+//            offload potential,
+//   group 3  all open and selective policies,
+//   group 4  all policies (upper bound).
+#pragma once
+
+#include <string>
+
+#include "topology/as_node.hpp"
+
+namespace rp::offload {
+
+enum class PeerGroup {
+  kOpen = 1,
+  kOpenTop10Selective = 2,
+  kOpenSelective = 3,
+  kAll = 4,
+};
+
+std::string to_string(PeerGroup g);
+
+/// Whether a policy belongs to a group, ignoring the top-10 refinement
+/// (group 2's selective top-10 is resolved by the analyzer, which knows the
+/// potentials).
+bool policy_in_group(topology::PeeringPolicy policy, PeerGroup group);
+
+}  // namespace rp::offload

@@ -1,0 +1,92 @@
+// Stochastic delay models for links: queueing jitter and congestion episodes.
+//
+// The paper's RTT measurements fight two delay artefacts (§3.1): transient
+// congestion (handled by repeating probes and keeping the minimum) and
+// persistent congestion (handled by the RTT-consistent and LG-consistent
+// filters plus the high 10 ms threshold). Both artefacts are injected here so
+// each counter-measure is exercised against the condition it was built for.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace rp::sim {
+
+/// Extra per-frame delay sampled at transmission time.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual util::SimDuration sample(util::SimTime now, util::Rng& rng) = 0;
+};
+
+/// Light-tailed queueing jitter: lognormal with a microsecond-scale median.
+/// Models normal switch/port queueing inside a healthy fabric.
+class QueueJitter : public DelayModel {
+ public:
+  /// `median` is the typical extra delay; `sigma` the lognormal shape.
+  QueueJitter(util::SimDuration median, double sigma);
+  util::SimDuration sample(util::SimTime now, util::Rng& rng) override;
+
+ private:
+  double mu_;  ///< log(median in seconds)
+  double sigma_;
+};
+
+/// Recurring congestion episodes: within configured windows, frames see an
+/// extra heavy delay (e.g. several ms). Outside the windows, nothing.
+class CongestionEpisodes : public DelayModel {
+ public:
+  struct Episode {
+    util::SimTime start;
+    util::SimTime end;
+    /// Mean extra delay while the episode is active (exponentially
+    /// distributed per frame).
+    util::SimDuration mean_extra;
+  };
+
+  explicit CongestionEpisodes(std::vector<Episode> episodes);
+  util::SimDuration sample(util::SimTime now, util::Rng& rng) override;
+
+  /// Convenience: periodic daily busy-hour episodes across a whole campaign.
+  static std::unique_ptr<CongestionEpisodes> daily_busy_hours(
+      util::SimTime campaign_start, util::SimDuration campaign_length,
+      util::SimDuration busy_start_offset, util::SimDuration busy_length,
+      util::SimDuration mean_extra);
+
+ private:
+  std::vector<Episode> episodes_;
+};
+
+/// Persistent congestion: every frame sees heavy, widely dispersed extra
+/// delay (a saturated port whose queue swings between deep and deeper).
+/// The minimum RTT of such an interface is a lucky outlier that few other
+/// samples come close to — exactly the pathology the RTT-consistent filter
+/// discards. Per-frame extra delay is uniform in [min_extra, max_extra].
+class PersistentCongestion : public DelayModel {
+ public:
+  PersistentCongestion(util::SimDuration min_extra,
+                       util::SimDuration max_extra);
+  /// Convenience: a default heavy sweep of [mean/3, 3 * mean].
+  explicit PersistentCongestion(util::SimDuration mean_extra)
+      : PersistentCongestion(mean_extra / 3, mean_extra * 3) {}
+  util::SimDuration sample(util::SimTime now, util::Rng& rng) override;
+
+ private:
+  util::SimDuration min_extra_;
+  util::SimDuration max_extra_;
+};
+
+/// Sums the samples of several component models.
+class CompositeDelay : public DelayModel {
+ public:
+  explicit CompositeDelay(std::vector<std::unique_ptr<DelayModel>> parts);
+  util::SimDuration sample(util::SimTime now, util::Rng& rng) override;
+
+ private:
+  std::vector<std::unique_ptr<DelayModel>> parts_;
+};
+
+}  // namespace rp::sim

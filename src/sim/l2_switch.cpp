@@ -1,0 +1,25 @@
+#include "sim/l2_switch.hpp"
+
+namespace rp::sim {
+
+void L2Switch::receive(std::size_t ifindex, const EthernetFrame& frame) {
+  // Learn the sender's port (MAC moves are honored: last seen wins).
+  if (!frame.src.is_multicast()) mac_table_[frame.src] = ifindex;
+
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
+    const auto it = mac_table_.find(frame.dst);
+    if (it != mac_table_.end()) {
+      if (it->second != ifindex) {
+        transmit(it->second, frame);
+        ++frames_forwarded_;
+      }
+      return;  // Destination hangs off the ingress port: filter the frame.
+    }
+  }
+  // Broadcast, multicast, or unknown unicast: flood all other ports.
+  ++frames_flooded_;
+  for (std::size_t port = 0; port < port_count_; ++port)
+    if (port != ifindex) transmit(port, frame);
+}
+
+}  // namespace rp::sim

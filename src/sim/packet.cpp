@@ -1,0 +1,26 @@
+#include "sim/packet.hpp"
+
+namespace rp::sim {
+
+std::string EthernetFrame::to_string() const {
+  std::string out = src.to_string() + " -> " + dst.to_string();
+  if (is_arp()) {
+    const auto& a = arp();
+    if (a.op == ArpMessage::Op::kRequest) {
+      out += " ARP who-has " + a.target_ip.to_string();
+    } else {
+      out += " ARP " + a.sender_ip.to_string() + " is-at " +
+             a.sender_mac.to_string();
+    }
+  } else {
+    const auto& p = ipv4();
+    out += " IPv4 " + p.src.to_string() + " -> " + p.dst.to_string() +
+           " ttl=" + std::to_string(p.ttl);
+    out += p.icmp.type == IcmpEcho::Type::kRequest ? " echo-request"
+                                                   : " echo-reply";
+    out += " seq=" + std::to_string(p.icmp.sequence);
+  }
+  return out;
+}
+
+}  // namespace rp::sim

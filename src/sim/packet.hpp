@@ -1,0 +1,62 @@
+// Frame and packet formats for the layer-2/3 testbed.
+//
+// The testbed carries exactly the traffic the paper's method needs: ARP for
+// address resolution inside the IXP peering LAN, and ICMP echo (ping) over
+// IPv4. TTL semantics are modeled faithfully because the TTL-match and
+// TTL-switch filters (§3.1) key on the TTL of received echo replies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace rp::sim {
+
+/// ICMP echo request/reply (the only ICMP types the testbed needs).
+struct IcmpEcho {
+  enum class Type { kRequest, kReply };
+  Type type = Type::kRequest;
+  std::uint16_t id = 0;        ///< Identifier (per pinging process).
+  std::uint16_t sequence = 0;  ///< Sequence number within a ping run.
+};
+
+/// An IPv4 packet carrying ICMP.
+struct Ipv4Packet {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  /// Remaining hop budget. Senders set their OS-configured initial TTL; each
+  /// IP hop decrements. Inside a flat layer-2 subnet the value arrives
+  /// unchanged — the invariant behind the TTL-match filter.
+  std::uint8_t ttl = 64;
+  IcmpEcho icmp;
+};
+
+/// ARP request/reply for IPv4-over-Ethernet resolution.
+struct ArpMessage {
+  enum class Op { kRequest, kReply };
+  Op op = Op::kRequest;
+  net::MacAddr sender_mac;
+  net::Ipv4Addr sender_ip;
+  net::MacAddr target_mac;  ///< Unset in requests.
+  net::Ipv4Addr target_ip;
+};
+
+/// An Ethernet frame: addressing plus one of the supported payloads.
+struct EthernetFrame {
+  net::MacAddr src;
+  net::MacAddr dst;
+  std::variant<Ipv4Packet, ArpMessage> payload;
+
+  bool is_ipv4() const { return std::holds_alternative<Ipv4Packet>(payload); }
+  bool is_arp() const { return std::holds_alternative<ArpMessage>(payload); }
+  const Ipv4Packet& ipv4() const { return std::get<Ipv4Packet>(payload); }
+  const ArpMessage& arp() const { return std::get<ArpMessage>(payload); }
+
+  /// Debug rendering, e.g. "02:..:01 -> ff:..:ff ARP who-has 10.0.0.2".
+  std::string to_string() const;
+};
+
+}  // namespace rp::sim

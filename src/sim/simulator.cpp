@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace rp::sim {
+
+void Simulator::schedule(util::SimTime at, Action action) {
+  if (at < now_)
+    throw std::invalid_argument("Simulator::schedule: time in the past");
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(util::SimDuration delay, Action action) {
+  schedule(now_ + delay, std::move(action));
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    execute_next();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(util::SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    execute_next();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void Simulator::execute_next() {
+  // The queue is keyed (time, seq): same-time events run in schedule order,
+  // which makes runs bit-for-bit reproducible.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  event.action();
+}
+
+}  // namespace rp::sim

@@ -1,0 +1,56 @@
+// The discrete-event engine underneath the layer-2/3 testbed.
+//
+// A single-threaded priority-queue simulator: events are (time, action)
+// pairs; ties execute in scheduling order so runs are deterministic. All
+// higher-level machinery — link propagation, switch forwarding, ICMP echo
+// processing, probe pacing — is expressed as scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace rp::sim {
+
+/// Deterministic discrete-event simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (must not precede now()).
+  void schedule(util::SimTime at, Action action);
+  /// Schedules `action` after `delay` from now.
+  void schedule_in(util::SimDuration delay, Action action);
+
+  /// Runs until the event queue drains; returns the number of events run.
+  std::size_t run();
+  /// Runs events with time <= deadline; advances now() to the deadline.
+  std::size_t run_until(util::SimTime deadline);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void execute_next();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rp::sim

@@ -1,0 +1,174 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace rp::topology {
+
+void AsGraph::add_as(AsNode node) {
+  if (!node.asn.is_valid())
+    throw std::invalid_argument("AsGraph::add_as: invalid ASN 0");
+  if (index_.contains(node.asn))
+    throw std::invalid_argument("AsGraph::add_as: duplicate " +
+                                node.asn.to_string());
+  index_.emplace(node.asn, nodes_.size());
+  nodes_.push_back(std::move(node));
+  adj_.emplace_back();
+}
+
+void AsGraph::add_transit(net::Asn provider, net::Asn customer) {
+  if (provider == customer)
+    throw std::invalid_argument("AsGraph::add_transit: self-loop");
+  if (is_transit(provider, customer) || is_transit(customer, provider) ||
+      is_peering(provider, customer))
+    throw std::invalid_argument(
+        "AsGraph::add_transit: relationship already exists between " +
+        provider.to_string() + " and " + customer.to_string());
+  adj_[index_of(provider)].customers.push_back(customer);
+  adj_[index_of(customer)].providers.push_back(provider);
+  ++transit_links_;
+}
+
+void AsGraph::add_peering(net::Asn a, net::Asn b) {
+  if (a == b) throw std::invalid_argument("AsGraph::add_peering: self-loop");
+  if (is_peering(a, b) || is_transit(a, b) || is_transit(b, a))
+    throw std::invalid_argument(
+        "AsGraph::add_peering: relationship already exists between " +
+        a.to_string() + " and " + b.to_string());
+  adj_[index_of(a)].peers.push_back(b);
+  adj_[index_of(b)].peers.push_back(a);
+  ++peering_links_;
+}
+
+bool AsGraph::contains(net::Asn asn) const { return index_.contains(asn); }
+
+const AsNode& AsGraph::node(net::Asn asn) const {
+  return nodes_[index_of(asn)];
+}
+
+AsNode& AsGraph::node(net::Asn asn) { return nodes_[index_of(asn)]; }
+
+std::span<const net::Asn> AsGraph::providers_of(net::Asn asn) const {
+  return adjacency(asn).providers;
+}
+
+std::span<const net::Asn> AsGraph::customers_of(net::Asn asn) const {
+  return adjacency(asn).customers;
+}
+
+std::span<const net::Asn> AsGraph::peers_of(net::Asn asn) const {
+  return adjacency(asn).peers;
+}
+
+bool AsGraph::is_transit(net::Asn provider, net::Asn customer) const {
+  if (!contains(provider) || !contains(customer)) return false;
+  const auto& customers = adjacency(provider).customers;
+  return std::find(customers.begin(), customers.end(), customer) !=
+         customers.end();
+}
+
+bool AsGraph::is_peering(net::Asn a, net::Asn b) const {
+  if (!contains(a) || !contains(b)) return false;
+  const auto& peers = adjacency(a).peers;
+  return std::find(peers.begin(), peers.end(), b) != peers.end();
+}
+
+std::vector<net::Asn> AsGraph::customer_cone(net::Asn asn) const {
+  std::vector<net::Asn> cone;
+  std::unordered_set<net::Asn> seen;
+  std::deque<net::Asn> frontier{asn};
+  seen.insert(asn);
+  while (!frontier.empty()) {
+    const net::Asn current = frontier.front();
+    frontier.pop_front();
+    cone.push_back(current);
+    for (net::Asn customer : customers_of(current)) {
+      if (seen.insert(customer).second) frontier.push_back(customer);
+    }
+  }
+  return cone;
+}
+
+std::uint64_t AsGraph::cone_address_count(net::Asn asn) const {
+  std::uint64_t total = 0;
+  for (net::Asn member : customer_cone(asn))
+    total += node(member).address_count();
+  return total;
+}
+
+std::uint64_t AsGraph::total_address_count() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.address_count();
+  return total;
+}
+
+std::optional<std::string> AsGraph::validate() const {
+  // Provider hierarchy must be acyclic: Kahn's algorithm over provider ->
+  // customer edges.
+  std::vector<std::size_t> in_degree(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (net::Asn customer : adj_[i].customers)
+      ++in_degree[index_of(customer)];
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (in_degree[i] == 0) ready.push_back(i);
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (net::Asn customer : adj_[i].customers) {
+      const std::size_t j = index_of(customer);
+      if (--in_degree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (visited != nodes_.size())
+    return "transit hierarchy contains a customer-provider cycle";
+
+  // No pair may hold both transit and peering (checked on insert, but a
+  // defensive re-check keeps the invariant explicit).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (net::Asn peer : adj_[i].peers) {
+      if (is_transit(nodes_[i].asn, peer) || is_transit(peer, nodes_[i].asn))
+        return "pair " + nodes_[i].asn.to_string() + "/" + peer.to_string() +
+               " holds both transit and peering";
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t AsGraph::index_of(net::Asn asn) const {
+  const auto it = index_.find(asn);
+  if (it == index_.end())
+    throw std::out_of_range("AsGraph: unknown " + asn.to_string());
+  return it->second;
+}
+
+const AsGraph::Adjacency& AsGraph::adjacency(net::Asn asn) const {
+  return adj_[index_of(asn)];
+}
+
+std::string to_string(AsClass c) {
+  switch (c) {
+    case AsClass::kTier1: return "tier1";
+    case AsClass::kTier2: return "tier2";
+    case AsClass::kAccess: return "access";
+    case AsClass::kContent: return "content";
+    case AsClass::kCdn: return "cdn";
+    case AsClass::kNren: return "nren";
+    case AsClass::kEnterprise: return "enterprise";
+  }
+  return "unknown";
+}
+
+std::string to_string(PeeringPolicy p) {
+  switch (p) {
+    case PeeringPolicy::kOpen: return "open";
+    case PeeringPolicy::kSelective: return "selective";
+    case PeeringPolicy::kRestrictive: return "restrictive";
+  }
+  return "unknown";
+}
+
+}  // namespace rp::topology

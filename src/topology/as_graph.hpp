@@ -1,0 +1,90 @@
+// The AS-level graph with business relationships and customer cones.
+//
+// Edges are the two economic relationships of §2: transit (customer-to-
+// provider) and settlement-free peering. The customer cone of an AS — itself
+// plus its direct and indirect transit customers — determines which traffic a
+// peering relationship may carry (§2.2), and therefore what remote peering
+// can offload (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/as_node.hpp"
+
+namespace rp::topology {
+
+/// A mutable AS graph. ASes are added first, then relationships; the provider
+/// hierarchy must stay acyclic (enforced lazily by validate()).
+class AsGraph {
+ public:
+  /// Adds an AS. Throws std::invalid_argument on duplicate or invalid ASN.
+  void add_as(AsNode node);
+
+  /// Records `provider` selling transit to `customer`.
+  /// Throws if either AS is unknown, the edge duplicates an existing
+  /// relationship in either direction, or provider == customer.
+  void add_transit(net::Asn provider, net::Asn customer);
+
+  /// Records settlement-free peering between a and b.
+  /// Throws under the same conditions as add_transit.
+  void add_peering(net::Asn a, net::Asn b);
+
+  bool contains(net::Asn asn) const;
+  const AsNode& node(net::Asn asn) const;
+  AsNode& node(net::Asn asn);
+  std::size_t as_count() const { return nodes_.size(); }
+  std::size_t transit_link_count() const { return transit_links_; }
+  std::size_t peering_link_count() const { return peering_links_; }
+
+  /// All ASes, in insertion order.
+  const std::vector<AsNode>& nodes() const { return nodes_; }
+
+  std::span<const net::Asn> providers_of(net::Asn asn) const;
+  std::span<const net::Asn> customers_of(net::Asn asn) const;
+  std::span<const net::Asn> peers_of(net::Asn asn) const;
+
+  /// True if `provider` directly sells transit to `customer`.
+  bool is_transit(net::Asn provider, net::Asn customer) const;
+  /// True if a and b directly peer.
+  bool is_peering(net::Asn a, net::Asn b) const;
+
+  /// The customer cone: `asn` plus every direct and indirect transit
+  /// customer, each AS listed once. The root is always the first element.
+  std::vector<net::Asn> customer_cone(net::Asn asn) const;
+
+  /// Number of IP interfaces originated inside the customer cone.
+  std::uint64_t cone_address_count(net::Asn asn) const;
+
+  /// Total addresses originated by all ASes in the graph.
+  std::uint64_t total_address_count() const;
+
+  /// Checks structural invariants: provider hierarchy is acyclic and no pair
+  /// of ASes holds both transit and peering relationships.
+  /// Returns an explanatory message for the first violation, or nullopt.
+  std::optional<std::string> validate() const;
+
+  /// Index of an ASN into nodes(); throws std::out_of_range if unknown.
+  std::size_t index_of(net::Asn asn) const;
+
+ private:
+  struct Adjacency {
+    std::vector<net::Asn> providers;
+    std::vector<net::Asn> customers;
+    std::vector<net::Asn> peers;
+  };
+
+  const Adjacency& adjacency(net::Asn asn) const;
+
+  std::vector<AsNode> nodes_;
+  std::unordered_map<net::Asn, std::size_t> index_;
+  std::vector<Adjacency> adj_;
+  std::size_t transit_links_ = 0;
+  std::size_t peering_links_ = 0;
+};
+
+}  // namespace rp::topology

@@ -1,0 +1,64 @@
+// Autonomous systems as economic entities (§2 of the paper).
+//
+// Each AS carries the attributes the studies need: a business class (tier-1
+// transit down to enterprise stub), a home city for geography-derived
+// latencies, originated address space (the Fig. 10 reachable-interface
+// metric), an intrinsic traffic scale (the Fig. 5a heavy tail), and a
+// PeeringDB-style peering policy (the §4 peer groups).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "net/ip.hpp"
+
+namespace rp::topology {
+
+/// Business class of an autonomous system.
+enum class AsClass {
+  kTier1,       ///< Provider-free transit backbone; peers with all other T1s.
+  kTier2,       ///< Regional/national transit provider.
+  kAccess,      ///< Eyeball/access network serving end users.
+  kContent,     ///< Content provider (large origin traffic).
+  kCdn,         ///< Content delivery network (distributed, large traffic).
+  kNren,        ///< National research & education network (like RedIRIS).
+  kEnterprise,  ///< Stub enterprise network.
+};
+
+std::string to_string(AsClass c);
+
+/// Peering policy as published in PeeringDB (§2.2): open networks peer with
+/// anyone (commonly via the IXP route server), selective networks impose
+/// conditions, restrictive networks almost never peer.
+enum class PeeringPolicy {
+  kOpen,
+  kSelective,
+  kRestrictive,
+};
+
+std::string to_string(PeeringPolicy p);
+
+/// An autonomous system and its study-relevant attributes.
+struct AsNode {
+  net::Asn asn;
+  std::string name;
+  AsClass cls = AsClass::kEnterprise;
+  PeeringPolicy policy = PeeringPolicy::kOpen;
+  geo::City home_city;
+  /// Prefixes originated by this AS. Disjoint across ASes by construction.
+  std::vector<net::Ipv4Prefix> prefixes;
+  /// Relative traffic popularity; drives the per-network contributions to a
+  /// vantage network's transit traffic (Fig. 5a).
+  double traffic_scale = 1.0;
+
+  /// Number of IP interfaces (addresses) originated by this AS.
+  std::uint64_t address_count() const {
+    std::uint64_t total = 0;
+    for (const auto& p : prefixes) total += p.size();
+    return total;
+  }
+};
+
+}  // namespace rp::topology

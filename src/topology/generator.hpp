@@ -1,0 +1,60 @@
+// Synthetic AS-level topology generation.
+//
+// Substitute for the real 2013/2014 Internet (see DESIGN.md): a hierarchical
+// AS ecosystem with a tier-1 clique, regional tier-2 transit providers, and
+// stub classes (access/eyeball, content, CDN, NREN, enterprise), wired with
+// Gao-Rexford-consistent customer-provider and peering relationships. Every
+// AS gets a home city, originated address space, a traffic popularity scale
+// and a PeeringDB-style policy, which together drive the §3 and §4 studies.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/cities.hpp"
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rp::topology {
+
+/// Knobs for the topology generator. Defaults give a world of ~12,500 ASes
+/// originating ~2.6 billion addresses (the scale Fig. 10 reports). The AS
+/// universe is intentionally much larger than the IXP-member population —
+/// in 2013 roughly 45k ASes existed while the 65 Euro-IX exchanges had a
+/// few thousand distinct members, and that gap is what keeps the offload
+/// potential partial (§4.3).
+struct GeneratorConfig {
+  std::size_t tier1_count = 10;
+  std::size_t tier2_count = 1500;
+  std::size_t access_count = 3500;
+  std::size_t content_count = 800;
+  std::size_t cdn_count = 40;
+  std::size_t nren_count = 40;
+  std::size_t enterprise_count = 6500;
+
+  /// Mean number of transit providers for multihomed (non-tier-1) ASes.
+  double multihoming_mean = 1.7;
+  /// Probability that two same-continent tier-2 providers peer directly.
+  double tier2_peering_prob = 0.015;
+  /// Probability that a content/CDN network peers with a given large access
+  /// network on the same continent (private interconnects outside IXPs).
+  double content_access_peering_prob = 0.01;
+  /// Create a GEANT-like backbone that all NRENs attach to.
+  bool nren_backbone = true;
+
+  /// First ASN handed out; ASes get consecutive numbers.
+  std::uint32_t first_asn = 100;
+
+  /// Zipf exponent for the traffic popularity of networks within a class.
+  double popularity_zipf_exponent = 1.05;
+};
+
+/// Generates a topology. Deterministic for a given (config, rng-state).
+/// The result always passes AsGraph::validate().
+AsGraph generate_topology(const GeneratorConfig& config, util::Rng& rng,
+                          const geo::CityRegistry& cities =
+                              geo::CityRegistry::world());
+
+/// Name of the backbone AS created when `nren_backbone` is set.
+inline constexpr const char* kNrenBackboneName = "NREN-Backbone";
+
+}  // namespace rp::topology

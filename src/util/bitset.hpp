@@ -1,0 +1,106 @@
+// A compact dynamic bitset.
+//
+// The offload analysis works with coverage sets — "which transit endpoints
+// does peering at IXP X cover?" — over a few thousand networks, unioned and
+// differenced repeatedly inside a greedy loop. A word-packed bitset keeps
+// that loop cache-friendly.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rp::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    check(i);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) {
+    check(i);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    check(i);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+  bool any() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  /// Removes the bits set in `other` (set difference).
+  DynamicBitset& subtract(const DynamicBitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  /// Number of bits set in (*this & other) without materializing it.
+  std::size_t intersection_count(const DynamicBitset& other) const {
+    check_same(other);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      n += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    return n;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const DynamicBitset&) const = default;
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= bits_) throw std::out_of_range("DynamicBitset: index");
+  }
+  void check_same(const DynamicBitset& other) const {
+    if (bits_ != other.bits_)
+      throw std::invalid_argument("DynamicBitset: size mismatch");
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rp::util

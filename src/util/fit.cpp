@@ -1,0 +1,64 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rp::util {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit_linear: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_linear: need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_linear: constant x");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  if (syy == 0.0) {
+    f.r_squared = 1.0;  // All y identical and reproduced exactly.
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (f.slope * x[i] + f.intercept);
+      ss_res += e * e;
+    }
+    f.r_squared = 1.0 - ss_res / syy;
+  }
+  return f;
+}
+
+double ExponentialDecayFit::evaluate(double x) const {
+  return amplitude * std::exp(-decay * x);
+}
+
+ExponentialDecayFit fit_exponential_decay(const std::vector<double>& x,
+                                          const std::vector<double>& y) {
+  std::vector<double> log_y;
+  log_y.reserve(y.size());
+  for (double v : y) {
+    if (v <= 0.0)
+      throw std::invalid_argument("fit_exponential_decay: y must be > 0");
+    log_y.push_back(std::log(v));
+  }
+  const LinearFit lin = fit_linear(x, log_y);
+  ExponentialDecayFit f;
+  f.amplitude = std::exp(lin.intercept);
+  f.decay = -lin.slope;
+  f.r_squared = lin.r_squared;
+  return f;
+}
+
+}  // namespace rp::util

@@ -1,0 +1,43 @@
+// Least-squares fitting helpers for the economic model (§5).
+//
+// The paper fits the RedIRIS offload data to exponential decay,
+// t = exp(-b * k) where k is the number of reached IXPs (eq. 3). We provide a
+// general linear least-squares fit and an exponential-decay fit built on it
+// (log-linearization), plus goodness-of-fit so the ablation bench can report
+// how well the exponential model matches the simulated curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rp::util {
+
+/// Result of fitting y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit).
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares on (x, y) pairs. Requires >= 2 points and
+/// non-constant x; throws std::invalid_argument otherwise.
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Result of fitting y = amplitude * exp(-decay * x).
+struct ExponentialDecayFit {
+  double amplitude = 0.0;
+  double decay = 0.0;  ///< The paper's parameter b (eq. 3).
+  /// R^2 of the underlying log-linear fit.
+  double r_squared = 0.0;
+
+  double evaluate(double x) const;
+};
+
+/// Fits y = A * exp(-b x) by linear regression on log(y). All y must be
+/// strictly positive; throws std::invalid_argument otherwise.
+ExponentialDecayFit fit_exponential_decay(const std::vector<double>& x,
+                                          const std::vector<double>& y);
+
+}  // namespace rp::util

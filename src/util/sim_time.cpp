@@ -1,0 +1,31 @@
+#include "util/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rp::util {
+
+SimDuration SimDuration::from_millis_f(double ms) {
+  return SimDuration::nanos(static_cast<std::int64_t>(std::llround(ms * 1e6)));
+}
+
+SimDuration SimDuration::from_seconds_f(double s) {
+  return SimDuration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string SimDuration::to_string() const {
+  char buf[64];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns < 1'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace rp::util

@@ -1,0 +1,114 @@
+// Simulated time as a nanosecond fixed-point value.
+//
+// The library never reads the wall clock; all timestamps — probe send times,
+// RTTs, NetFlow bin boundaries — are SimTime/SimDuration values driven by the
+// discrete-event simulator. Using integer nanoseconds keeps arithmetic exact
+// and ordering total, which matters for event-queue determinism.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rp::util {
+
+/// A span of simulated time. Signed so that differences are representable.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration nanos(std::int64_t n) { return SimDuration{n}; }
+  static constexpr SimDuration micros(std::int64_t n) {
+    return SimDuration{n * 1'000};
+  }
+  static constexpr SimDuration millis(std::int64_t n) {
+    return SimDuration{n * 1'000'000};
+  }
+  static constexpr SimDuration seconds(std::int64_t n) {
+    return SimDuration{n * 1'000'000'000};
+  }
+  static constexpr SimDuration minutes(std::int64_t n) {
+    return seconds(n * 60);
+  }
+  static constexpr SimDuration hours(std::int64_t n) { return minutes(n * 60); }
+  static constexpr SimDuration days(std::int64_t n) { return hours(n * 24); }
+  /// From a floating-point count of milliseconds (rounds to nearest ns).
+  static SimDuration from_millis_f(double ms);
+  /// From a floating-point count of seconds (rounds to nearest ns).
+  static SimDuration from_seconds_f(double s);
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double as_millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_seconds_f() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration{ns_ + o.ns_};
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration{ns_ - o.ns_};
+  }
+  constexpr SimDuration operator-() const { return SimDuration{-ns_}; }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration{ns_ * k};
+  }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration{ns_ / k};
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  /// Human-readable rendering with an adaptive unit (ns/us/ms/s).
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulated timeline (ns since scenario start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime origin() { return SimTime{}; }
+  static constexpr SimTime at(SimDuration since_origin) {
+    return SimTime{since_origin.count_nanos()};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr SimDuration since_origin() const {
+    return SimDuration::nanos(ns_);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime{ns_ + d.count_nanos()};
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime{ns_ - d.count_nanos()};
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::nanos(ns_ - o.ns_);
+  }
+  SimTime& operator+=(SimDuration d) {
+    ns_ += d.count_nanos();
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace rp::util

@@ -1,0 +1,56 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace rp::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0)
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+    s.remove_suffix(1);
+  return s;
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  return true;
+}
+
+bool parse_u32(std::string_view s, unsigned long& out) {
+  if (!is_all_digits(s)) return false;
+  unsigned long value = 0;
+  for (char c : s) {
+    const unsigned digit = static_cast<unsigned>(c - '0');
+    if (value > (0xFFFFFFFFUL - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace rp::util

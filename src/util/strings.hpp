@@ -1,0 +1,27 @@
+// Small string helpers shared across modules (parsing of dotted-quad
+// addresses, rendering of identifiers, etc.).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rp::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` consists only of decimal digits (and is non-empty).
+bool is_all_digits(std::string_view s);
+
+/// Parses a non-negative decimal integer; returns false on overflow or
+/// non-digit input.
+bool parse_u32(std::string_view s, unsigned long& out);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view s);
+
+}  // namespace rp::util

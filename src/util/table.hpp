@@ -1,0 +1,57 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as rows
+// of text; this renderer keeps the output aligned and also emits CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rp::util {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings, render aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets the alignment for one column (default: left for the first column,
+  /// right for the rest — the common "name, numbers..." layout).
+  void set_align(std::size_t column, Align align);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   IXP      | members | remote
+  ///   ---------+---------+-------
+  ///   AMS-IX   |     638 |     41
+  void render(std::ostream& os) const;
+
+  /// Renders as RFC-4180-style CSV (quotes cells containing comma/quote/NL).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats a traffic rate in adaptive units (bps/Kbps/Mbps/Gbps).
+std::string fmt_rate_bps(double bps);
+
+/// Formats a fraction as a percentage with one decimal, e.g. "27.3%".
+std::string fmt_percent(double fraction);
+
+}  // namespace rp::util

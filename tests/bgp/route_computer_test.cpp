@@ -1,0 +1,252 @@
+#include "bgp/route_computer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::bgp {
+namespace {
+
+using topology::AsGraph;
+using topology::AsNode;
+
+AsNode make_node(std::uint32_t asn) {
+  AsNode node;
+  node.asn = net::Asn{asn};
+  node.name = "AS" + std::to_string(asn);
+  return node;
+}
+
+net::Asn as(std::uint32_t n) { return net::Asn{n}; }
+
+/// A small reference topology:
+///
+///        1 ===== 2          (tier-1 peering)
+///       / \       \
+///      3   4       5        (transit: 1->3, 1->4, 2->5)
+///     /     \     / \
+///    6       7   8   9      (transit: 3->6, 4->7, 5->8, 5->9)
+///    plus peering 4 -- 5 and 6 -- 7.
+AsGraph reference_graph() {
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 3, 4, 5, 6, 7, 8, 9}) g.add_as(make_node(n));
+  g.add_peering(as(1), as(2));
+  g.add_transit(as(1), as(3));
+  g.add_transit(as(1), as(4));
+  g.add_transit(as(2), as(5));
+  g.add_transit(as(3), as(6));
+  g.add_transit(as(4), as(7));
+  g.add_transit(as(5), as(8));
+  g.add_transit(as(5), as(9));
+  g.add_peering(as(4), as(5));
+  g.add_peering(as(6), as(7));
+  return g;
+}
+
+TEST(RouteComputer, OriginHasEmptyPath) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  const auto route = computer.route(as(6), as(6));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kOrigin);
+  EXPECT_TRUE(route->as_path.empty());
+}
+
+TEST(RouteComputer, CustomerRoutePropagatesUp) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  // 1 reaches 6 through its customer chain 3 -> 6.
+  const auto route = computer.route(as(1), as(6));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kCustomer);
+  EXPECT_EQ(route->as_path, (std::vector<net::Asn>{as(3), as(6)}));
+}
+
+TEST(RouteComputer, PeerRouteUsedWhenNoCustomerRoute) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  // 6 -- 7 peer directly: 6 reaches 7 over the peering edge.
+  const auto route = computer.route(as(6), as(7));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kPeer);
+  EXPECT_EQ(route->as_path, (std::vector<net::Asn>{as(7)}));
+}
+
+TEST(RouteComputer, ProviderRouteClimbsHierarchy) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  // 8 reaches 9 via its provider 5 (5 has a customer route to 9).
+  const auto route = computer.route(as(8), as(9));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kProvider);
+  EXPECT_EQ(route->as_path, (std::vector<net::Asn>{as(5), as(9)}));
+}
+
+TEST(RouteComputer, ValleyFreePathCrossesAtMostOnePeakPeering) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  // 6 to 8: up to 3, up to 1, peer to 2, down to 5, down to 8? That is
+  // 6-3-1=2-5-8. But 6 also peers with 7 whose provider 4 peers with 5:
+  // 6=7 is peer-learned at 6 and may NOT be re-exported upward, so the
+  // valid path crosses the tier-1 peering.
+  const auto route = computer.route(as(6), as(8));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kProvider);
+  EXPECT_EQ(route->as_path,
+            (std::vector<net::Asn>{as(3), as(1), as(2), as(5), as(8)}));
+}
+
+TEST(RouteComputer, CustomerPreferredOverShorterPeerOrProvider) {
+  // 1 sells to 2 and peers with 3; 3 sells to 2 as well. From 1, the route
+  // to 2 must be the customer route even though the peer 3 also offers one.
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 3}) g.add_as(make_node(n));
+  g.add_transit(as(1), as(2));
+  g.add_peering(as(1), as(3));
+  g.add_transit(as(3), as(2));
+  const RouteComputer computer(g);
+  const auto route = computer.route(as(1), as(2));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kCustomer);
+  EXPECT_EQ(route->path_length(), 1u);
+}
+
+TEST(RouteComputer, CustomerPreferredEvenWhenLonger) {
+  // Destination 9 reachable from 1 via customer chain 1->3->4->9 (3 hops)
+  // or via peer 2 -> customer 9 (2 hops). Gao-Rexford prefers the customer
+  // route despite the longer AS path.
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 3, 4, 9}) g.add_as(make_node(n));
+  g.add_peering(as(1), as(2));
+  g.add_transit(as(1), as(3));
+  g.add_transit(as(3), as(4));
+  g.add_transit(as(4), as(9));
+  g.add_transit(as(2), as(9));
+  const RouteComputer computer(g);
+  const auto route = computer.route(as(1), as(9));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->source, RouteSource::kCustomer);
+  EXPECT_EQ(route->as_path, (std::vector<net::Asn>{as(3), as(4), as(9)}));
+}
+
+TEST(RouteComputer, PeerRouteNotExportedToPeers) {
+  // 1 -- 2 peer, 2 -- 3 peer, no other links: 1 must NOT reach 3 (a path
+  // 1=2=3 would cross two peering edges — a valley violation).
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 3}) g.add_as(make_node(n));
+  g.add_peering(as(1), as(2));
+  g.add_peering(as(2), as(3));
+  const RouteComputer computer(g);
+  EXPECT_FALSE(computer.route(as(1), as(3)).has_value());
+  EXPECT_TRUE(computer.route(as(1), as(2)).has_value());
+}
+
+TEST(RouteComputer, ProviderRouteNotExportedUpward) {
+  // 3 buys from 1 and from 2; 1 and 2 are otherwise unconnected. 1 must not
+  // reach 2 "through" their shared customer 3 (customer would have to
+  // export a provider-learned route upward).
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 3}) g.add_as(make_node(n));
+  g.add_transit(as(1), as(3));
+  g.add_transit(as(2), as(3));
+  const RouteComputer computer(g);
+  EXPECT_FALSE(computer.route(as(1), as(2)).has_value());
+  // But both providers reach the shared customer.
+  EXPECT_TRUE(computer.route(as(1), as(3)).has_value());
+  EXPECT_TRUE(computer.route(as(2), as(3)).has_value());
+}
+
+TEST(RouteComputer, ShorterCustomerRoutePreferred) {
+  // Two customer routes from 1 to 4: 1->2->4 and 1->3a->3b->4. Shorter wins.
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 31, 32, 4}) g.add_as(make_node(n));
+  g.add_transit(as(1), as(2));
+  g.add_transit(as(2), as(4));
+  g.add_transit(as(1), as(31));
+  g.add_transit(as(31), as(32));
+  g.add_transit(as(32), as(4));
+  const RouteComputer computer(g);
+  const auto route = computer.route(as(1), as(4));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->as_path, (std::vector<net::Asn>{as(2), as(4)}));
+}
+
+TEST(RouteComputer, TieBreaksOnLowerNextHopAsn) {
+  // Equal-length customer routes via 2 and 5: next hop 2 wins.
+  AsGraph g;
+  for (std::uint32_t n : {1, 2, 5, 9}) g.add_as(make_node(n));
+  g.add_transit(as(1), as(2));
+  g.add_transit(as(1), as(5));
+  g.add_transit(as(2), as(9));
+  g.add_transit(as(5), as(9));
+  const RouteComputer computer(g);
+  const auto route = computer.route(as(1), as(9));
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->next_hop(), as(2));
+}
+
+TEST(RouteComputer, UnreachableIsolatedNode) {
+  AsGraph g;
+  g.add_as(make_node(1));
+  g.add_as(make_node(2));
+  const RouteComputer computer(g);
+  EXPECT_FALSE(computer.route(as(1), as(2)).has_value());
+  const auto routes = computer.routes_to(as(2));
+  EXPECT_FALSE(routes.reachable_from(as(1)));
+  EXPECT_TRUE(routes.reachable_from(as(2)));
+  EXPECT_THROW(routes.source_at(as(1)), std::out_of_range);
+  EXPECT_THROW(routes.path_length_from(as(1)), std::out_of_range);
+}
+
+TEST(RouteComputer, PathLengthsConsistentWithPaths) {
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  for (const auto& src : g.nodes()) {
+    for (const auto& dst : g.nodes()) {
+      const auto routes = computer.routes_to(dst.asn);
+      const auto route = routes.route_from(src.asn);
+      if (!route) continue;
+      EXPECT_EQ(route->path_length(),
+                routes.path_length_from(src.asn));
+      if (!route->as_path.empty())
+        EXPECT_EQ(route->as_path.back(), dst.asn);
+    }
+  }
+}
+
+TEST(RouteComputer, AllPairsPathsAreValleyFree) {
+  // Property: every produced path, annotated with the edge types, matches
+  // the valley-free grammar: up* (peer)? down*.
+  const AsGraph g = reference_graph();
+  const RouteComputer computer(g);
+  for (const auto& dst : g.nodes()) {
+    const auto routes = computer.routes_to(dst.asn);
+    for (const auto& src : g.nodes()) {
+      const auto route = routes.route_from(src.asn);
+      if (!route || route->as_path.empty()) continue;
+      int phase = 0;  // 0 = climbing, 1 = crossed peak, 2 = descending.
+      net::Asn prev = src.asn;
+      for (net::Asn hop : route->as_path) {
+        if (g.is_transit(hop, prev)) {
+          // prev -> hop is customer-to-provider (climbing).
+          EXPECT_EQ(phase, 0) << "climb after descent";
+        } else if (g.is_peering(hop, prev)) {
+          EXPECT_EQ(phase, 0) << "second peak";
+          phase = 1;
+        } else {
+          ASSERT_TRUE(g.is_transit(prev, hop));
+          phase = 2;
+        }
+        prev = hop;
+      }
+    }
+  }
+}
+
+TEST(RouteSourceToString, Coverage) {
+  EXPECT_EQ(to_string(RouteSource::kOrigin), "origin");
+  EXPECT_EQ(to_string(RouteSource::kCustomer), "customer");
+  EXPECT_EQ(to_string(RouteSource::kPeer), "peer");
+  EXPECT_EQ(to_string(RouteSource::kProvider), "provider");
+}
+
+}  // namespace
+}  // namespace rp::bgp

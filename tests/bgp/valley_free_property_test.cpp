@@ -1,0 +1,135 @@
+// Property sweep: valley-free invariants of the route computer on randomly
+// generated topologies. For every produced path:
+//   * it follows the Gao-Rexford grammar  up* (peer-edge)? down*,
+//   * its length matches the reported hop count,
+//   * customer routes are preferred over peer routes over provider routes
+//     whenever a route of the better class exists at all.
+#include <gtest/gtest.h>
+
+#include "bgp/route_computer.hpp"
+#include "topology/generator.hpp"
+
+namespace rp::bgp {
+namespace {
+
+class ValleyFreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+topology::AsGraph generated(std::uint64_t seed) {
+  topology::GeneratorConfig config;
+  config.tier1_count = 3;
+  config.tier2_count = 12;
+  config.access_count = 30;
+  config.content_count = 12;
+  config.cdn_count = 3;
+  config.nren_count = 4;
+  config.enterprise_count = 20;
+  util::Rng rng(seed);
+  return topology::generate_topology(config, rng);
+}
+
+TEST_P(ValleyFreeProperty, AllPathsFollowTheGrammar) {
+  const auto graph = generated(GetParam());
+  const RouteComputer computer(graph);
+  // Sample destinations across the graph (every 5th AS).
+  for (std::size_t d = 0; d < graph.as_count(); d += 5) {
+    const net::Asn destination = graph.nodes()[d].asn;
+    const auto routes = computer.routes_to(destination);
+    for (const auto& src : graph.nodes()) {
+      const auto route = routes.route_from(src.asn);
+      if (!route || route->as_path.empty()) continue;
+      int phase = 0;  // 0 climbing, 1 crossed the peak, 2 descending.
+      net::Asn prev = src.asn;
+      for (net::Asn hop : route->as_path) {
+        if (graph.is_transit(hop, prev)) {
+          ASSERT_EQ(phase, 0) << "climb after descent toward "
+                              << destination.to_string();
+        } else if (graph.is_peering(hop, prev)) {
+          ASSERT_EQ(phase, 0) << "second peering edge toward "
+                              << destination.to_string();
+          phase = 1;
+        } else {
+          ASSERT_TRUE(graph.is_transit(prev, hop))
+              << "hop without a relationship";
+          phase = 2;
+        }
+        prev = hop;
+      }
+      ASSERT_EQ(prev, destination);
+      ASSERT_EQ(route->path_length(), routes.path_length_from(src.asn));
+    }
+  }
+}
+
+TEST_P(ValleyFreeProperty, RouteSourceMatchesFirstEdgeRole) {
+  const auto graph = generated(GetParam());
+  const RouteComputer computer(graph);
+  for (std::size_t d = 0; d < graph.as_count(); d += 7) {
+    const net::Asn destination = graph.nodes()[d].asn;
+    const auto routes = computer.routes_to(destination);
+    for (const auto& src : graph.nodes()) {
+      const auto route = routes.route_from(src.asn);
+      if (!route) continue;
+      if (route->as_path.empty()) {
+        EXPECT_EQ(route->source, RouteSource::kOrigin);
+        continue;
+      }
+      const net::Asn next = route->next_hop();
+      switch (route->source) {
+        case RouteSource::kCustomer:
+          EXPECT_TRUE(graph.is_transit(src.asn, next));
+          break;
+        case RouteSource::kPeer:
+          EXPECT_TRUE(graph.is_peering(src.asn, next));
+          break;
+        case RouteSource::kProvider:
+          EXPECT_TRUE(graph.is_transit(next, src.asn));
+          break;
+        case RouteSource::kOrigin:
+          FAIL() << "origin with non-empty path";
+      }
+    }
+  }
+}
+
+TEST_P(ValleyFreeProperty, CustomerRoutesAlwaysWinOverCone) {
+  // If the destination is inside src's customer cone, the selected route
+  // must be customer-learned (or origin) — never peer or provider.
+  const auto graph = generated(GetParam());
+  const RouteComputer computer(graph);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < graph.as_count() && checked < 200; i += 3) {
+    const net::Asn root = graph.nodes()[i].asn;
+    for (net::Asn member : graph.customer_cone(root)) {
+      const auto route = computer.route(root, member);
+      ASSERT_TRUE(route.has_value());
+      EXPECT_TRUE(route->source == RouteSource::kCustomer ||
+                  route->source == RouteSource::kOrigin)
+          << root.to_string() << " -> " << member.to_string();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(ValleyFreeProperty, TierOneReachesEverythingThroughCustomersOrPeers) {
+  // Provider-free networks can never hold provider routes.
+  const auto graph = generated(GetParam());
+  const RouteComputer computer(graph);
+  net::Asn tier1;
+  for (const auto& node : graph.nodes())
+    if (node.cls == topology::AsClass::kTier1) {
+      tier1 = node.asn;
+      break;
+    }
+  for (std::size_t d = 0; d < graph.as_count(); d += 9) {
+    const auto route = computer.route(tier1, graph.nodes()[d].asn);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_NE(route->source, RouteSource::kProvider);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValleyFreeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rp::bgp

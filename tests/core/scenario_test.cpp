@@ -1,0 +1,200 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rp::core {
+namespace {
+
+ScenarioConfig small_config(std::uint64_t seed = 5) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.euroix = true;
+  config.membership_scale = 0.12;
+  config.topology.tier2_count = 30;
+  config.topology.access_count = 150;
+  config.topology.content_count = 40;
+  config.topology.cdn_count = 8;
+  config.topology.nren_count = 6;
+  config.topology.enterprise_count = 80;
+  return config;
+}
+
+TEST(Scenario, BuildsFullEuroixUniverse) {
+  const Scenario s = Scenario::build(small_config());
+  EXPECT_EQ(s.ecosystem().ixps().size(), 65u);
+  EXPECT_EQ(s.measured_ixps().size(), 22u);
+  EXPECT_GE(s.ecosystem().providers().size(), 2u);
+  EXPECT_FALSE(s.graph().validate().has_value());
+}
+
+TEST(Scenario, Table1OnlyUniverse) {
+  auto config = small_config();
+  config.euroix = false;
+  const Scenario s = Scenario::build(config);
+  EXPECT_EQ(s.ecosystem().ixps().size(), 22u);
+  EXPECT_EQ(s.measured_ixps().size(), 22u);
+}
+
+TEST(Scenario, VantageIsMadridNrenWithTwoTier1Providers) {
+  const Scenario s = Scenario::build(small_config());
+  const auto& vantage = s.graph().node(s.vantage());
+  EXPECT_EQ(vantage.cls, topology::AsClass::kNren);
+  EXPECT_EQ(vantage.home_city.name, "Madrid");
+  EXPECT_EQ(vantage.name, "RedIRIS-like");
+  const auto providers = s.graph().providers_of(s.vantage());
+  EXPECT_EQ(providers.size(), 2u);
+  for (net::Asn p : providers)
+    EXPECT_EQ(s.graph().node(p).cls, topology::AsClass::kTier1);
+}
+
+TEST(Scenario, VantagePeersWithTopCdns) {
+  const Scenario s = Scenario::build(small_config());
+  std::size_t cdn_peerings = 0;
+  for (net::Asn peer : s.graph().peers_of(s.vantage()))
+    if (s.graph().node(peer).cls == topology::AsClass::kCdn) ++cdn_peerings;
+  // Capped by the number of CDNs in the small world.
+  EXPECT_EQ(cdn_peerings, std::min<std::size_t>(
+                              small_config().vantage_cdn_peerings,
+                              small_config().topology.cdn_count));
+}
+
+TEST(Scenario, VantageIsMemberOfItsHomeIxpsOnly) {
+  const Scenario s = Scenario::build(small_config());
+  std::set<std::string> homes;
+  for (const auto& ixp : s.ecosystem().ixps())
+    if (ixp.has_member(s.vantage())) homes.insert(ixp.acronym());
+  EXPECT_EQ(homes, (std::set<std::string>{"CATNIX", "ESpanix"}));
+}
+
+TEST(Scenario, MeasuredIxpsHaveLookingGlasses) {
+  const Scenario s = Scenario::build(small_config());
+  for (ixp::IxpId id : s.measured_ixps()) {
+    const auto& ixp = s.ecosystem().ixp(id);
+    EXPECT_FALSE(ixp.looking_glasses().empty()) << ixp.acronym();
+    // The big three host both LG operators (LG-consistent filter fodder).
+    if (ixp.acronym() == "AMS-IX" || ixp.acronym() == "DE-CIX" ||
+        ixp.acronym() == "LINX")
+      EXPECT_EQ(ixp.looking_glasses().size(), 2u) << ixp.acronym();
+  }
+}
+
+TEST(Scenario, RemoteSharesFollowSeeds) {
+  const Scenario s = Scenario::build(small_config());
+  for (ixp::IxpId id : s.measured_ixps()) {
+    const auto& ixp = s.ecosystem().ixp(id);
+    std::size_t remote = 0;
+    for (const auto& iface : ixp.interfaces())
+      if (iface.is_remote_ground_truth()) ++remote;
+    if (ixp.acronym() == "DIX-IE" || ixp.acronym() == "CABASE") {
+      EXPECT_EQ(remote, 0u) << ixp.acronym();
+    }
+    if (ixp.acronym() == "AMS-IX") {
+      // About a fifth of AMS-IX members peer remotely (±10 points at this
+      // small scale).
+      const double share = static_cast<double>(remote) /
+                           static_cast<double>(ixp.interfaces().size());
+      EXPECT_GT(share, 0.08) << ixp.acronym();
+      EXPECT_LT(share, 0.35) << ixp.acronym();
+    }
+  }
+}
+
+TEST(Scenario, RemoteInterfacesHaveProvidersAndCircuits) {
+  const Scenario s = Scenario::build(small_config());
+  std::size_t via_provider = 0, via_partner = 0;
+  for (const auto& ixp : s.ecosystem().ixps()) {
+    for (const auto& iface : ixp.interfaces()) {
+      switch (iface.kind) {
+        case ixp::AttachmentKind::kRemoteViaProvider:
+          ++via_provider;
+          ASSERT_TRUE(iface.provider_index.has_value());
+          EXPECT_LT(*iface.provider_index, s.ecosystem().providers().size());
+          EXPECT_GT(iface.circuit_one_way, util::SimDuration::nanos(0));
+          break;
+        case ixp::AttachmentKind::kPartnerIxp:
+          ++via_partner;
+          EXPECT_GT(iface.circuit_one_way, util::SimDuration::nanos(0));
+          break;
+        default:
+          EXPECT_EQ(iface.circuit_one_way, util::SimDuration::nanos(0));
+          break;
+      }
+    }
+  }
+  EXPECT_GT(via_provider, 0u);
+  EXPECT_GT(via_partner, 0u);
+}
+
+TEST(Scenario, InterfaceAddressesUniqueWithinEachLan) {
+  const Scenario s = Scenario::build(small_config());
+  for (const auto& ixp : s.ecosystem().ixps()) {
+    std::set<net::Ipv4Addr> seen;
+    for (const auto& lg : ixp.looking_glasses())
+      EXPECT_TRUE(seen.insert(lg.addr).second);
+    for (const auto& iface : ixp.interfaces()) {
+      EXPECT_TRUE(ixp.peering_lan().contains(iface.addr));
+      EXPECT_TRUE(seen.insert(iface.addr).second)
+          << ixp.acronym() << " " << iface.addr.to_string();
+    }
+  }
+}
+
+TEST(Scenario, PeeringLansDisjointAcrossIxps) {
+  const Scenario s = Scenario::build(small_config());
+  const auto& ixps = s.ecosystem().ixps();
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    for (std::size_t j = i + 1; j < ixps.size(); ++j)
+      EXPECT_FALSE(
+          ixps[i].peering_lan().covers(ixps[j].peering_lan()) ||
+          ixps[j].peering_lan().covers(ixps[i].peering_lan()));
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const Scenario a = Scenario::build(small_config(9));
+  const Scenario b = Scenario::build(small_config(9));
+  EXPECT_EQ(a.vantage(), b.vantage());
+  ASSERT_EQ(a.ecosystem().ixps().size(), b.ecosystem().ixps().size());
+  for (std::size_t i = 0; i < a.ecosystem().ixps().size(); ++i) {
+    const auto& ia = a.ecosystem().ixps()[i];
+    const auto& ib = b.ecosystem().ixps()[i];
+    ASSERT_EQ(ia.interfaces().size(), ib.interfaces().size()) << ia.acronym();
+    for (std::size_t k = 0; k < ia.interfaces().size(); ++k) {
+      EXPECT_EQ(ia.interfaces()[k].asn, ib.interfaces()[k].asn);
+      EXPECT_EQ(ia.interfaces()[k].addr, ib.interfaces()[k].addr);
+      EXPECT_EQ(ia.interfaces()[k].kind, ib.interfaces()[k].kind);
+    }
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  const Scenario a = Scenario::build(small_config(1));
+  const Scenario b = Scenario::build(small_config(2));
+  bool any_difference = false;
+  const auto& ia = a.ecosystem().ixps()[0];
+  const auto& ib = b.ecosystem().ixps()[0];
+  if (ia.interfaces().size() != ib.interfaces().size()) {
+    any_difference = true;
+  } else {
+    for (std::size_t k = 0; k < ia.interfaces().size(); ++k)
+      any_difference =
+          any_difference || ia.interfaces()[k].asn != ib.interfaces()[k].asn;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, ProbedInterfaceCountsScaleWithSeeds) {
+  const Scenario s = Scenario::build(small_config());
+  for (ixp::IxpId id : s.measured_ixps()) {
+    const auto& ixp = s.ecosystem().ixp(id);
+    std::size_t discoverable = 0;
+    for (const auto& iface : ixp.interfaces())
+      if (iface.discoverable) ++discoverable;
+    EXPECT_GT(discoverable, 0u) << ixp.acronym();
+  }
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,250 @@
+// End-to-end tests of the three studies on a small but full scenario:
+// the §3 detection pipeline, the §4 offload analysis, and the §5 economics.
+#include <gtest/gtest.h>
+
+#include "core/offload_study.hpp"
+#include "core/scenario.hpp"
+#include "core/spread_study.hpp"
+#include "core/viability_study.hpp"
+
+namespace rp::core {
+namespace {
+
+const Scenario& shared_scenario() {
+  static const Scenario scenario = [] {
+    ScenarioConfig config;
+    config.seed = 11;
+    config.euroix = true;
+    config.membership_scale = 0.10;
+    config.topology.tier2_count = 30;
+    config.topology.access_count = 150;
+    config.topology.content_count = 40;
+    config.topology.cdn_count = 8;
+    config.topology.nren_count = 6;
+    config.topology.enterprise_count = 80;
+    return Scenario::build(config);
+  }();
+  return scenario;
+}
+
+SpreadStudyConfig fast_spread_config() {
+  SpreadStudyConfig config;
+  config.campaign.length = util::SimDuration::days(7);
+  config.campaign.queries_per_pch_lg = 4;
+  config.campaign.queries_per_ripe_lg = 3;
+  return config;
+}
+
+const SpreadStudy& shared_spread() {
+  static const SpreadStudy study =
+      SpreadStudy::run(shared_scenario(), fast_spread_config());
+  return study;
+}
+
+const OffloadStudy& shared_offload() {
+  static const OffloadStudy study = [] {
+    OffloadStudyConfig config;
+    config.rate_model.span = util::SimDuration::days(7);
+    return OffloadStudy::run(shared_scenario(), config);
+  }();
+  return study;
+}
+
+TEST(SpreadStudy, DetectsRemotePeeringAtMostIxps) {
+  const auto& report = shared_spread().report();
+  EXPECT_EQ(report.rows().size(), 22u);
+  // The paper finds remote peering at 91% of IXPs; at 1/10 scale the share
+  // stays high but single IXPs can come up empty.
+  EXPECT_GE(report.ixps_with_remote_fraction(), 0.7);
+  EXPECT_GT(report.total_analyzed(), 300u);
+}
+
+TEST(SpreadStudy, ClassifierMatchesGroundTruth) {
+  const auto& v = shared_spread().report().validation();
+  EXPECT_GE(v.precision(), 0.95);
+  EXPECT_GE(v.recall(), 0.9);
+  // RTT cross-check (the TorIX validation): small positive bias. Robust
+  // statistics — a single congested survivor can blow up the variance at
+  // this reduced sample count.
+  EXPECT_GT(v.rtt_error_median_ms, 0.0);
+  EXPECT_LT(v.rtt_error_median_ms, 2.0);
+  EXPECT_LT(v.rtt_error_p90_abs_ms, 5.0);
+}
+
+TEST(SpreadStudy, FiltersDiscardASmallConservativeShare) {
+  const auto& report = shared_spread().report();
+  const auto discards = report.total_discards();
+  std::size_t total_discarded = 0;
+  for (std::size_t f = 0; f < measure::kFilterCount; ++f)
+    total_discarded += discards[f];
+  EXPECT_GT(total_discarded, 0u);
+  // The paper discards 255 of ~4,700 (~5.4%); stay under 15%.
+  EXPECT_LT(static_cast<double>(total_discarded),
+            0.15 * static_cast<double>(report.total_probed()));
+}
+
+TEST(SpreadStudy, RemoteFreeIxpsComeOutClean) {
+  for (const auto& row : shared_spread().report().rows()) {
+    if (row.acronym == "DIX-IE" || row.acronym == "CABASE")
+      EXPECT_EQ(row.remote_interfaces, 0u) << row.acronym;
+  }
+}
+
+TEST(SpreadStudy, ReanalyzeWithLowerThresholdFindsMoreRemotes) {
+  const auto& base = shared_spread();
+  SpreadStudyConfig lax = fast_spread_config();
+  lax.classifier.remoteness_threshold = util::SimDuration::millis(2);
+  const SpreadStudy reanalyzed =
+      SpreadStudy::reanalyze(base.raw_measurements(), lax);
+  std::size_t base_remote = 0, lax_remote = 0;
+  for (const auto& row : base.report().rows()) base_remote += row.remote_interfaces;
+  for (const auto& row : reanalyzed.report().rows())
+    lax_remote += row.remote_interfaces;
+  EXPECT_GT(lax_remote, base_remote);
+  // Lowering the threshold must hurt precision against ground truth.
+  EXPECT_LE(reanalyzed.report().validation().precision(),
+            base.report().validation().precision());
+}
+
+TEST(SpreadStudy, NetworkViewIsPlausible) {
+  const auto& report = shared_spread().report();
+  EXPECT_GT(report.identified_networks(), 50u);
+  EXPECT_GT(report.remote_networks(), 5u);
+  const auto histogram = report.ixp_count_histogram(false);
+  ASSERT_TRUE(histogram.contains(1));
+  // Fig. 4a: single-IXP networks dominate.
+  std::size_t total = 0;
+  for (const auto& [count, n] : histogram) total += n;
+  EXPECT_GT(static_cast<double>(histogram.at(1)) / total, 0.4);
+}
+
+TEST(OffloadStudy, TransitEndpointsExcludePeeredTraffic) {
+  const auto& study = shared_offload();
+  const auto& graph = shared_scenario().graph();
+  const net::Asn vantage = shared_scenario().vantage();
+  for (const auto& endpoint : study.analyzer().transit_endpoints()) {
+    EXPECT_FALSE(graph.is_peering(vantage, endpoint.asn));
+    EXPECT_FALSE(graph.is_transit(vantage, endpoint.asn));
+  }
+  // The CDNs the vantage privately peers with are not transit endpoints.
+  EXPECT_LT(study.analyzer().transit_inbound_bps(),
+            study.matrix().total_inbound_bps());
+}
+
+TEST(OffloadStudy, MaximalOffloadIsSubstantialButPartial) {
+  const auto& study = shared_offload();
+  const auto everywhere = study.analyzer().all_ixps();
+  const auto p =
+      study.analyzer().potential_at(everywhere, offload::PeerGroup::kAll);
+  const double fraction =
+      p.total_bps() / (study.analyzer().transit_inbound_bps() +
+                       study.analyzer().transit_outbound_bps());
+  // The paper reports 25-33% per direction for RedIRIS; shapes vary with
+  // the synthetic world, so accept a broad band that is neither zero nor
+  // everything.
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.95);
+}
+
+TEST(OffloadStudy, GreedyCurveShowsDiminishingReturns) {
+  const auto& study = shared_offload();
+  const auto steps =
+      study.analyzer().greedy_by_traffic(offload::PeerGroup::kAll, 30);
+  ASSERT_GE(steps.size(), 5u);
+  // Gains are non-increasing (greedy) and the first 5 IXPs realize most of
+  // the achievable offload (the paper's "reaching only 5 IXPs" headline).
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    EXPECT_LE(steps[i].gained, steps[i - 1].gained + 1e-6);
+  double total_gain = 0.0;
+  for (const auto& s : steps) total_gain += s.gained;
+  double first5 = 0.0;
+  for (std::size_t i = 0; i < 5 && i < steps.size(); ++i)
+    first5 += steps[i].gained;
+  EXPECT_GT(first5 / total_gain, 0.6);
+}
+
+TEST(OffloadStudy, PeerGroupsOrderTheCurves) {
+  const auto& study = shared_offload();
+  double prev_total = -1.0;
+  for (auto group : {offload::PeerGroup::kOpen,
+                     offload::PeerGroup::kOpenTop10Selective,
+                     offload::PeerGroup::kOpenSelective,
+                     offload::PeerGroup::kAll}) {
+    const auto everywhere = study.analyzer().all_ixps();
+    const auto p = study.analyzer().potential_at(everywhere, group);
+    EXPECT_GE(p.total_bps(), prev_total);
+    prev_total = p.total_bps();
+  }
+}
+
+TEST(OffloadStudy, TimeSeriesPeaksCoincide) {
+  const auto& study = shared_offload();
+  const auto series = study.time_series(flow::Direction::kInbound);
+  ASSERT_EQ(series.transit_bps.size(), series.offload_bps.size());
+  ASSERT_FALSE(series.transit_bps.empty());
+  // Offload is always a subset of transit traffic.
+  for (std::size_t bin = 0; bin < series.transit_bps.size(); bin += 97)
+    EXPECT_LE(series.offload_bps[bin], series.transit_bps[bin] + 1e-6);
+  // Daily peak bins coincide within a few hours (Fig. 5b property).
+  const std::size_t bins_per_day = 24 * 12;
+  for (int day = 0; day < 3; ++day) {
+    const auto begin = series.transit_bps.begin() +
+                       static_cast<std::ptrdiff_t>(day * bins_per_day);
+    const auto tp = std::max_element(begin, begin + bins_per_day) -
+                    series.transit_bps.begin();
+    const auto ob = series.offload_bps.begin() +
+                    static_cast<std::ptrdiff_t>(day * bins_per_day);
+    const auto op = std::max_element(ob, ob + bins_per_day) -
+                    series.offload_bps.begin();
+    EXPECT_LE(std::abs(tp - op), 3 * 12) << "day " << day;
+  }
+}
+
+TEST(OffloadStudy, AddressGreedyStartsNearTotalAddressSpace) {
+  const auto& study = shared_offload();
+  const auto steps =
+      study.analyzer().greedy_by_addresses(offload::PeerGroup::kAll, 10);
+  ASSERT_FALSE(steps.empty());
+  const double initial = study.analyzer().transit_addresses();
+  EXPECT_GT(initial, 0.0);
+  EXPECT_LT(steps.front().remaining, initial);
+}
+
+TEST(ViabilityStudy, FitsDecayFromGreedyCurve) {
+  const auto& study = shared_offload();
+  const auto steps =
+      study.analyzer().greedy_by_traffic(offload::PeerGroup::kAll, 30);
+  const double initial = study.analyzer().transit_inbound_bps() +
+                         study.analyzer().transit_outbound_bps();
+  const auto viability = ViabilityStudy::from_greedy_curve(
+      steps, initial, econ::CostParameters{});
+  EXPECT_GT(viability.fitted_decay(), 0.0);
+  EXPECT_EQ(viability.model().params().decay, viability.fitted_decay());
+}
+
+TEST(ViabilityStudy, SweepCoversViabilityBoundary) {
+  const auto viability =
+      ViabilityStudy::from_decay(0.3, econ::CostParameters{});
+  const auto sweep = viability.sweep_decay(0.05, 2.0, 40);
+  ASSERT_EQ(sweep.size(), 40u);
+  // Low decay: viable; high decay: not (the paper's global-traffic story).
+  EXPECT_TRUE(sweep.front().viable);
+  EXPECT_FALSE(sweep.back().viable);
+  // The boundary sits where m~ crosses 1.
+  for (const auto& point : sweep)
+    EXPECT_EQ(point.viable, point.optimal_m >= 1.0 - 1e-12);
+  // Where viable, adding remote peering lowers the cost.
+  for (const auto& point : sweep)
+    if (point.viable)
+      EXPECT_LE(point.cost_with_remote, point.cost_without_remote + 1e-12);
+  EXPECT_THROW(viability.sweep_decay(1.0, 0.5, 10), std::invalid_argument);
+}
+
+TEST(ViabilityStudy, FromGreedyRejectsBadInput) {
+  EXPECT_THROW(ViabilityStudy::from_greedy_curve({}, 0.0,
+                                                 econ::CostParameters{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,198 @@
+#include "econ/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rp::econ {
+namespace {
+
+CostParameters sane() {
+  CostParameters p;
+  p.transit_price = 1.0;
+  p.direct_fixed = 0.02;
+  p.direct_unit = 0.20;
+  p.remote_fixed = 0.006;
+  p.remote_unit = 0.45;
+  p.decay = 0.35;
+  return p;
+}
+
+TEST(CostParameters, ValidatesStructuralAssumptions) {
+  EXPECT_FALSE(sane().validate().has_value());
+  auto bad = sane();
+  bad.remote_fixed = 0.05;  // h >= g violates ineq. 7.
+  EXPECT_TRUE(bad.validate().has_value());
+  bad = sane();
+  bad.remote_unit = 0.1;  // v <= u violates ineq. 8.
+  EXPECT_TRUE(bad.validate().has_value());
+  bad = sane();
+  bad.remote_unit = 1.2;  // v >= p violates ineq. 8.
+  EXPECT_TRUE(bad.validate().has_value());
+  bad = sane();
+  bad.transit_price = 0.0;
+  EXPECT_TRUE(bad.validate().has_value());
+  EXPECT_THROW(CostModel{bad}, std::invalid_argument);
+}
+
+TEST(CostModel, TransitFractionIsEq3) {
+  const CostModel model(sane());
+  EXPECT_DOUBLE_EQ(model.transit_fraction(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.transit_fraction(2.0), std::exp(-0.7));
+}
+
+TEST(CostModel, AllocationSumsToOne) {
+  const CostModel model(sane());
+  for (double n : {0.0, 1.0, 3.5}) {
+    for (double m : {0.0, 2.0, 7.0}) {
+      const Allocation a = model.allocation(n, m);
+      EXPECT_NEAR(a.transit_fraction + a.direct_fraction + a.remote_fraction,
+                  1.0, 1e-12)
+          << "n=" << n << " m=" << m;
+      EXPECT_GE(a.direct_fraction, 0.0);
+      EXPECT_GE(a.remote_fraction, 0.0);
+    }
+  }
+  EXPECT_THROW(model.allocation(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CostModel, NoPeeringMeansPureTransitCost) {
+  const CostModel model(sane());
+  EXPECT_DOUBLE_EQ(model.total_cost(0.0, 0.0), 1.0);  // C = p * 1.
+}
+
+TEST(CostModel, OptimalDirectNMatchesEq11) {
+  const auto params = sane();
+  const CostModel model(params);
+  const double expected =
+      std::log(params.decay * (params.transit_price - params.direct_unit) /
+               params.direct_fixed) /
+      params.decay;
+  EXPECT_NEAR(model.optimal_direct_n(), expected, 1e-12);
+  EXPECT_NEAR(model.optimal_direct_fraction(),
+              1.0 - std::exp(-params.decay * expected), 1e-12);
+}
+
+TEST(CostModel, OptimalDirectNClampedWhenUnprofitable) {
+  auto params = sane();
+  params.direct_fixed = 0.5;  // IXP presence too expensive: b(p-u)/g < 1.
+  const CostModel model(params);
+  EXPECT_DOUBLE_EQ(model.optimal_direct_n(), 0.0);
+}
+
+TEST(CostModel, OptimalRemoteMMatchesEq13AndViabilityEq14) {
+  const auto params = sane();
+  const CostModel model(params);
+  const double ratio =
+      params.direct_fixed * (params.transit_price - params.remote_unit) /
+      (params.remote_fixed * (params.transit_price - params.direct_unit));
+  EXPECT_NEAR(model.viability_ratio(), ratio, 1e-12);
+  EXPECT_NEAR(model.optimal_remote_m(), std::log(ratio) / params.decay,
+              1e-12);
+  // Eq. 14: viable iff ratio >= e^b, equivalently m~ >= 1.
+  EXPECT_EQ(model.remote_viable(), model.optimal_remote_m() >= 1.0);
+  EXPECT_NEAR(model.critical_decay(), std::log(ratio), 1e-12);
+}
+
+TEST(CostModel, ViabilityFailsForHighDecay) {
+  // High b: one IXP offloads nearly everything, so remote peering on top of
+  // the direct optimum adds only fees (the paper: networks with localized
+  // traffic gain little from remote peering).
+  auto params = sane();
+  params.decay = 3.0;
+  const CostModel model(params);
+  EXPECT_FALSE(model.remote_viable());
+  auto low = sane();
+  low.decay = 0.2;
+  EXPECT_TRUE(CostModel(low).remote_viable());
+}
+
+TEST(CostModel, RemotePeeringReducesCostWhenViable) {
+  const CostModel model(sane());
+  ASSERT_TRUE(model.remote_viable());
+  const double n = model.optimal_direct_n();
+  const double m = model.optimal_remote_m();
+  EXPECT_LT(model.total_cost(n, m), model.cost_without_remote(n));
+}
+
+TEST(CostModel, NumericSearchConfirmsEq13) {
+  // Eq. 13 is the optimal m *given* the network already peers directly at
+  // ñ IXPs (the paper's sequential strategy). A 1-D numeric search must
+  // land on the closed form.
+  const CostModel model(sane());
+  const double n_tilde = model.optimal_direct_n();
+  EXPECT_NEAR(model.numeric_optimal_m_given_n(n_tilde),
+              model.optimal_remote_m(), 1e-6);
+}
+
+TEST(CostModel, NumericSearchConfirmsEq13OffTheViabilityRegion) {
+  auto params = sane();
+  params.decay = 1.2;  // m~ = ln(2.29)/1.2 ~ 0.69 < 1: not viable, yet the
+                       // unconstrained optimum is still the closed form.
+  const CostModel model(params);
+  EXPECT_FALSE(model.remote_viable());
+  EXPECT_NEAR(model.numeric_optimal_m_given_n(model.optimal_direct_n()),
+              model.optimal_remote_m(), 1e-6);
+}
+
+TEST(CostModel, JointOptimumAtMostSequentialCost) {
+  // The joint (n, m) optimum can only improve on the paper's sequential
+  // strategy, and the total reach n + m is pinned by the first-order
+  // condition e^{-b(n+m)} = h / (b (p - v)).
+  const auto params = sane();
+  const CostModel model(params);
+  const Optimum joint = model.numeric_optimum(30.0, 30.0, 0.1);
+  const double sequential_cost = model.total_cost(
+      model.optimal_direct_n(), model.optimal_remote_m());
+  EXPECT_LE(joint.cost, sequential_cost + 1e-9);
+  const double pinned_total =
+      std::log(params.decay * (params.transit_price - params.remote_unit) /
+               params.remote_fixed) /
+      params.decay;
+  EXPECT_NEAR(joint.n + joint.m, pinned_total, 0.05);
+  EXPECT_THROW(model.numeric_optimum(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CostModel, CostDecomposesPerEquation9) {
+  const auto params = sane();
+  const CostModel model(params);
+  const double n = 2.0, m = 3.0;
+  const Allocation a = model.allocation(n, m);
+  const double expected = params.transit_price * a.transit_fraction +
+                          params.direct_fixed * n +
+                          params.direct_unit * a.direct_fraction +
+                          params.remote_fixed * m +
+                          params.remote_unit * a.remote_fraction;
+  EXPECT_NEAR(model.total_cost(n, m), expected, 1e-12);
+}
+
+TEST(CostModel, ZeroDecayMeansNoOffloadEverPays) {
+  // b = 0 models networks whose transit traffic cannot be peered away
+  // (the paper's "networks that cannot reduce transit by peering").
+  auto params = sane();
+  params.decay = 0.0;
+  const CostModel model(params);
+  EXPECT_DOUBLE_EQ(model.optimal_direct_n(), 0.0);
+  EXPECT_DOUBLE_EQ(model.optimal_remote_m(), 0.0);
+  EXPECT_FALSE(model.remote_viable());
+}
+
+TEST(FitDecayParameter, RecoversKnownDecay) {
+  std::vector<double> fractions;
+  for (int k = 0; k <= 20; ++k) fractions.push_back(std::exp(-0.42 * k));
+  EXPECT_NEAR(fit_decay_parameter(fractions), 0.42, 1e-9);
+}
+
+TEST(FitDecayParameter, TruncatesAtZero) {
+  // Curves that hit zero (fully offloaded) are fit on the positive part.
+  std::vector<double> fractions{1.0, 0.5, 0.25, 0.0, 0.0};
+  EXPECT_NEAR(fit_decay_parameter(fractions), std::log(2.0), 1e-9);
+}
+
+TEST(FitDecayParameter, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_decay_parameter({1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_decay_parameter({0.0, 0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::econ

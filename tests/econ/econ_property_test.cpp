@@ -1,0 +1,121 @@
+// Property sweep over the §5 cost-model parameter space: the closed forms
+// must agree with numeric optimization, the allocation must stay a valid
+// probability split, and the optimal strategies must order sensibly for
+// every admissible price vector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "econ/cost_model.hpp"
+
+namespace rp::econ {
+namespace {
+
+// (decay b, direct fixed g, remote fixed h, remote unit v).
+using Params = std::tuple<double, double, double, double>;
+
+class CostModelProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  CostParameters params() const {
+    CostParameters p;
+    p.transit_price = 1.0;
+    p.direct_unit = 0.2;
+    p.decay = std::get<0>(GetParam());
+    p.direct_fixed = std::get<1>(GetParam());
+    p.remote_fixed = std::get<2>(GetParam());
+    p.remote_unit = std::get<3>(GetParam());
+    return p;
+  }
+};
+
+TEST_P(CostModelProperty, ParametersAreAdmissible) {
+  EXPECT_FALSE(params().validate().has_value());
+}
+
+TEST_P(CostModelProperty, AllocationIsAlwaysAValidSplit) {
+  const CostModel model(params());
+  for (double n : {0.0, 0.7, 2.0, 9.5}) {
+    for (double m : {0.0, 0.3, 4.0}) {
+      const Allocation a = model.allocation(n, m);
+      EXPECT_NEAR(a.transit_fraction + a.direct_fraction + a.remote_fraction,
+                  1.0, 1e-12);
+      EXPECT_GE(a.transit_fraction, 0.0);
+      EXPECT_GE(a.direct_fraction, 0.0);
+      EXPECT_GE(a.remote_fraction, 0.0);
+    }
+  }
+}
+
+TEST_P(CostModelProperty, ClosedFormMMatchesNumericSearch) {
+  const CostModel model(params());
+  const double n_tilde = model.optimal_direct_n();
+  const double m_closed = model.optimal_remote_m();
+  const double m_numeric = model.numeric_optimal_m_given_n(n_tilde);
+  EXPECT_NEAR(m_numeric, m_closed, 1e-5)
+      << "b=" << params().decay << " g=" << params().direct_fixed
+      << " h=" << params().remote_fixed << " v=" << params().remote_unit;
+}
+
+TEST_P(CostModelProperty, ClosedFormNIsStationaryOrCorner) {
+  const CostModel model(params());
+  const double n = model.optimal_direct_n();
+  const double cost_at = model.cost_without_remote(n);
+  if (n > 0.01) {
+    // Interior optimum: nudging n either way must not reduce the cost.
+    EXPECT_LE(cost_at, model.cost_without_remote(n + 0.01) + 1e-12);
+    EXPECT_LE(cost_at, model.cost_without_remote(n - 0.01) + 1e-12);
+  } else {
+    // Corner: even the first IXP must not pay off.
+    EXPECT_LE(cost_at, model.cost_without_remote(0.25) + 1e-12);
+  }
+}
+
+TEST_P(CostModelProperty, ViabilityIffOptimalMAtLeastOne) {
+  const CostModel model(params());
+  if (params().decay == 0.0) {
+    EXPECT_FALSE(model.remote_viable());
+    return;
+  }
+  EXPECT_EQ(model.remote_viable(), model.optimal_remote_m() >= 1.0 - 1e-12);
+}
+
+TEST_P(CostModelProperty, AddingViableRemoteNeverRaisesCost) {
+  const CostModel model(params());
+  const double n = model.optimal_direct_n();
+  if (model.remote_viable()) {
+    EXPECT_LT(model.total_cost(n, model.optimal_remote_m()),
+              model.cost_without_remote(n) + 1e-12);
+  }
+  // And the do-nothing strategy is never beaten by a *negative* margin:
+  // every strategy costs at least the traffic-dependent floor u.
+  EXPECT_GE(model.total_cost(n, model.optimal_remote_m()),
+            model.params().direct_unit - 1e-12);
+}
+
+TEST_P(CostModelProperty, CostDecreasesInOfferedDecay) {
+  // A network whose traffic is easier to offload (larger b) never pays more
+  // at its optimum than a network with smaller b and the same prices.
+  CostParameters low = params();
+  CostParameters high = params();
+  high.decay = low.decay + 0.3;
+  const CostModel low_model(low), high_model(high);
+  const double low_cost = low_model.total_cost(
+      low_model.optimal_direct_n(),
+      low_model.remote_viable() ? low_model.optimal_remote_m() : 0.0);
+  const double high_cost = high_model.total_cost(
+      high_model.optimal_direct_n(),
+      high_model.remote_viable() ? high_model.optimal_remote_m() : 0.0);
+  EXPECT_LE(high_cost, low_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PriceGrid, CostModelProperty,
+    ::testing::Combine(
+        /*decay b*/ ::testing::Values(0.1, 0.35, 0.8, 1.5),
+        /*direct fixed g*/ ::testing::Values(0.01, 0.02, 0.06),
+        /*remote fixed h*/ ::testing::Values(0.003, 0.006),
+        /*remote unit v*/ ::testing::Values(0.3, 0.45, 0.7)));
+
+}  // namespace
+}  // namespace rp::econ

@@ -1,0 +1,124 @@
+#include "flow/netflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.hpp"
+
+namespace rp::flow {
+namespace {
+
+struct Fixture {
+  topology::AsGraph graph = make_graph();
+  net::Asn vantage = pick_nren(graph);
+  TrafficMatrix matrix = make_matrix(graph, vantage);
+  RateModel rates{matrix, RateModelConfig{}};
+  bgp::Rib rib = bgp::Rib::build(graph, vantage);
+
+  static topology::AsGraph make_graph() {
+    topology::GeneratorConfig config;
+    config.tier1_count = 2;
+    config.tier2_count = 5;
+    config.access_count = 12;
+    config.content_count = 6;
+    config.cdn_count = 2;
+    config.nren_count = 3;
+    config.enterprise_count = 8;
+    util::Rng rng(41);
+    return topology::generate_topology(config, rng);
+  }
+  static net::Asn pick_nren(const topology::AsGraph& g) {
+    for (const auto& node : g.nodes())
+      if (node.cls == topology::AsClass::kNren) return node.asn;
+    throw std::logic_error("no NREN");
+  }
+  static TrafficMatrix make_matrix(const topology::AsGraph& g, net::Asn v) {
+    util::Rng rng(42);
+    return TrafficMatrix::generate(g, v, TrafficConfig{}, rng);
+  }
+};
+
+TEST(FlowSampler, RecordsCarryVantageAndRemoteAddresses) {
+  Fixture f;
+  FlowSampler sampler(f.graph, f.vantage, f.rates, util::Rng(1));
+  const auto records = sampler.sample_bin(0, 0.0, 2);
+  ASSERT_FALSE(records.empty());
+  const auto& vantage_node = f.graph.node(f.vantage);
+  for (const auto& record : records) {
+    const net::Ipv4Addr local =
+        record.direction == Direction::kInbound ? record.dst : record.src;
+    bool local_ok = false;
+    for (const auto& p : vantage_node.prefixes)
+      local_ok = local_ok || p.contains(local);
+    EXPECT_TRUE(local_ok) << local.to_string();
+    EXPECT_GT(record.bytes, 0.0);
+  }
+}
+
+TEST(FlowSampler, MinRateFiltersSmallContributors) {
+  Fixture f;
+  FlowSampler all(f.graph, f.vantage, f.rates, util::Rng(2));
+  FlowSampler big(f.graph, f.vantage, f.rates, util::Rng(2));
+  const auto everything = all.sample_bin(5, 0.0, 1);
+  const auto heavy = big.sample_bin(5, 5e8, 1);  // Only >= 500 Mbps flows.
+  EXPECT_GT(everything.size(), heavy.size());
+  EXPECT_FALSE(heavy.empty());  // The head of the tail is that big.
+}
+
+TEST(NetFlowCollector, JoinRecoversPerNetworkBytes) {
+  // The round trip of §4.1: rates -> address-level flows -> LPM join back to
+  // per-network byte counts. Totals must match the rate model bin totals.
+  Fixture f;
+  FlowSampler sampler(f.graph, f.vantage, f.rates, util::Rng(3));
+  const auto records = sampler.sample_bin(7, 0.0, 3);
+  NetFlowCollector collector(f.rib);
+  for (const auto& record : records) collector.add(record);
+  EXPECT_EQ(collector.record_count(), records.size());
+  EXPECT_EQ(collector.unclassified(), 0u);
+
+  const double bin_seconds = 300.0;
+  for (const auto& [asn, entry] : collector.by_network()) {
+    const double expected_in =
+        f.rates.rate_bps(asn, Direction::kInbound, 7) * bin_seconds / 8.0;
+    EXPECT_NEAR(entry.inbound_bytes, expected_in,
+                expected_in * 1e-9 + 1e-6)
+        << asn.to_string();
+  }
+}
+
+TEST(NetFlowCollector, UnroutedAddressesCountedAsUnclassified) {
+  Fixture f;
+  NetFlowCollector collector(f.rib);
+  FlowRecord record;
+  record.direction = Direction::kInbound;
+  record.src = net::Ipv4Addr(203, 0, 113, 1);  // TEST-NET-3: unrouted.
+  record.dst = net::Ipv4Addr(203, 0, 113, 2);
+  record.bytes = 100.0;
+  collector.add(record);
+  EXPECT_EQ(collector.unclassified(), 1u);
+  EXPECT_TRUE(collector.by_network().empty());
+}
+
+TEST(NetFlowCollector, DirectionsAccumulateSeparately) {
+  Fixture f;
+  NetFlowCollector collector(f.rib);
+  const auto& remote = f.graph.nodes()[0];
+  const net::Ipv4Addr remote_addr = remote.prefixes[0].address_at(1);
+  FlowRecord in;
+  in.direction = Direction::kInbound;
+  in.src = remote_addr;
+  in.dst = f.graph.node(f.vantage).prefixes[0].address_at(1);
+  in.bytes = 10.0;
+  FlowRecord out = in;
+  out.direction = Direction::kOutbound;
+  std::swap(out.src, out.dst);
+  out.bytes = 4.0;
+  collector.add(in);
+  collector.add(out);
+  const auto& entry = collector.by_network().at(remote.asn);
+  EXPECT_DOUBLE_EQ(entry.inbound_bytes, 10.0);
+  EXPECT_DOUBLE_EQ(entry.outbound_bytes, 4.0);
+  EXPECT_EQ(entry.records, 2u);
+}
+
+}  // namespace
+}  // namespace rp::flow

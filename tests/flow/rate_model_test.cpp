@@ -1,0 +1,152 @@
+#include "flow/rate_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "topology/generator.hpp"
+
+namespace rp::flow {
+namespace {
+
+struct Fixture {
+  topology::AsGraph graph;
+  net::Asn vantage;
+  TrafficMatrix matrix;
+
+  Fixture() : graph(make_graph()), vantage(pick_nren(graph)),
+              matrix(make_matrix(graph, vantage)) {}
+
+  static topology::AsGraph make_graph() {
+    topology::GeneratorConfig config;
+    config.tier1_count = 2;
+    config.tier2_count = 6;
+    config.access_count = 20;
+    config.content_count = 10;
+    config.cdn_count = 2;
+    config.nren_count = 3;
+    config.enterprise_count = 10;
+    util::Rng rng(31);
+    return topology::generate_topology(config, rng);
+  }
+  static net::Asn pick_nren(const topology::AsGraph& g) {
+    for (const auto& node : g.nodes())
+      if (node.cls == topology::AsClass::kNren) return node.asn;
+    throw std::logic_error("no NREN");
+  }
+  static TrafficMatrix make_matrix(const topology::AsGraph& g, net::Asn v) {
+    util::Rng rng(32);
+    return TrafficMatrix::generate(g, v, TrafficConfig{}, rng);
+  }
+};
+
+TEST(RateModel, BinCountMatchesSpan) {
+  Fixture f;
+  RateModelConfig config;
+  config.span = util::SimDuration::days(28);
+  config.bin_length = util::SimDuration::minutes(5);
+  RateModel model(f.matrix, config);
+  EXPECT_EQ(model.bin_count(), 28u * 24u * 12u);  // 8,064 bins like Fig. 5b.
+}
+
+TEST(RateModel, RatesArePositiveAndDeterministic) {
+  Fixture f;
+  RateModel model(f.matrix, RateModelConfig{});
+  const net::Asn asn = f.matrix.ranked().front().asn;
+  for (std::size_t bin : {0u, 100u, 4000u}) {
+    const double r1 = model.rate_bps(asn, Direction::kInbound, bin);
+    const double r2 = model.rate_bps(asn, Direction::kInbound, bin);
+    EXPECT_GT(r1, 0.0);
+    EXPECT_DOUBLE_EQ(r1, r2);
+  }
+}
+
+TEST(RateModel, UnknownNetworkHasZeroRate) {
+  Fixture f;
+  RateModel model(f.matrix, RateModelConfig{});
+  EXPECT_DOUBLE_EQ(model.rate_bps(net::Asn{987654}, Direction::kInbound, 0),
+                   0.0);
+}
+
+TEST(RateModel, DiurnalPeakNearConfiguredHour) {
+  Fixture f;
+  RateModelConfig config;
+  config.noise_sigma = 0.0;
+  config.phase_jitter_hours = 0.0;
+  RateModel model(f.matrix, config);
+  // Modulation at the peak hour beats the trough by the full amplitude.
+  const double peak = model.modulation(21 * 12, Direction::kInbound, 0.0);
+  const double trough = model.modulation(9 * 12, Direction::kInbound, 0.0);
+  EXPECT_GT(peak, trough);
+  EXPECT_NEAR(peak / trough, (1 + 0.45) / (1 - 0.45), 0.05);
+}
+
+TEST(RateModel, WeekendQuieterThanWeekday) {
+  Fixture f;
+  RateModelConfig config;
+  config.noise_sigma = 0.0;
+  RateModel model(f.matrix, config);
+  // Same hour of day, day 2 (Wednesday) vs day 5 (Saturday).
+  const std::size_t wednesday_noon = (2 * 24 + 12) * 12;
+  const std::size_t saturday_noon = (5 * 24 + 12) * 12;
+  const double wd = model.modulation(wednesday_noon, Direction::kInbound, 0.0);
+  const double we = model.modulation(saturday_noon, Direction::kInbound, 0.0);
+  EXPECT_NEAR(we / wd, 0.70, 1e-9);
+}
+
+TEST(RateModel, AggregateSeriesSumsMembers) {
+  Fixture f;
+  RateModel model(f.matrix, RateModelConfig{});
+  std::vector<net::Asn> two{f.matrix.ranked()[0].asn,
+                            f.matrix.ranked()[1].asn};
+  const auto series = model.aggregate_series(two, Direction::kOutbound);
+  ASSERT_EQ(series.size(), model.bin_count());
+  for (std::size_t bin : {0u, 77u, 1000u}) {
+    const double expected =
+        model.rate_bps(two[0], Direction::kOutbound, bin) +
+        model.rate_bps(two[1], Direction::kOutbound, bin);
+    EXPECT_NEAR(series[bin], expected, expected * 1e-12);
+  }
+}
+
+TEST(RateModel, SeriesAverageTracksBaseRate) {
+  Fixture f;
+  RateModel model(f.matrix, RateModelConfig{});
+  const auto& top = f.matrix.ranked().front();
+  const auto series =
+      model.aggregate_series({top.asn}, Direction::kInbound);
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  // Diurnal and weekly modulation average out near the base rate.
+  EXPECT_NEAR(mean, top.inbound_bps, top.inbound_bps * 0.12);
+}
+
+TEST(RateModel, DailyPeaksCoincideAcrossNetworks) {
+  // The Fig. 5b property: total transit and any subset peak together,
+  // because the diurnal phase is shared up to small jitter.
+  Fixture f;
+  RateModel model(f.matrix, RateModelConfig{});
+  std::vector<net::Asn> all;
+  for (const auto& c : f.matrix.ranked()) all.push_back(c.asn);
+  std::vector<net::Asn> subset(all.begin(), all.begin() + all.size() / 3);
+  const auto total = model.aggregate_series(all, Direction::kInbound);
+  const auto part = model.aggregate_series(subset, Direction::kInbound);
+  // Find each day's peak bin; they should be within a couple hours.
+  const std::size_t bins_per_day = 24 * 12;
+  for (int day = 0; day < 5; ++day) {
+    const auto begin = static_cast<std::ptrdiff_t>(day * bins_per_day);
+    const auto end = begin + static_cast<std::ptrdiff_t>(bins_per_day);
+    const auto total_peak = std::max_element(total.begin() + begin,
+                                             total.begin() + end);
+    const auto part_peak =
+        std::max_element(part.begin() + begin, part.begin() + end);
+    const auto gap = std::abs((total_peak - total.begin()) -
+                              (part_peak - part.begin()));
+    EXPECT_LE(gap, 3 * 12) << "day " << day;  // Within 3 hours.
+  }
+}
+
+}  // namespace
+}  // namespace rp::flow

@@ -1,0 +1,143 @@
+#include "flow/traffic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/generator.hpp"
+
+namespace rp::flow {
+namespace {
+
+topology::AsGraph test_graph() {
+  topology::GeneratorConfig config;
+  config.tier1_count = 3;
+  config.tier2_count = 10;
+  config.access_count = 40;
+  config.content_count = 20;
+  config.cdn_count = 3;
+  config.nren_count = 4;
+  config.enterprise_count = 20;
+  util::Rng rng(21);
+  return topology::generate_topology(config, rng);
+}
+
+net::Asn pick_nren(const topology::AsGraph& g) {
+  for (const auto& node : g.nodes())
+    if (node.cls == topology::AsClass::kNren) return node.asn;
+  throw std::logic_error("no NREN");
+}
+
+TEST(TrafficMatrix, CoversEveryoneButVantage) {
+  const auto graph = test_graph();
+  const net::Asn vantage = pick_nren(graph);
+  util::Rng rng(1);
+  const auto matrix =
+      TrafficMatrix::generate(graph, vantage, TrafficConfig{}, rng);
+  EXPECT_EQ(matrix.network_count(), graph.as_count() - 1);
+  EXPECT_EQ(matrix.find(vantage), nullptr);
+}
+
+TEST(TrafficMatrix, TotalsMatchConfiguredRates) {
+  const auto graph = test_graph();
+  util::Rng rng(2);
+  TrafficConfig config;
+  config.total_inbound_gbps = 8.0;
+  config.total_outbound_gbps = 5.0;
+  const auto matrix =
+      TrafficMatrix::generate(graph, pick_nren(graph), config, rng);
+  double in = 0.0, out = 0.0;
+  for (const auto& c : matrix.ranked()) {
+    in += c.inbound_bps;
+    out += c.outbound_bps;
+  }
+  EXPECT_NEAR(in, 8e9, 1e6);
+  EXPECT_NEAR(out, 5e9, 1e6);
+  EXPECT_NEAR(matrix.total_inbound_bps(), 8e9, 1.0);
+  EXPECT_NEAR(matrix.total_outbound_bps(), 5e9, 1.0);
+}
+
+TEST(TrafficMatrix, RankedDecreasingByTotal) {
+  const auto graph = test_graph();
+  util::Rng rng(3);
+  const auto matrix = TrafficMatrix::generate(graph, pick_nren(graph),
+                                              TrafficConfig{}, rng);
+  for (std::size_t i = 1; i < matrix.ranked().size(); ++i)
+    EXPECT_GE(matrix.ranked()[i - 1].total_bps(),
+              matrix.ranked()[i].total_bps());
+}
+
+TEST(TrafficMatrix, HeavyTail) {
+  // A few networks carry most of the traffic (Fig. 5a: near-Gbps heads,
+  // ~100 bps mid-tail).
+  const auto graph = test_graph();
+  util::Rng rng(4);
+  const auto matrix = TrafficMatrix::generate(graph, pick_nren(graph),
+                                              TrafficConfig{}, rng);
+  const auto& ranked = matrix.ranked();
+  double top10 = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i < 10) top10 += ranked[i].total_bps();
+    total += ranked[i].total_bps();
+  }
+  EXPECT_GT(top10 / total, 0.3);
+  // Every contribution is positive.
+  for (const auto& c : ranked) {
+    EXPECT_GT(c.inbound_bps, 0.0);
+    EXPECT_GT(c.outbound_bps, 0.0);
+  }
+}
+
+TEST(TrafficMatrix, BendSteepensTail) {
+  // Beyond the knee the rank-size decline accelerates: the log-log slope
+  // between deep ranks is steeper than between shallow ranks.
+  const auto graph = test_graph();
+  util::Rng rng(5);
+  TrafficConfig config;
+  config.rank_jitter_sigma = 0.0;  // Pure law, no jitter.
+  config.direction_ratio_sigma = 0.0;
+  config.knee_fraction = 0.5;
+  const auto matrix =
+      TrafficMatrix::generate(graph, pick_nren(graph), config, rng);
+  const auto& ranked = matrix.ranked();
+  const std::size_t n = ranked.size();
+  const std::size_t knee = n / 2;
+  auto slope = [&ranked](std::size_t a, std::size_t b) {
+    return (std::log(ranked[b - 1].total_bps()) -
+            std::log(ranked[a - 1].total_bps())) /
+           (std::log(static_cast<double>(b)) -
+            std::log(static_cast<double>(a)));
+  };
+  const double head_slope = slope(2, knee - 2);
+  const double tail_slope = slope(knee + 2, n - 1);
+  EXPECT_LT(tail_slope, head_slope - 0.5);  // Steeper (more negative).
+}
+
+TEST(TrafficMatrix, FindLocatesNetworks) {
+  const auto graph = test_graph();
+  util::Rng rng(6);
+  const auto matrix = TrafficMatrix::generate(graph, pick_nren(graph),
+                                              TrafficConfig{}, rng);
+  const auto& first = matrix.ranked().front();
+  const auto* found = matrix.find(first.asn);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->total_bps(), first.total_bps());
+  EXPECT_EQ(matrix.find(net::Asn{999999}), nullptr);
+}
+
+TEST(TrafficMatrix, DeterministicForSameSeed) {
+  const auto graph = test_graph();
+  util::Rng rng1(7), rng2(7);
+  const auto a = TrafficMatrix::generate(graph, pick_nren(graph),
+                                         TrafficConfig{}, rng1);
+  const auto b = TrafficMatrix::generate(graph, pick_nren(graph),
+                                         TrafficConfig{}, rng2);
+  ASSERT_EQ(a.network_count(), b.network_count());
+  for (std::size_t i = 0; i < a.ranked().size(); ++i) {
+    EXPECT_EQ(a.ranked()[i].asn, b.ranked()[i].asn);
+    EXPECT_DOUBLE_EQ(a.ranked()[i].inbound_bps, b.ranked()[i].inbound_bps);
+  }
+}
+
+}  // namespace
+}  // namespace rp::flow

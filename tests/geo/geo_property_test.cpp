@@ -1,0 +1,56 @@
+// Metric properties of the geography substrate, swept over city pairs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "geo/cities.hpp"
+
+namespace rp::geo {
+namespace {
+
+class CityPairProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  static const City& city(int index) {
+    const auto& all = CityRegistry::world().all();
+    return all[static_cast<std::size_t>(index) % all.size()];
+  }
+};
+
+TEST_P(CityPairProperty, DistanceIsAMetric) {
+  const auto& a = city(std::get<0>(GetParam()));
+  const auto& b = city(std::get<1>(GetParam()));
+  const double ab = great_circle_distance_m(a.position, b.position);
+  const double ba = great_circle_distance_m(b.position, a.position);
+  EXPECT_DOUBLE_EQ(ab, ba);                     // Symmetry.
+  EXPECT_GE(ab, 0.0);                           // Non-negativity.
+  if (a.name == b.name) EXPECT_DOUBLE_EQ(ab, 0.0);
+  // Bounded by half the circumference.
+  EXPECT_LE(ab, 20'100'000.0);
+  // Triangle inequality through a third city.
+  const auto& c = city(std::get<0>(GetParam()) + 7);
+  const double ac = great_circle_distance_m(a.position, c.position);
+  const double cb = great_circle_distance_m(c.position, b.position);
+  EXPECT_LE(ab, ac + cb + 1e-6);
+}
+
+TEST_P(CityPairProperty, PropagationDelayScalesWithDistance) {
+  const auto& a = city(std::get<0>(GetParam()));
+  const auto& b = city(std::get<1>(GetParam()));
+  const double meters = great_circle_distance_m(a.position, b.position);
+  const auto delay = propagation_delay(a.position, b.position, 1.0);
+  // delay = meters / (2/3 c); check within rounding.
+  EXPECT_NEAR(delay.as_seconds_f(),
+              meters / (kSpeedOfLightMps * kFiberVelocityFactor), 1e-9);
+  // Monotone in stretch.
+  EXPECT_GE(propagation_delay(a.position, b.position, 1.7),
+            propagation_delay(a.position, b.position, 1.2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CityPairProperty,
+    ::testing::Combine(::testing::Values(0, 5, 11, 23, 41),
+                       ::testing::Values(2, 13, 29, 57)));
+
+}  // namespace
+}  // namespace rp::geo

@@ -1,0 +1,108 @@
+#include "geo/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+
+namespace rp::geo {
+namespace {
+
+TEST(GreatCircle, ZeroForSamePoint) {
+  const GeoPoint p{52.37, 4.90};
+  EXPECT_DOUBLE_EQ(great_circle_distance_m(p, p), 0.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  const GeoPoint a{52.37, 4.90}, b{40.71, -74.01};
+  EXPECT_DOUBLE_EQ(great_circle_distance_m(a, b),
+                   great_circle_distance_m(b, a));
+}
+
+TEST(GreatCircle, KnownDistances) {
+  const auto& cities = CityRegistry::world();
+  const auto ams = cities.at("Amsterdam").position;
+  const auto lon = cities.at("London").position;
+  const auto nyc = cities.at("New York").position;
+  const auto syd = cities.at("Sydney").position;
+  // Amsterdam - London ~ 358 km.
+  EXPECT_NEAR(great_circle_distance_m(ams, lon) / 1000.0, 358.0, 25.0);
+  // Amsterdam - New York ~ 5,868 km.
+  EXPECT_NEAR(great_circle_distance_m(ams, nyc) / 1000.0, 5868.0, 80.0);
+  // London - Sydney ~ 16,993 km.
+  EXPECT_NEAR(great_circle_distance_m(lon, syd) / 1000.0, 16993.0, 150.0);
+}
+
+TEST(GreatCircle, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0}, b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_distance_m(a, b) / 1000.0, 20015.0, 30.0);
+}
+
+TEST(PropagationDelay, MatchesFiberSpeed) {
+  // 1000 km of fiber at 2/3 c: ~5 ms one way.
+  const auto d = propagation_delay_for_distance(1'000'000.0);
+  EXPECT_NEAR(d.as_millis_f(), 5.0, 0.01);
+}
+
+TEST(PropagationDelay, PathStretchScalesLinearly) {
+  const GeoPoint a{52.37, 4.90}, b{50.11, 8.68};
+  const auto direct = propagation_delay(a, b, 1.0);
+  const auto stretched = propagation_delay(a, b, 2.0);
+  EXPECT_NEAR(stretched.as_seconds_f(), 2.0 * direct.as_seconds_f(), 1e-9);
+}
+
+TEST(PropagationDelay, DistanceBandsMatchPaperRanges) {
+  const auto& cities = CityRegistry::world();
+  // Intercity (Amsterdam-Frankfurt): RTT ~ 2 * one-way in [2, 10) ms.
+  const auto intercity =
+      propagation_delay(cities.at("Amsterdam").position,
+                        cities.at("Frankfurt").position);
+  EXPECT_LT(2.0 * intercity.as_millis_f(), 10.0);
+  // Intra-European long haul (Amsterdam-Moscow): 10-50 ms RTT.
+  const auto intercountry = propagation_delay(
+      cities.at("Amsterdam").position, cities.at("Moscow").position);
+  EXPECT_GT(2.0 * intercountry.as_millis_f(), 10.0);
+  EXPECT_LT(2.0 * intercountry.as_millis_f(), 50.0);
+  // Intercontinental (Amsterdam-New York): >= 50 ms RTT.
+  const auto intercontinental = propagation_delay(
+      cities.at("Amsterdam").position, cities.at("New York").position);
+  EXPECT_GE(2.0 * intercontinental.as_millis_f(), 50.0);
+}
+
+TEST(CityRegistry, ContainsTable1Cities) {
+  const auto& cities = CityRegistry::world();
+  for (const char* name :
+       {"Amsterdam", "Frankfurt", "London", "Hong Kong", "New York", "Moscow",
+        "Warsaw", "Paris", "Sao Paulo", "Seattle", "Tokyo", "Toronto",
+        "Vienna", "Milan", "Turin", "Stockholm", "Seoul", "Buenos Aires",
+        "Dublin"}) {
+    EXPECT_TRUE(cities.find(name).has_value()) << name;
+  }
+}
+
+TEST(CityRegistry, FindAndAtAgree) {
+  const auto& cities = CityRegistry::world();
+  const auto found = cities.find("Madrid");
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->country, "Spain");
+  EXPECT_EQ(cities.at("Madrid").name, "Madrid");
+  EXPECT_FALSE(cities.find("Atlantis"));
+  EXPECT_THROW(cities.at("Atlantis"), std::out_of_range);
+}
+
+TEST(CityRegistry, CoversAllSixContinents) {
+  const auto& cities = CityRegistry::world();
+  for (const Continent c :
+       {Continent::kAfrica, Continent::kAsia, Continent::kEurope,
+        Continent::kNorthAmerica, Continent::kOceania,
+        Continent::kSouthAmerica}) {
+    EXPECT_FALSE(cities.on_continent(c).empty()) << to_string(c);
+  }
+}
+
+TEST(Continent, ToStringNames) {
+  EXPECT_EQ(to_string(Continent::kEurope), "Europe");
+  EXPECT_EQ(to_string(Continent::kSouthAmerica), "South America");
+}
+
+}  // namespace
+}  // namespace rp::geo

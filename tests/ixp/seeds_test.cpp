@@ -1,0 +1,98 @@
+#include "ixp/seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rp::ixp {
+namespace {
+
+TEST(Table1Seeds, HasExactly22Ixps) {
+  EXPECT_EQ(table1_seeds().size(), 22u);
+}
+
+TEST(Table1Seeds, AllInMeasurementStudyWithLg) {
+  for (const auto& seed : table1_seeds()) {
+    EXPECT_TRUE(seed.in_measurement_study) << seed.acronym;
+    EXPECT_TRUE(seed.has_pch_lg || seed.has_ripe_lg) << seed.acronym;
+  }
+}
+
+TEST(Table1Seeds, MatchesPaperHeadlineRows) {
+  const auto& seeds = table1_seeds();
+  EXPECT_EQ(seeds[0].acronym, "AMS-IX");
+  EXPECT_DOUBLE_EQ(seeds[0].peak_traffic_tbps, 5.48);
+  EXPECT_EQ(seeds[0].member_count, 638);
+  EXPECT_EQ(seeds[0].analyzed_interfaces, 665);
+  EXPECT_EQ(seeds[1].acronym, "DE-CIX");
+  EXPECT_EQ(seeds[2].acronym, "LINX");
+  EXPECT_EQ(seeds.back().acronym, "TIE");
+  EXPECT_EQ(seeds.back().analyzed_interfaces, 54);
+}
+
+TEST(Table1Seeds, AnalyzedInterfacesSumNearPaper) {
+  // The paper reports 4,451 analyzed interfaces across the 22 IXPs.
+  int total = 0;
+  for (const auto& seed : table1_seeds()) total += seed.analyzed_interfaces;
+  EXPECT_EQ(total, 4451);
+}
+
+TEST(Table1Seeds, RemoteFreeIxpsMatchPaper) {
+  // §3.2: only DIX-IE and CABASE show no remote interfaces.
+  for (const auto& seed : table1_seeds()) {
+    if (seed.acronym == "DIX-IE" || seed.acronym == "CABASE") {
+      EXPECT_DOUBLE_EQ(seed.remote_member_fraction, 0.0) << seed.acronym;
+    } else {
+      EXPECT_GT(seed.remote_member_fraction, 0.0) << seed.acronym;
+    }
+  }
+}
+
+TEST(Table1Seeds, DixIeHasUnknownPeakTraffic) {
+  for (const auto& seed : table1_seeds())
+    if (seed.acronym == "DIX-IE") EXPECT_LT(seed.peak_traffic_tbps, 0.0);
+}
+
+TEST(EuroixSeeds, Has65IxpsSupersetOfTable1) {
+  const auto& euroix = euroix_seeds();
+  EXPECT_EQ(euroix.size(), 65u);
+  std::set<std::string> acronyms;
+  for (const auto& seed : euroix) acronyms.insert(seed.acronym);
+  EXPECT_EQ(acronyms.size(), 65u);  // Unique.
+  for (const auto& seed : table1_seeds())
+    EXPECT_TRUE(acronyms.contains(seed.acronym)) << seed.acronym;
+}
+
+TEST(EuroixSeeds, ContainsFig7OffloadSites) {
+  std::set<std::string> acronyms;
+  for (const auto& seed : euroix_seeds()) acronyms.insert(seed.acronym);
+  // Fig. 7's top-10 includes these non-Table-1 exchanges.
+  for (const char* name : {"Terremark", "SFINX", "CoreSite", "NL-ix"})
+    EXPECT_TRUE(acronyms.contains(name)) << name;
+  // The vantage's own memberships.
+  EXPECT_TRUE(acronyms.contains("CATNIX"));
+  EXPECT_TRUE(acronyms.contains("ESpanix"));
+}
+
+TEST(EuroixSeeds, CitiesResolveInRegistry) {
+  const auto& cities = geo::CityRegistry::world();
+  for (const auto& seed : euroix_seeds())
+    EXPECT_TRUE(cities.find(seed.city).has_value())
+        << seed.acronym << " @ " << seed.city;
+}
+
+TEST(ProviderSeeds, AtLeastTwoProvidersWithResolvableCities) {
+  const auto& providers = provider_seeds();
+  EXPECT_GE(providers.size(), 2u);
+  const auto& cities = geo::CityRegistry::world();
+  for (const auto& provider : providers) {
+    EXPECT_FALSE(provider.pop_cities.empty()) << provider.name;
+    EXPECT_GT(provider.path_stretch, 1.0) << provider.name;
+    for (const auto& pop : provider.pop_cities)
+      EXPECT_TRUE(cities.find(pop).has_value())
+          << provider.name << " @ " << pop;
+  }
+}
+
+}  // namespace
+}  // namespace rp::ixp

@@ -1,0 +1,208 @@
+// Layer-2-aware path accounting on a hand-built world (the §6 analysis).
+//
+// Topology: V (vantage NREN) buys transit from T (tier-1). T sells to P
+// (tier-2, open policy), P sells to E (stub). P is a member of IXP X; the
+// world also has a remote-peering provider.
+//   Before adoption: V -> T -> P -> E        (2 intermediate ASes)
+//   After V remotely peers with P at X:
+//     layer 3:      V -> P -> E              (1 intermediate AS: flatter!)
+//     organizations: provider circuit + X + P  (3 intermediaries: not
+//     flatter, and two of them invisible to BGP).
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+#include "layer2/entity_path.hpp"
+
+namespace rp::layer2 {
+namespace {
+
+net::Asn as(std::uint32_t n) { return net::Asn{n}; }
+
+struct World {
+  topology::AsGraph graph;
+  ixp::IxpEcosystem eco;
+  net::Asn vantage = as(10);
+  ixp::IxpId x = 0;
+  std::unique_ptr<bgp::Rib> rib;
+  std::unique_ptr<flow::TrafficMatrix> matrix;
+  std::unique_ptr<offload::OffloadAnalyzer> analyzer;
+
+  World(ixp::AttachmentKind peer_kind = ixp::AttachmentKind::kDirectColo) {
+    const auto& cities = geo::CityRegistry::world();
+    auto add = [&](std::uint32_t asn, topology::AsClass cls,
+                   topology::PeeringPolicy policy, const char* prefix) {
+      topology::AsNode node;
+      node.asn = as(asn);
+      node.name = "AS" + std::to_string(asn);
+      node.cls = cls;
+      node.policy = policy;
+      node.home_city = cities.at("Amsterdam");
+      node.prefixes.push_back(*net::Ipv4Prefix::parse(prefix));
+      node.traffic_scale = 1.0;
+      graph.add_as(std::move(node));
+    };
+    using AC = topology::AsClass;
+    using PP = topology::PeeringPolicy;
+    add(1, AC::kTier1, PP::kRestrictive, "10.1.0.0/16");   // T
+    add(10, AC::kNren, PP::kSelective, "10.10.0.0/16");    // V
+    add(20, AC::kTier2, PP::kOpen, "10.20.0.0/16");        // P
+    add(30, AC::kAccess, PP::kOpen, "10.30.0.0/16");       // E
+    graph.add_transit(as(1), as(10));
+    graph.add_transit(as(1), as(20));
+    graph.add_transit(as(20), as(30));
+
+    ixp::RemotePeeringProvider provider;
+    provider.name = "TestCarrier";
+    provider.pops = {cities.at("Madrid"), cities.at("Amsterdam")};
+    eco.add_provider(provider);
+
+    x = eco.add_ixp("X", "Exchange X", cities.at("Amsterdam"), 1.0,
+                    *net::Ipv4Prefix::parse("198.18.0.0/24"));
+    ixp::MemberInterface iface;
+    iface.asn = as(20);
+    iface.addr = net::Ipv4Addr(198, 18, 0, 1);
+    iface.mac = net::MacAddr::from_id(1);
+    iface.kind = peer_kind;
+    iface.equipment_city = cities.at("Amsterdam");
+    if (peer_kind == ixp::AttachmentKind::kRemoteViaProvider)
+      iface.provider_index = 0;
+    eco.ixp(x).add_interface(iface);
+
+    rib = std::make_unique<bgp::Rib>(bgp::Rib::build(graph, vantage));
+    util::Rng rng(1);
+    flow::TrafficConfig traffic;
+    matrix = std::make_unique<flow::TrafficMatrix>(
+        flow::TrafficMatrix::generate(graph, vantage, traffic, rng));
+    analyzer = std::make_unique<offload::OffloadAnalyzer>(
+        graph, eco, vantage, *matrix, *rib, offload::AnalyzerConfig{});
+  }
+};
+
+TEST(EntityPath, BgpRouteCountsIntermediateAsesOnly) {
+  World w;
+  const bgp::Route* route = w.rib->route_to(as(30));
+  ASSERT_NE(route, nullptr);
+  // V -> T -> P -> E: path [1, 20, 30], intermediates T and P.
+  EntityPathAnalyzer paths(w.graph, w.eco);
+  const EntityPath path = paths.from_bgp_route(*route);
+  EXPECT_EQ(path.l3_intermediaries(), 2u);
+  EXPECT_EQ(path.organization_intermediaries(), 2u);
+  EXPECT_EQ(path.invisible_intermediaries(), 0u);
+}
+
+TEST(EntityPath, DirectOrOriginRouteHasNoIntermediaries) {
+  World w;
+  const bgp::Route* direct = w.rib->route_to(as(1));
+  ASSERT_NE(direct, nullptr);
+  EntityPathAnalyzer paths(w.graph, w.eco);
+  EXPECT_EQ(paths.from_bgp_route(*direct).organization_intermediaries(), 0u);
+}
+
+TEST(EntityPath, RemotePeeringAddsInvisibleLayer2Entities) {
+  World w;
+  EntityPathAnalyzer paths(w.graph, w.eco);
+  PeeringMediation mediation;
+  mediation.ixp_id = w.x;
+  mediation.left_kind = ixp::AttachmentKind::kRemoteViaProvider;
+  mediation.left_provider = 0;
+  mediation.right_kind = ixp::AttachmentKind::kDirectColo;
+  // Tail: P's route to E is one hop.
+  bgp::Route tail;
+  tail.destination = as(30);
+  tail.source = bgp::RouteSource::kCustomer;
+  tail.as_path = {as(30)};
+  const EntityPath after = paths.via_peering(mediation, as(20), tail);
+  // Organizations: TestCarrier (invisible), X (invisible), P.
+  EXPECT_EQ(after.organization_intermediaries(), 3u);
+  EXPECT_EQ(after.l3_intermediaries(), 1u);
+  EXPECT_EQ(after.invisible_intermediaries(), 2u);
+  EXPECT_EQ(after.intermediaries[0].name, "TestCarrier");
+  EXPECT_EQ(after.intermediaries[0].kind,
+            EntityKind::kRemotePeeringProvider);
+  EXPECT_EQ(after.intermediaries[1].kind, EntityKind::kIxp);
+  EXPECT_EQ(after.intermediaries[2].asn, as(20));
+}
+
+TEST(EntityPath, RemotePeerOnBothSidesAddsBothCircuits) {
+  World w;
+  EntityPathAnalyzer paths(w.graph, w.eco);
+  PeeringMediation mediation;
+  mediation.ixp_id = w.x;
+  mediation.left_kind = ixp::AttachmentKind::kRemoteViaProvider;
+  mediation.left_provider = 0;
+  mediation.right_kind = ixp::AttachmentKind::kRemoteViaProvider;
+  mediation.right_provider = 0;
+  bgp::Route tail;  // Peer == destination.
+  tail.source = bgp::RouteSource::kOrigin;
+  const EntityPath path = paths.via_peering(mediation, as(20), tail);
+  // Circuit + IXP + circuit; the peer itself is the destination.
+  EXPECT_EQ(path.organization_intermediaries(), 3u);
+  EXPECT_EQ(path.invisible_intermediaries(), 3u);
+  EXPECT_EQ(path.l3_intermediaries(), 0u);
+}
+
+TEST(EntityPath, PartnerIxpCountsAsLayer2Intermediary) {
+  World w;
+  EntityPathAnalyzer paths(w.graph, w.eco);
+  PeeringMediation mediation;
+  mediation.ixp_id = w.x;
+  mediation.left_kind = ixp::AttachmentKind::kPartnerIxp;
+  bgp::Route tail;
+  tail.source = bgp::RouteSource::kOrigin;
+  const EntityPath path = paths.via_peering(mediation, as(20), tail);
+  EXPECT_EQ(path.organization_intermediaries(), 2u);
+  EXPECT_EQ(path.intermediaries[0].name, "partner-ixp-interconnect");
+}
+
+TEST(FlatteningStudy, AssignmentFindsConeCarrier) {
+  World w;
+  FlatteningStudy study(w.graph, w.eco, w.vantage, *w.rib, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto assignment =
+      study.assignment_for(as(30), reached, offload::PeerGroup::kAll);
+  ASSERT_TRUE(assignment);
+  EXPECT_EQ(assignment->peer, as(20));
+  EXPECT_EQ(assignment->ixp_id, w.x);
+  EXPECT_EQ(assignment->tail.as_path, (std::vector<net::Asn>{as(30)}));
+  // The tier-1 T is not coverable (not a member).
+  EXPECT_FALSE(study.assignment_for(as(1), reached, offload::PeerGroup::kAll)
+                   .has_value());
+}
+
+TEST(FlatteningStudy, MorePeeringWithoutFlattening) {
+  // The headline: layer-3 intermediaries drop, organization-level do not.
+  World w;
+  FlatteningStudy study(w.graph, w.eco, w.vantage, *w.rib, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto report = study.compare(reached, offload::PeerGroup::kAll);
+  // Offloadable endpoints: P (20) and E (30).
+  EXPECT_EQ(report.flows, 2u);
+  EXPECT_LT(report.mean_l3_after, report.mean_l3_before);
+  EXPECT_GE(report.mean_org_after, report.mean_org_before);
+  EXPECT_EQ(report.l3_flatter, 2u);
+  EXPECT_EQ(report.org_not_flatter, 2u);
+  EXPECT_EQ(report.with_invisible_intermediaries, 2u);
+  EXPECT_GE(report.mean_invisible_after, 2.0);  // Circuit + IXP per flow.
+}
+
+TEST(FlatteningStudy, PeerAttachmentKindPropagates) {
+  // When the carrying peer itself is remote at the IXP, its circuit's
+  // provider appears on the organization path too.
+  World w(ixp::AttachmentKind::kRemoteViaProvider);
+  FlatteningStudy study(w.graph, w.eco, w.vantage, *w.rib, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto report = study.compare(reached, offload::PeerGroup::kAll);
+  EXPECT_EQ(report.flows, 2u);
+  // Both sides remote: vantage circuit + IXP + peer circuit = 3 invisible.
+  EXPECT_GE(report.mean_invisible_after, 3.0);
+}
+
+TEST(EntityKind, ToStringCoverage) {
+  EXPECT_EQ(to_string(EntityKind::kAs), "AS");
+  EXPECT_EQ(to_string(EntityKind::kIxp), "IXP");
+  EXPECT_EQ(to_string(EntityKind::kRemotePeeringProvider),
+            "remote-peering-provider");
+}
+
+}  // namespace
+}  // namespace rp::layer2

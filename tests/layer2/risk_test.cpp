@@ -1,0 +1,144 @@
+// Multihoming reliability (§6): redundancy visible on layer 3 is not real
+// when one organization operates both services.
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+#include "layer2/risk.hpp"
+
+namespace rp::layer2 {
+namespace {
+
+net::Asn as(std::uint32_t n) { return net::Asn{n}; }
+
+struct World {
+  topology::AsGraph graph;
+  ixp::IxpEcosystem eco;
+  net::Asn vantage = as(10);
+  ixp::IxpId x = 0;
+  std::unique_ptr<bgp::Rib> rib;
+  std::unique_ptr<flow::TrafficMatrix> matrix;
+  std::unique_ptr<offload::OffloadAnalyzer> analyzer;
+
+  World() {
+    const auto& cities = geo::CityRegistry::world();
+    auto add = [&](std::uint32_t asn, topology::AsClass cls,
+                   const char* prefix) {
+      topology::AsNode node;
+      node.asn = as(asn);
+      node.name = "AS" + std::to_string(asn);
+      node.cls = cls;
+      node.policy = topology::PeeringPolicy::kOpen;
+      node.home_city = cities.at("Amsterdam");
+      node.prefixes.push_back(*net::Ipv4Prefix::parse(prefix));
+      node.traffic_scale = 1.0;
+      graph.add_as(std::move(node));
+    };
+    using AC = topology::AsClass;
+    add(1, AC::kTier1, "10.1.0.0/16");
+    add(2, AC::kTier1, "10.2.0.0/16");
+    add(10, AC::kNren, "10.10.0.0/16");
+    add(20, AC::kTier2, "10.20.0.0/16");
+    add(30, AC::kAccess, "10.30.0.0/16");
+    add(31, AC::kAccess, "10.31.0.0/16");
+    graph.add_peering(as(1), as(2));
+    graph.add_transit(as(1), as(10));
+    graph.add_transit(as(2), as(10));
+    graph.add_transit(as(1), as(20));
+    graph.add_transit(as(20), as(30));
+    graph.add_transit(as(1), as(31));  // 31 is NOT in any member's cone.
+
+    ixp::RemotePeeringProvider provider;
+    provider.name = "CarrierOne";
+    provider.pops = {cities.at("Amsterdam")};
+    eco.add_provider(provider);
+    x = eco.add_ixp("X", "X", cities.at("Amsterdam"), 1.0,
+                    *net::Ipv4Prefix::parse("198.18.0.0/24"));
+    ixp::MemberInterface iface;
+    iface.asn = as(20);
+    iface.addr = net::Ipv4Addr(198, 18, 0, 1);
+    iface.mac = net::MacAddr::from_id(1);
+    iface.equipment_city = cities.at("Amsterdam");
+    eco.ixp(x).add_interface(iface);
+
+    rib = std::make_unique<bgp::Rib>(bgp::Rib::build(graph, vantage));
+    util::Rng rng(1);
+    matrix = std::make_unique<flow::TrafficMatrix>(
+        flow::TrafficMatrix::generate(graph, vantage, flow::TrafficConfig{},
+                                      rng));
+    analyzer = std::make_unique<offload::OffloadAnalyzer>(
+        graph, eco, vantage, *matrix, *rib, offload::AnalyzerConfig{});
+  }
+};
+
+TEST(MultihomingRisk, DualTransitSurvivesAnySingleFailure) {
+  World w;
+  MultihomingRiskStudy study(w.graph, w.eco, w.vantage, *w.analyzer);
+  const auto report = study.evaluate(Procurement::kDualTransit, {},
+                                     offload::PeerGroup::kAll, 0);
+  EXPECT_DOUBLE_EQ(report.worst_case_surviving, 1.0);
+  EXPECT_DOUBLE_EQ(report.tolerant_traffic_fraction, 1.0);
+  EXPECT_EQ(report.failures.size(), 2u);
+}
+
+TEST(MultihomingRisk, IndependentRemotePartiallyCoversTransitFailure) {
+  World w;
+  MultihomingRiskStudy study(w.graph, w.eco, w.vantage, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto report =
+      study.evaluate(Procurement::kTransitPlusIndependentRemote, reached,
+                     offload::PeerGroup::kAll, 0);
+  // Transit failure leaves only the offloadable share (cone of AS20).
+  EXPECT_GT(report.worst_case_surviving, 0.0);
+  EXPECT_LT(report.worst_case_surviving, 1.0);
+  EXPECT_EQ(report.worst_case_organization, "AS1");
+  // Provider or IXP failures fall back to transit: full survival.
+  for (const auto& failure : report.failures) {
+    if (failure.organization != "AS1")
+      EXPECT_DOUBLE_EQ(failure.surviving_traffic_fraction, 1.0);
+  }
+}
+
+TEST(MultihomingRisk, ConflatedRemoteIsNotRedundant) {
+  // The §6 warning: the same organization sells both services, so its
+  // failure takes everything down.
+  World w;
+  MultihomingRiskStudy study(w.graph, w.eco, w.vantage, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto report =
+      study.evaluate(Procurement::kTransitPlusConflatedRemote, reached,
+                     offload::PeerGroup::kAll, 0);
+  EXPECT_DOUBLE_EQ(report.worst_case_surviving, 0.0);
+  EXPECT_DOUBLE_EQ(report.tolerant_traffic_fraction, 0.0);
+  EXPECT_NE(report.worst_case_organization.find("AS1"), std::string::npos);
+  EXPECT_NE(report.worst_case_organization.find("CarrierOne"),
+            std::string::npos);
+}
+
+TEST(MultihomingRisk, OrderingAcrossProcurements) {
+  // Reliability strictly orders: dual transit >= independent remote >
+  // conflated remote.
+  World w;
+  MultihomingRiskStudy study(w.graph, w.eco, w.vantage, *w.analyzer);
+  const std::vector<ixp::IxpId> reached{w.x};
+  const auto dual = study.evaluate(Procurement::kDualTransit, reached,
+                                   offload::PeerGroup::kAll, 0);
+  const auto independent =
+      study.evaluate(Procurement::kTransitPlusIndependentRemote, reached,
+                     offload::PeerGroup::kAll, 0);
+  const auto conflated =
+      study.evaluate(Procurement::kTransitPlusConflatedRemote, reached,
+                     offload::PeerGroup::kAll, 0);
+  EXPECT_GE(dual.worst_case_surviving, independent.worst_case_surviving);
+  EXPECT_GT(independent.worst_case_surviving,
+            conflated.worst_case_surviving);
+}
+
+TEST(MultihomingRisk, ProcurementToString) {
+  EXPECT_EQ(to_string(Procurement::kDualTransit), "dual transit");
+  EXPECT_NE(to_string(Procurement::kTransitPlusConflatedRemote)
+                .find("same organization"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rp::layer2

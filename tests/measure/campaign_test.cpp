@@ -1,0 +1,302 @@
+// Integration tests: a hand-built IXP, the full campaign, and the filter
+// pipeline acting together — the §3 method against known ground truth.
+#include "measure/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/cities.hpp"
+#include "measure/classifier.hpp"
+#include "measure/filters.hpp"
+#include "net/subnet_allocator.hpp"
+
+namespace rp::measure {
+namespace {
+
+const geo::City& city(const char* name) {
+  return geo::CityRegistry::world().at(name);
+}
+
+/// Builds a small IXP in Amsterdam with both LGs and a given roster.
+struct MiniIxp {
+  ixp::Ixp ixp{0, "MINI", "Mini Exchange", city("Amsterdam"), 0.5,
+               net::Ipv4Prefix::make(net::Ipv4Addr(198, 18, 0, 0), 24)};
+  net::HostAllocator addrs{ixp.peering_lan()};
+  std::uint32_t serial = 1;
+
+  MiniIxp() {
+    ixp.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+    ixp.add_looking_glass(ixp::LookingGlass::ripe(addrs.allocate()));
+  }
+
+  net::Ipv4Addr add_member(std::uint32_t asn, ixp::AttachmentKind kind,
+                           const char* equipment_city) {
+    ixp::MemberInterface iface;
+    iface.asn = net::Asn{asn};
+    iface.addr = addrs.allocate();
+    iface.mac = net::MacAddr::from_id(serial++);
+    iface.kind = kind;
+    iface.equipment_city = city(equipment_city);
+    if (kind == ixp::AttachmentKind::kRemoteViaProvider ||
+        kind == ixp::AttachmentKind::kPartnerIxp) {
+      iface.circuit_one_way = geo::propagation_delay(
+          iface.equipment_city.position, ixp.city().position, 1.5);
+    }
+    ixp.add_interface(iface);
+    return iface.addr;
+  }
+};
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.length = util::SimDuration::days(4);
+  config.queries_per_pch_lg = 4;
+  config.queries_per_ripe_lg = 3;
+  // No injected faults: ground truth should come through clean.
+  config.faults = FaultPlanConfig{};
+  config.faults.blackhole_rate = 0.0;
+  config.faults.absent_rate = 0.0;
+  config.faults.ttl_switch_rate = 0.0;
+  config.faults.odd_ttl_rate = 0.0;
+  config.faults.proxy_reply_rate = 0.0;
+  config.faults.persistent_congestion_rate = 0.0;
+  config.faults.lg_asymmetry_rate = 0.0;
+  config.faults.asn_change_rate = 0.0;
+  config.faults.unidentified_rate = 0.0;
+  config.faults.lossy_rate = 0.0;
+  return config;
+}
+
+TEST(Campaign, DirectAndRemoteMembersClassifiedCorrectly) {
+  MiniIxp mini;
+  const auto local1 =
+      mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  const auto local2 =
+      mini.add_member(200, ixp::AttachmentKind::kIpTransport, "Amsterdam");
+  const auto remote_eu =
+      mini.add_member(300, ixp::AttachmentKind::kRemoteViaProvider, "Budapest");
+  const auto remote_ic =
+      mini.add_member(400, ixp::AttachmentKind::kPartnerIxp, "Hong Kong");
+
+  util::Rng rng(7);
+  const auto measurement = run_ixp_campaign(mini.ixp, fast_campaign(), rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_EQ(analysis.probed_count(), 4u);
+  EXPECT_EQ(analysis.analyzed_count(), 4u);
+
+  const ClassifierConfig classifier;
+  for (const auto& iface : analysis.interfaces) {
+    ASSERT_TRUE(iface.analyzed()) << iface.addr.to_string();
+    const bool classified_remote = is_remote(iface.min_rtt, classifier);
+    if (iface.addr == local1 || iface.addr == local2) {
+      EXPECT_FALSE(classified_remote) << iface.min_rtt.to_string();
+      EXPECT_LT(iface.min_rtt.as_millis_f(), 10.0);
+    }
+    if (iface.addr == remote_eu) {
+      EXPECT_TRUE(classified_remote);
+      // Budapest-Amsterdam pseudowire: ~17 ms RTT, the intercity band.
+      EXPECT_EQ(band_of(iface.min_rtt, classifier), RttBand::kIntercity);
+    }
+    if (iface.addr == remote_ic) {
+      EXPECT_TRUE(classified_remote);
+      EXPECT_EQ(band_of(iface.min_rtt, classifier),
+                RttBand::kIntercontinental);
+    }
+  }
+}
+
+TEST(Campaign, ReplyCountsRespectLgLimits) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  util::Rng rng(8);
+  const auto config = fast_campaign();
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  ASSERT_EQ(measurement.interfaces.size(), 1u);
+  const auto& obs = measurement.interfaces.front();
+  // PCH: 4 queries x 5 pings; RIPE: 3 x 3.
+  EXPECT_EQ(obs.samples.at(ixp::LgOperator::kPch).size(), 20u);
+  EXPECT_EQ(obs.samples.at(ixp::LgOperator::kRipeNcc).size(), 9u);
+}
+
+TEST(Campaign, BlackholedInterfaceDiscardedBySampleSize) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.blackhole_rate = 1.0;  // Everyone blackholes.
+  util::Rng rng(9);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_EQ(analysis.interfaces.size(), 1u);
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kSampleSize);
+}
+
+TEST(Campaign, TtlSwitchFaultCaughtByTtlSwitchFilter) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.ttl_switch_rate = 1.0;
+  util::Rng rng(10);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kTtlSwitch);
+}
+
+TEST(Campaign, ProxyReplyFaultCaughtByTtlMatchFilter) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.proxy_reply_rate = 1.0;
+  util::Rng rng(11);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kTtlMatch);
+}
+
+TEST(Campaign, PersistentCongestionCaughtByRttConsistentFilter) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.persistent_congestion_rate = 1.0;
+  util::Rng rng(12);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kRttConsistent);
+}
+
+TEST(Campaign, LgAsymmetryCaughtByLgConsistentFilter) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.lg_asymmetry_rate = 1.0;
+  util::Rng rng(13);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kLgConsistent);
+}
+
+TEST(Campaign, AsnChangeCaughtByAsnChangeFilter) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.asn_change_rate = 1.0;
+  util::Rng rng(14);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kAsnChange);
+}
+
+TEST(Campaign, AbsentInterfaceDiscardedBySampleSize) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  auto config = fast_campaign();
+  config.faults.absent_rate = 1.0;
+  util::Rng rng(15);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  ASSERT_TRUE(analysis.interfaces[0].discarded_by);
+  EXPECT_EQ(*analysis.interfaces[0].discarded_by, Filter::kSampleSize);
+}
+
+TEST(Campaign, UndiscoverableInterfacesNotProbed) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  ixp::MemberInterface hidden;
+  hidden.asn = net::Asn{200};
+  hidden.addr = mini.addrs.allocate();
+  hidden.mac = net::MacAddr::from_id(999);
+  hidden.equipment_city = city("Amsterdam");
+  hidden.discoverable = false;
+  mini.ixp.add_interface(hidden);
+
+  util::Rng rng(16);
+  const auto measurement = run_ixp_campaign(mini.ixp, fast_campaign(), rng);
+  EXPECT_EQ(measurement.interfaces.size(), 1u);
+  EXPECT_EQ(measurement.interfaces[0].addr.to_string(),
+            mini.ixp.interfaces()[0].addr.to_string());
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  auto run_once = [] {
+    MiniIxp mini;
+    mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+    mini.add_member(300, ixp::AttachmentKind::kRemoteViaProvider, "Budapest");
+    util::Rng rng(99);
+    return run_ixp_campaign(mini.ixp, fast_campaign(), rng);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.interfaces.size(), b.interfaces.size());
+  for (std::size_t i = 0; i < a.interfaces.size(); ++i) {
+    const auto& sa = a.interfaces[i].samples.at(ixp::LgOperator::kPch);
+    const auto& sb = b.interfaces[i].samples.at(ixp::LgOperator::kPch);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_EQ(sa[k].replied, sb[k].replied);
+      if (sa[k].replied) {
+        EXPECT_EQ(sa[k].rtt, sb[k].rtt);
+      }
+    }
+  }
+}
+
+TEST(Campaign, RouteServerCrosscheckCollectsIndependentSamples) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  mini.add_member(300, ixp::AttachmentKind::kRemoteViaProvider, "Budapest");
+  auto config = fast_campaign();
+  config.route_server_crosscheck = true;
+  config.rs_queries = 5;
+  util::Rng rng(21);
+  const auto measurement = run_ixp_campaign(mini.ixp, config, rng);
+  for (const auto& obs : measurement.interfaces) {
+    EXPECT_EQ(obs.route_server_samples.size(), 15u);  // 5 queries x 3 pings.
+    std::size_t replies = 0;
+    for (const auto& s : obs.route_server_samples)
+      if (s.replied) ++replies;
+    EXPECT_GE(replies, 10u);
+  }
+  // The cross-check flows into the analysis and agrees with the LG minima.
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  for (const auto& iface : analysis.interfaces) {
+    ASSERT_TRUE(iface.analyzed());
+    ASSERT_TRUE(iface.route_server_min_rtt.has_value());
+    const double diff_ms = iface.min_rtt.as_millis_f() -
+                           iface.route_server_min_rtt->as_millis_f();
+    // Both vantages sit inside the fabric: minima within ~1 ms (the paper's
+    // TorIX check found a 0.3 ms mean difference).
+    EXPECT_LT(std::abs(diff_ms), 1.5) << iface.addr.to_string();
+  }
+}
+
+TEST(Campaign, NoRouteServerSamplesWithoutCrosscheck) {
+  MiniIxp mini;
+  mini.add_member(100, ixp::AttachmentKind::kDirectColo, "Amsterdam");
+  util::Rng rng(22);
+  const auto measurement = run_ixp_campaign(mini.ixp, fast_campaign(), rng);
+  EXPECT_TRUE(measurement.interfaces[0].route_server_samples.empty());
+  const auto analysis = apply_filters(measurement, FilterConfig{});
+  EXPECT_FALSE(analysis.interfaces[0].route_server_min_rtt.has_value());
+}
+
+TEST(Campaign, GroundTruthCarriedThrough) {
+  MiniIxp mini;
+  mini.add_member(300, ixp::AttachmentKind::kRemoteViaProvider, "Budapest");
+  util::Rng rng(17);
+  const auto measurement = run_ixp_campaign(mini.ixp, fast_campaign(), rng);
+  ASSERT_EQ(measurement.interfaces.size(), 1u);
+  EXPECT_TRUE(measurement.interfaces[0].truth_remote);
+  EXPECT_EQ(measurement.interfaces[0].truth_kind,
+            ixp::AttachmentKind::kRemoteViaProvider);
+  EXPECT_GT(measurement.interfaces[0].truth_circuit_one_way,
+            util::SimDuration::millis(3));
+}
+
+}  // namespace
+}  // namespace rp::measure

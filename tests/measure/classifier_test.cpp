@@ -1,0 +1,63 @@
+#include "measure/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::measure {
+namespace {
+
+using util::SimDuration;
+
+TEST(Classifier, BandEdgesMatchPaper) {
+  const ClassifierConfig config;
+  EXPECT_EQ(band_of(SimDuration::from_millis_f(0.3), config),
+            RttBand::kLocal);
+  EXPECT_EQ(band_of(SimDuration::from_millis_f(9.99), config),
+            RttBand::kLocal);
+  EXPECT_EQ(band_of(SimDuration::millis(10), config), RttBand::kIntercity);
+  EXPECT_EQ(band_of(SimDuration::from_millis_f(19.99), config),
+            RttBand::kIntercity);
+  EXPECT_EQ(band_of(SimDuration::millis(20), config),
+            RttBand::kIntercountry);
+  EXPECT_EQ(band_of(SimDuration::from_millis_f(49.99), config),
+            RttBand::kIntercountry);
+  EXPECT_EQ(band_of(SimDuration::millis(50), config),
+            RttBand::kIntercontinental);
+  EXPECT_EQ(band_of(SimDuration::seconds(1), config),
+            RttBand::kIntercontinental);
+}
+
+TEST(Classifier, RemotenessThresholdAt10Ms) {
+  const ClassifierConfig config;
+  EXPECT_FALSE(is_remote(SimDuration::from_millis_f(9.999), config));
+  EXPECT_TRUE(is_remote(SimDuration::millis(10), config));
+  EXPECT_TRUE(is_remote(SimDuration::seconds(2), config));
+}
+
+TEST(Classifier, CustomThreshold) {
+  ClassifierConfig config;
+  config.remoteness_threshold = SimDuration::millis(2);
+  EXPECT_TRUE(is_remote(SimDuration::millis(3), config));
+  EXPECT_FALSE(is_remote(SimDuration::millis(1), config));
+}
+
+TEST(Classifier, BandNamesMatchFig3Legend) {
+  EXPECT_EQ(to_string(RttBand::kLocal), "RTT < 10 ms");
+  EXPECT_EQ(to_string(RttBand::kIntercity), "10 ms <= RTT < 20 ms");
+  EXPECT_EQ(to_string(RttBand::kIntercountry), "20 ms <= RTT < 50 ms");
+  EXPECT_EQ(to_string(RttBand::kIntercontinental), "RTT >= 50 ms");
+}
+
+TEST(Classifier, RemoteIffNotLocalBand) {
+  // Property: under any config where threshold == first band edge, the
+  // remoteness predicate agrees with "band != local".
+  const ClassifierConfig config;
+  for (double ms : {0.1, 5.0, 9.9, 10.0, 15.0, 20.0, 49.0, 50.0, 300.0}) {
+    const auto rtt = SimDuration::from_millis_f(ms);
+    EXPECT_EQ(is_remote(rtt, config),
+              band_of(rtt, config) != RttBand::kLocal)
+        << ms;
+  }
+}
+
+}  // namespace
+}  // namespace rp::measure

@@ -1,0 +1,148 @@
+#include "measure/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geo/cities.hpp"
+#include "measure/campaign.hpp"
+#include "measure/filters.hpp"
+#include "net/subnet_allocator.hpp"
+
+namespace rp::measure {
+namespace {
+
+IxpMeasurement sample_campaign() {
+  ixp::Ixp ixp(3, "IOIX", "IO Exchange",
+               geo::CityRegistry::world().at("Amsterdam"), 0.4,
+               *net::Ipv4Prefix::parse("198.18.12.0/24"));
+  net::HostAllocator addrs(ixp.peering_lan());
+  ixp.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+  ixp.add_looking_glass(ixp::LookingGlass::ripe(addrs.allocate()));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ixp::MemberInterface iface;
+    iface.asn = net::Asn{500 + i};
+    iface.addr = addrs.allocate();
+    iface.mac = net::MacAddr::from_id(i + 1);
+    iface.kind = i < 3 ? ixp::AttachmentKind::kDirectColo
+                       : ixp::AttachmentKind::kRemoteViaProvider;
+    iface.equipment_city = geo::CityRegistry::world().at(
+        i < 3 ? "Amsterdam" : "Budapest");
+    if (i >= 3)
+      iface.circuit_one_way = geo::propagation_delay(
+          iface.equipment_city.position, ixp.city().position, 1.5);
+    ixp.add_interface(iface);
+  }
+  CampaignConfig config;
+  config.length = util::SimDuration::days(3);
+  config.queries_per_pch_lg = 3;
+  config.queries_per_ripe_lg = 3;
+  config.route_server_crosscheck = true;
+  config.rs_queries = 2;
+  util::Rng rng(5);
+  return run_ixp_campaign(ixp, config, rng);
+}
+
+TEST(DatasetIo, RoundTripsBitForBit) {
+  const IxpMeasurement original = sample_campaign();
+  std::stringstream buffer;
+  write_dataset(original, buffer);
+
+  std::string error;
+  const auto loaded = read_dataset(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->ixp_id, original.ixp_id);
+  EXPECT_EQ(loaded->ixp_acronym, original.ixp_acronym);
+  EXPECT_EQ(loaded->campaign_start, original.campaign_start);
+  EXPECT_EQ(loaded->campaign_length, original.campaign_length);
+  ASSERT_EQ(loaded->interfaces.size(), original.interfaces.size());
+  for (std::size_t i = 0; i < original.interfaces.size(); ++i) {
+    const auto& a = original.interfaces[i];
+    const auto& b = loaded->interfaces[i];
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.truth_remote, b.truth_remote);
+    EXPECT_EQ(a.truth_kind, b.truth_kind);
+    EXPECT_EQ(a.truth_circuit_one_way, b.truth_circuit_one_way);
+    ASSERT_EQ(a.registry_asn.size(), b.registry_asn.size());
+    for (std::size_t r = 0; r < a.registry_asn.size(); ++r) {
+      EXPECT_EQ(a.registry_asn[r].first, b.registry_asn[r].first);
+      EXPECT_EQ(a.registry_asn[r].second, b.registry_asn[r].second);
+    }
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (const auto& [op, list] : a.samples) {
+      const auto& other = b.samples.at(op);
+      ASSERT_EQ(list.size(), other.size());
+      for (std::size_t k = 0; k < list.size(); ++k) {
+        EXPECT_EQ(list[k].sent_at, other[k].sent_at);
+        EXPECT_EQ(list[k].replied, other[k].replied);
+        EXPECT_EQ(list[k].rtt, other[k].rtt);
+        EXPECT_EQ(list[k].reply_ttl, other[k].reply_ttl);
+        EXPECT_EQ(list[k].reply_src, other[k].reply_src);
+      }
+    }
+    ASSERT_EQ(a.route_server_samples.size(), b.route_server_samples.size());
+  }
+}
+
+TEST(DatasetIo, ReanalysisOfLoadedDatasetMatchesOriginal) {
+  const IxpMeasurement original = sample_campaign();
+  std::stringstream buffer;
+  write_dataset(original, buffer);
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded);
+
+  const auto a = apply_filters(original, FilterConfig{});
+  const auto b = apply_filters(*loaded, FilterConfig{});
+  ASSERT_EQ(a.interfaces.size(), b.interfaces.size());
+  for (std::size_t i = 0; i < a.interfaces.size(); ++i) {
+    EXPECT_EQ(a.interfaces[i].discarded_by, b.interfaces[i].discarded_by);
+    if (a.interfaces[i].analyzed())
+      EXPECT_EQ(a.interfaces[i].min_rtt, b.interfaces[i].min_rtt);
+  }
+}
+
+TEST(DatasetIo, RejectsMalformedInput) {
+  std::string error;
+  {
+    std::stringstream empty;
+    EXPECT_FALSE(read_dataset(empty, &error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+  }
+  {
+    std::stringstream bad("S,0,pch,1,1,100,64,1.2.3.4\n");
+    EXPECT_FALSE(read_dataset(bad, &error));  // Data before header.
+  }
+  {
+    std::stringstream bad("H,0,X,0,100\nI,1,1.2.3.4,0,colo,0\n");
+    EXPECT_FALSE(read_dataset(bad, &error));  // Non-dense index.
+  }
+  {
+    std::stringstream bad("H,0,X,0,100\nI,0,1.2.3.4,0,weird,0\n");
+    EXPECT_FALSE(read_dataset(bad, &error));  // Unknown kind.
+  }
+  {
+    std::stringstream bad("H,0,X,0,100\nI,0,1.2.3.4,0,colo,0\nZ,0\n");
+    EXPECT_FALSE(read_dataset(bad, &error));  // Unknown tag.
+    EXPECT_NE(error.find("unknown tag"), std::string::npos);
+  }
+  {
+    std::stringstream bad("H,0,X,0,100\nS,0,pch,1,1,2,64,1.2.3.4\n");
+    EXPECT_FALSE(read_dataset(bad, &error));  // Sample before interface.
+  }
+}
+
+TEST(DatasetIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer(
+      "# comment\n\nH,7,TINY,0,1000\n# more\nI,0,10.0.0.1,1,remote,500\n");
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->ixp_acronym, "TINY");
+  ASSERT_EQ(loaded->interfaces.size(), 1u);
+  EXPECT_TRUE(loaded->interfaces[0].truth_remote);
+  EXPECT_EQ(loaded->interfaces[0].truth_kind,
+            ixp::AttachmentKind::kRemoteViaProvider);
+}
+
+}  // namespace
+}  // namespace rp::measure

@@ -1,0 +1,261 @@
+#include "measure/filters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::measure {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+
+PingSample reply(double rtt_ms, std::uint8_t ttl = 64,
+                 double at_hours = 0.0) {
+  PingSample s;
+  s.sent_at = SimTime::at(SimDuration::from_seconds_f(at_hours * 3600.0));
+  s.replied = true;
+  s.rtt = SimDuration::from_millis_f(rtt_ms);
+  s.reply_ttl = ttl;
+  return s;
+}
+
+PingSample timeout(double at_hours = 0.0) {
+  PingSample s;
+  s.sent_at = SimTime::at(SimDuration::from_seconds_f(at_hours * 3600.0));
+  s.replied = false;
+  return s;
+}
+
+/// A healthy single-LG observation: `n` clean replies near `rtt_ms`.
+InterfaceObservation healthy(double rtt_ms = 1.0, int n = 10,
+                             std::uint8_t ttl = 64) {
+  InterfaceObservation obs;
+  obs.addr = net::Ipv4Addr(198, 18, 0, 9);
+  obs.registry_asn.emplace_back(SimTime::origin(), net::Asn{64500});
+  auto& samples = obs.samples[ixp::LgOperator::kPch];
+  for (int i = 0; i < n; ++i)
+    samples.push_back(reply(rtt_ms + 0.01 * i, ttl, i));
+  return obs;
+}
+
+TEST(Filters, HealthyInterfaceIsAnalyzed) {
+  const auto analysis = analyze_interface(healthy(), FilterConfig{});
+  EXPECT_TRUE(analysis.analyzed());
+  EXPECT_NEAR(analysis.min_rtt.as_millis_f(), 1.0, 1e-9);
+  EXPECT_EQ(analysis.accepted_replies, 10u);
+  ASSERT_TRUE(analysis.asn);
+  EXPECT_EQ(*analysis.asn, net::Asn{64500});
+}
+
+TEST(Filters, SampleSizeDiscardsFewReplies) {
+  auto obs = healthy(1.0, 7);  // Below the 8-reply bar.
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kSampleSize);
+}
+
+TEST(Filters, SampleSizeCountsRepliesNotProbes) {
+  auto obs = healthy(1.0, 8);
+  for (int i = 0; i < 30; ++i)
+    obs.samples[ixp::LgOperator::kPch].push_back(timeout());
+  EXPECT_TRUE(analyze_interface(obs, FilterConfig{}).analyzed());
+  // But 7 replies among 30 probes still fails.
+  auto thin = healthy(1.0, 7);
+  for (int i = 0; i < 30; ++i)
+    thin.samples[ixp::LgOperator::kPch].push_back(timeout());
+  EXPECT_EQ(*analyze_interface(thin, FilterConfig{}).discarded_by,
+            Filter::kSampleSize);
+}
+
+TEST(Filters, SampleSizeAppliesPerLookingGlass) {
+  auto obs = healthy(1.0, 20);
+  // The RIPE LG saw only 3 replies: the interface must be discarded even
+  // though the PCH side is rich.
+  for (int i = 0; i < 3; ++i)
+    obs.samples[ixp::LgOperator::kRipeNcc].push_back(reply(1.0));
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kSampleSize);
+}
+
+TEST(Filters, NoSamplesAtAllDiscarded) {
+  InterfaceObservation obs;
+  obs.addr = net::Ipv4Addr(198, 18, 0, 9);
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kSampleSize);
+}
+
+TEST(Filters, TtlSwitchDiscardsChangedTtl) {
+  auto obs = healthy(1.0, 6, 64);
+  auto& samples = obs.samples[ixp::LgOperator::kPch];
+  for (int i = 0; i < 6; ++i) samples.push_back(reply(1.0, 255, 10.0 + i));
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kTtlSwitch);
+}
+
+TEST(Filters, TtlMatchDiscardsOddTtl) {
+  // Constant but unexpected TTL (128): TTL-switch passes, TTL-match fires.
+  const auto analysis = analyze_interface(healthy(1.0, 10, 128),
+                                          FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kTtlMatch);
+}
+
+TEST(Filters, TtlMatchDiscardsProxiedReplies) {
+  // Proxied replies arrive with TTL 63 (64 minus one hop).
+  const auto analysis =
+      analyze_interface(healthy(1.0, 10, 63), FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kTtlMatch);
+}
+
+TEST(Filters, Ttl255Accepted) {
+  EXPECT_TRUE(analyze_interface(healthy(1.0, 10, 255),
+                                FilterConfig{}).analyzed());
+}
+
+TEST(Filters, RttConsistentDiscardsScatteredRtts) {
+  // One fast fluke, everything else 30+ ms away: persistent congestion.
+  InterfaceObservation obs;
+  obs.addr = net::Ipv4Addr(198, 18, 0, 9);
+  auto& samples = obs.samples[ixp::LgOperator::kPch];
+  samples.push_back(reply(1.0));
+  samples.push_back(reply(1.2));  // Within margin: 2 consistent replies.
+  for (int i = 0; i < 10; ++i) samples.push_back(reply(30.0 + i));
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kRttConsistent);
+}
+
+TEST(Filters, RttConsistencyMarginIsMaxOfFloorAndFraction) {
+  // min 100 ms: margin = max(5, 10) = 10 ms; replies at 109 ms count.
+  InterfaceObservation obs;
+  obs.addr = net::Ipv4Addr(198, 18, 0, 9);
+  auto& samples = obs.samples[ixp::LgOperator::kPch];
+  samples.push_back(reply(100.0));
+  for (int i = 0; i < 3; ++i) samples.push_back(reply(109.0));
+  for (int i = 0; i < 6; ++i) samples.push_back(reply(150.0));
+  EXPECT_TRUE(analyze_interface(obs, FilterConfig{}).analyzed());
+  // At min 1 ms: margin = max(5, 0.1) = 5 ms; replies at 6.1 ms do not.
+  InterfaceObservation tight;
+  tight.addr = net::Ipv4Addr(198, 18, 0, 9);
+  auto& t = tight.samples[ixp::LgOperator::kPch];
+  t.push_back(reply(1.0));
+  t.push_back(reply(5.9));   // Within 1+5.
+  t.push_back(reply(6.1));   // Outside.
+  t.push_back(reply(6.2));
+  for (int i = 0; i < 6; ++i) t.push_back(reply(20.0));
+  const auto analysis = analyze_interface(tight, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kRttConsistent);
+}
+
+TEST(Filters, LgConsistentDiscardsDisagreeingLgs) {
+  auto obs = healthy(1.0, 10);  // PCH at ~1 ms.
+  auto& ripe = obs.samples[ixp::LgOperator::kRipeNcc];
+  for (int i = 0; i < 10; ++i) ripe.push_back(reply(15.0 + 0.01 * i));
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kLgConsistent);
+}
+
+TEST(Filters, LgConsistentPassesAgreeingLgs) {
+  auto obs = healthy(12.0, 10);
+  auto& ripe = obs.samples[ixp::LgOperator::kRipeNcc];
+  for (int i = 0; i < 10; ++i) ripe.push_back(reply(13.0 + 0.01 * i));
+  // |13 - 12| = 1 ms <= max(5, 1.2): consistent.
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  EXPECT_TRUE(analysis.analyzed());
+  EXPECT_NEAR(analysis.min_rtt.as_millis_f(), 12.0, 1e-9);
+}
+
+TEST(Filters, AsnChangeDiscardsRemappedInterface) {
+  auto obs = healthy();
+  obs.registry_asn.emplace_back(SimTime::at(SimDuration::days(10)),
+                                net::Asn{65000});
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kAsnChange);
+}
+
+TEST(Filters, UnidentifiedInterfaceAnalyzedWithoutAsn) {
+  auto obs = healthy();
+  obs.registry_asn.clear();
+  const auto analysis = analyze_interface(obs, FilterConfig{});
+  EXPECT_TRUE(analysis.analyzed());
+  EXPECT_FALSE(analysis.asn.has_value());
+}
+
+TEST(Filters, OrderAttributesToEarliestFilter) {
+  // An interface that is both thin (5 replies) and TTL-odd must be charged
+  // to sample-size, the first filter in the pipeline.
+  const auto analysis =
+      analyze_interface(healthy(1.0, 5, 128), FilterConfig{});
+  ASSERT_TRUE(analysis.discarded_by);
+  EXPECT_EQ(*analysis.discarded_by, Filter::kSampleSize);
+}
+
+TEST(Filters, DisablingAFilterLetsItsArtefactThrough) {
+  FilterConfig no_ttl_match;
+  no_ttl_match.enabled[static_cast<std::size_t>(Filter::kTtlMatch)] = false;
+  const auto analysis = analyze_interface(healthy(1.0, 10, 128), no_ttl_match);
+  EXPECT_TRUE(analysis.analyzed());
+}
+
+TEST(Filters, DisabledSampleSizeStillNeedsSomeReply) {
+  FilterConfig lax;
+  lax.enabled[static_cast<std::size_t>(Filter::kSampleSize)] = false;
+  InterfaceObservation obs;
+  obs.addr = net::Ipv4Addr(198, 18, 0, 9);
+  obs.samples[ixp::LgOperator::kPch].push_back(timeout());
+  const auto analysis = analyze_interface(obs, lax);
+  EXPECT_TRUE(analysis.discarded_by.has_value());
+}
+
+TEST(Filters, MinRttTakenOverAcceptedRepliesOnly) {
+  FilterConfig config;
+  // An interface with a (discarded) odd-TTL fast reply: min must come from
+  // the accepted 64-TTL replies. Disable TTL-switch so the mix survives to
+  // TTL-match.
+  config.enabled[static_cast<std::size_t>(Filter::kTtlSwitch)] = false;
+  auto obs = healthy(5.0, 10, 64);
+  obs.samples[ixp::LgOperator::kPch].push_back(reply(0.1, 63));
+  const auto analysis = analyze_interface(obs, config);
+  ASSERT_TRUE(analysis.analyzed());
+  EXPECT_NEAR(analysis.min_rtt.as_millis_f(), 5.0, 1e-9);
+}
+
+TEST(Filters, ApplyFiltersAggregatesCounts) {
+  IxpMeasurement measurement;
+  measurement.ixp_acronym = "TEST";
+  measurement.interfaces.push_back(healthy());
+  measurement.interfaces.push_back(healthy(1.0, 3));       // sample-size
+  measurement.interfaces.push_back(healthy(1.0, 10, 32));  // TTL-match
+  auto switched = healthy(1.0, 6, 64);
+  for (int i = 0; i < 6; ++i)
+    switched.samples[ixp::LgOperator::kPch].push_back(reply(1.0, 255, 5.0));
+  measurement.interfaces.push_back(switched);  // TTL-switch
+
+  const IxpAnalysis analysis = apply_filters(measurement, FilterConfig{});
+  EXPECT_EQ(analysis.probed_count(), 4u);
+  EXPECT_EQ(analysis.analyzed_count(), 1u);
+  EXPECT_EQ(analysis.discard_counts[static_cast<std::size_t>(
+                Filter::kSampleSize)], 1u);
+  EXPECT_EQ(analysis.discard_counts[static_cast<std::size_t>(
+                Filter::kTtlMatch)], 1u);
+  EXPECT_EQ(analysis.discard_counts[static_cast<std::size_t>(
+                Filter::kTtlSwitch)], 1u);
+}
+
+TEST(Filters, ToStringCoversAll) {
+  EXPECT_EQ(to_string(Filter::kSampleSize), "sample-size");
+  EXPECT_EQ(to_string(Filter::kTtlSwitch), "TTL-switch");
+  EXPECT_EQ(to_string(Filter::kTtlMatch), "TTL-match");
+  EXPECT_EQ(to_string(Filter::kRttConsistent), "RTT-consistent");
+  EXPECT_EQ(to_string(Filter::kLgConsistent), "LG-consistent");
+  EXPECT_EQ(to_string(Filter::kAsnChange), "ASN-change");
+}
+
+}  // namespace
+}  // namespace rp::measure

@@ -1,0 +1,169 @@
+#include "measure/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace rp::measure {
+namespace {
+
+using util::SimDuration;
+
+InterfaceAnalysis analyzed(double rtt_ms, std::uint32_t asn,
+                           ixp::IxpId ixp_id, bool truth_remote) {
+  InterfaceAnalysis a;
+  a.addr = net::Ipv4Addr(198, 18, 0, static_cast<std::uint8_t>(asn % 250));
+  a.ixp_id = ixp_id;
+  a.min_rtt = SimDuration::from_millis_f(rtt_ms);
+  a.accepted_replies = 20;
+  if (asn != 0) a.asn = net::Asn{asn};
+  a.truth_remote = truth_remote;
+  a.truth_circuit_one_way = SimDuration::from_millis_f(
+      truth_remote ? rtt_ms / 2.0 - 0.2 : 0.05);
+  return a;
+}
+
+InterfaceAnalysis discarded(Filter f, ixp::IxpId ixp_id) {
+  InterfaceAnalysis a;
+  a.ixp_id = ixp_id;
+  a.discarded_by = f;
+  return a;
+}
+
+std::vector<IxpAnalysis> two_ixp_fixture() {
+  IxpAnalysis first;
+  first.ixp_id = 0;
+  first.ixp_acronym = "ALPHA";
+  first.interfaces.push_back(analyzed(1.0, 100, 0, false));
+  first.interfaces.push_back(analyzed(15.0, 200, 0, true));
+  first.interfaces.push_back(analyzed(60.0, 300, 0, true));
+  first.interfaces.push_back(analyzed(2.0, 0, 0, false));  // Unidentified.
+  first.interfaces.push_back(discarded(Filter::kSampleSize, 0));
+  first.discard_counts[static_cast<std::size_t>(Filter::kSampleSize)] = 1;
+
+  IxpAnalysis second;
+  second.ixp_id = 1;
+  second.ixp_acronym = "BETA";
+  second.interfaces.push_back(analyzed(1.5, 100, 1, false));
+  second.interfaces.push_back(analyzed(25.0, 400, 1, true));
+  return {first, second};
+}
+
+TEST(SpreadReport, RowTotalsAndBands) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  ASSERT_EQ(report.rows().size(), 2u);
+  const auto& alpha = report.rows()[0];
+  EXPECT_EQ(alpha.acronym, "ALPHA");
+  EXPECT_EQ(alpha.probed, 5u);
+  EXPECT_EQ(alpha.analyzed, 4u);
+  EXPECT_EQ(alpha.remote_interfaces, 2u);
+  EXPECT_EQ(alpha.band_counts[0], 2u);  // <10ms
+  EXPECT_EQ(alpha.band_counts[1], 1u);  // 15ms
+  EXPECT_EQ(alpha.band_counts[3], 1u);  // 60ms
+  EXPECT_TRUE(alpha.has_remote());
+  EXPECT_EQ(report.total_probed(), 7u);
+  EXPECT_EQ(report.total_analyzed(), 6u);
+}
+
+TEST(SpreadReport, DiscardTotalsAggregate) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  const auto totals = report.total_discards();
+  EXPECT_EQ(totals[static_cast<std::size_t>(Filter::kSampleSize)], 1u);
+  EXPECT_EQ(totals[static_cast<std::size_t>(Filter::kTtlSwitch)], 0u);
+}
+
+TEST(SpreadReport, NetworksAggregatedAcrossIxps) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  // AS100 at both IXPs; AS200/300/400 at one each; the unidentified
+  // interface is excluded, leaving 5 of the 6 analyzed.
+  EXPECT_EQ(report.identified_networks(), 4u);
+  EXPECT_EQ(report.identified_interfaces(), 5u);
+  const auto& networks = report.networks();
+  const auto as100 = std::find_if(
+      networks.begin(), networks.end(),
+      [](const NetworkSpread& n) { return n.asn == net::Asn{100}; });
+  ASSERT_NE(as100, networks.end());
+  EXPECT_EQ(as100->ixp_count, 2u);
+  EXPECT_EQ(as100->analyzed_interfaces, 2u);
+  EXPECT_FALSE(as100->remote_peer);
+  EXPECT_EQ(report.remote_networks(), 3u);
+}
+
+TEST(SpreadReport, IxpCountHistograms) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  const auto all = report.ixp_count_histogram(false);
+  EXPECT_EQ(all.at(1), 3u);
+  EXPECT_EQ(all.at(2), 1u);
+  const auto remote = report.ixp_count_histogram(true);
+  EXPECT_EQ(remote.at(1), 3u);
+  EXPECT_FALSE(remote.contains(2));
+}
+
+TEST(SpreadReport, BandFractionsByIxpCount) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  const auto fractions = report.band_fractions_by_ixp_count();
+  // Remote networks with IXP count 1: AS200 (15ms), AS300 (60ms),
+  // AS400 (25ms) -> 3 interfaces, one per band 1, 2, 3.
+  ASSERT_TRUE(fractions.contains(1));
+  const auto& f = fractions.at(1);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_NEAR(f[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f[2], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f[3], 1.0 / 3.0, 1e-12);
+}
+
+TEST(SpreadReport, FractionOfIxpsWithRemote) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  EXPECT_DOUBLE_EQ(report.ixps_with_remote_fraction(), 1.0);
+}
+
+TEST(SpreadReport, ValidationConfusionMatrix) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  const auto& v = report.validation();
+  EXPECT_EQ(v.true_positives, 3u);
+  EXPECT_EQ(v.false_positives, 0u);
+  EXPECT_EQ(v.true_negatives, 3u);
+  EXPECT_EQ(v.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(v.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(v.recall(), 1.0);
+  // Each analyzed interface contributes min_rtt - 2 * one-way to the error;
+  // the fixture sets one-way so errors are small and positive.
+  EXPECT_GT(v.rtt_error_mean_ms, 0.0);
+  EXPECT_LT(v.rtt_error_mean_ms, 2.5);
+}
+
+TEST(SpreadReport, MinRttsFeedTheCdf) {
+  const auto report =
+      SpreadReport::build(two_ixp_fixture(), ClassifierConfig{});
+  EXPECT_EQ(report.min_rtts_ms().size(), 6u);
+  util::EmpiricalCdf cdf(report.min_rtts_ms());
+  EXPECT_DOUBLE_EQ(cdf.at(9.9), 0.5);  // Three of six below 10 ms.
+}
+
+TEST(SpreadReport, EmptyInput) {
+  const auto report = SpreadReport::build({}, ClassifierConfig{});
+  EXPECT_EQ(report.total_probed(), 0u);
+  EXPECT_EQ(report.total_analyzed(), 0u);
+  EXPECT_DOUBLE_EQ(report.ixps_with_remote_fraction(), 0.0);
+  EXPECT_EQ(report.remote_networks(), 0u);
+}
+
+TEST(ValidationSummary, DegenerateRatios) {
+  ValidationSummary v;
+  EXPECT_DOUBLE_EQ(v.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(v.recall(), 1.0);
+  v.false_positives = 1;
+  EXPECT_DOUBLE_EQ(v.precision(), 0.0);
+}
+
+}  // namespace
+}  // namespace rp::measure

@@ -1,0 +1,123 @@
+// Property sweep over remoteness thresholds and filter configurations on a
+// fixed raw dataset: re-analysis must behave monotonically and predictably.
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+#include "measure/campaign.hpp"
+#include "measure/classifier.hpp"
+#include "measure/filters.hpp"
+#include "measure/report.hpp"
+#include "net/subnet_allocator.hpp"
+
+namespace rp::measure {
+namespace {
+
+/// One shared raw campaign over a mixed roster (clean faults so counts are
+/// predictable), reused by every parameterized case.
+const IxpMeasurement& shared_measurement() {
+  static const IxpMeasurement measurement = [] {
+    ixp::Ixp ixp(0, "PROP", "Property Exchange",
+                 geo::CityRegistry::world().at("Amsterdam"), 1.0,
+                 *net::Ipv4Prefix::parse("198.18.8.0/24"));
+    net::HostAllocator addrs(ixp.peering_lan());
+    ixp.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+    ixp.add_looking_glass(ixp::LookingGlass::ripe(addrs.allocate()));
+    const char* homes[] = {"Amsterdam", "Amsterdam", "Frankfurt", "Budapest",
+                           "Moscow", "Lisbon", "New York", "Hong Kong",
+                           "Sao Paulo", "Tokyo"};
+    std::uint32_t serial = 1;
+    for (const char* home : homes) {
+      ixp::MemberInterface iface;
+      iface.asn = net::Asn{1000 + serial};
+      iface.addr = addrs.allocate();
+      iface.mac = net::MacAddr::from_id(serial++);
+      const bool local = std::string(home) == "Amsterdam";
+      iface.kind = local ? ixp::AttachmentKind::kDirectColo
+                         : ixp::AttachmentKind::kRemoteViaProvider;
+      iface.equipment_city = geo::CityRegistry::world().at(home);
+      if (!local)
+        iface.circuit_one_way = geo::propagation_delay(
+            iface.equipment_city.position, ixp.city().position, 1.5);
+      ixp.add_interface(iface);
+    }
+    CampaignConfig config;
+    config.length = util::SimDuration::days(4);
+    config.queries_per_pch_lg = 4;
+    config.queries_per_ripe_lg = 3;
+    config.faults = FaultPlanConfig{};
+    config.faults.blackhole_rate = 0.0;
+    config.faults.absent_rate = 0.0;
+    config.faults.ttl_switch_rate = 0.0;
+    config.faults.odd_ttl_rate = 0.0;
+    config.faults.proxy_reply_rate = 0.0;
+    config.faults.persistent_congestion_rate = 0.0;
+    config.faults.lg_asymmetry_rate = 0.0;
+    config.faults.asn_change_rate = 0.0;
+    config.faults.unidentified_rate = 0.0;
+    config.faults.lossy_rate = 0.0;
+    util::Rng rng(77);
+    return run_ixp_campaign(ixp, config, rng);
+  }();
+  return measurement;
+}
+
+class ThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdProperty, RemoteCountMonotoneInThreshold) {
+  const auto analysis = apply_filters(shared_measurement(), FilterConfig{});
+  ClassifierConfig tight;
+  tight.remoteness_threshold = util::SimDuration::from_millis_f(GetParam());
+  ClassifierConfig tighter;
+  tighter.remoteness_threshold =
+      util::SimDuration::from_millis_f(GetParam() * 2.0);
+  std::size_t at_threshold = 0, at_double = 0;
+  for (const auto& iface : analysis.interfaces) {
+    if (!iface.analyzed()) continue;
+    if (is_remote(iface.min_rtt, tight)) ++at_threshold;
+    if (is_remote(iface.min_rtt, tighter)) ++at_double;
+  }
+  EXPECT_GE(at_threshold, at_double);
+}
+
+TEST_P(ThresholdProperty, BandsPartitionTheAnalyzedSet) {
+  const auto analysis = apply_filters(shared_measurement(), FilterConfig{});
+  ClassifierConfig config;
+  config.remoteness_threshold = util::SimDuration::from_millis_f(GetParam());
+  // Keep the band edges ordered around the threshold.
+  config.intercountry_edge =
+      util::SimDuration::from_millis_f(GetParam() * 2.0);
+  config.intercontinental_edge =
+      util::SimDuration::from_millis_f(GetParam() * 5.0);
+  std::array<std::size_t, kBandCount> counts{};
+  std::size_t analyzed = 0;
+  for (const auto& iface : analysis.interfaces) {
+    if (!iface.analyzed()) continue;
+    ++analyzed;
+    ++counts[static_cast<std::size_t>(band_of(iface.min_rtt, config))];
+  }
+  std::size_t sum = 0;
+  for (std::size_t c : counts) sum += c;
+  EXPECT_EQ(sum, analyzed);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdsMs, ThresholdProperty,
+                         ::testing::Values(2.0, 5.0, 10.0, 20.0, 50.0));
+
+class FilterToggleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FilterToggleProperty, DisablingAFilterNeverShrinksTheAnalyzedSet) {
+  const auto& measurement = shared_measurement();
+  const auto baseline = apply_filters(measurement, FilterConfig{});
+  FilterConfig relaxed;
+  relaxed.enabled[GetParam()] = false;
+  const auto without = apply_filters(measurement, relaxed);
+  EXPECT_GE(without.analyzed_count(), baseline.analyzed_count());
+  // And that filter charges nothing when disabled.
+  EXPECT_EQ(without.discard_counts[GetParam()], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Filters, FilterToggleProperty,
+                         ::testing::Range<std::size_t>(0, kFilterCount));
+
+}  // namespace
+}  // namespace rp::measure

@@ -1,0 +1,114 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstructorAndToString) {
+  const Ipv4Addr a(192, 0, 2, 1);
+  EXPECT_EQ(a.to_string(), "192.0.2.1");
+  EXPECT_EQ(a.to_u32(), 0xC0000201u);
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("10.1.255.0");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, Ipv4Addr(10, 1, 255, 0));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("01.2.3.4"));  // Leading zero.
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.-4"));
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, MakeCanonicalizesHostBits) {
+  const auto p = Ipv4Prefix::make(Ipv4Addr(192, 0, 2, 77), 24);
+  EXPECT_EQ(p.network(), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.length(), 24u);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+}
+
+TEST(Ipv4Prefix, ParseRoundTrips) {
+  const auto p = Ipv4Prefix::parse("10.32.0.0/11");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.32.0.0/11");
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("300.0.0.0/8"));
+}
+
+TEST(Ipv4Prefix, MaskAndSize) {
+  const auto p24 = Ipv4Prefix::make(Ipv4Addr(1, 2, 3, 0), 24);
+  EXPECT_EQ(p24.mask(), Ipv4Addr(255, 255, 255, 0));
+  EXPECT_EQ(p24.size(), 256u);
+  const auto p0 = Ipv4Prefix::make(Ipv4Addr(0, 0, 0, 0), 0);
+  EXPECT_EQ(p0.mask(), Ipv4Addr(0, 0, 0, 0));
+  EXPECT_EQ(p0.size(), 1ULL << 32);
+  const auto p32 = Ipv4Prefix::make(Ipv4Addr(9, 9, 9, 9), 32);
+  EXPECT_EQ(p32.size(), 1u);
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const auto p = Ipv4Prefix::make(Ipv4Addr(172, 16, 0, 0), 12);
+  EXPECT_TRUE(p.contains(Ipv4Addr(172, 16, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(172, 31, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(172, 32, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(172, 15, 255, 255)));
+}
+
+TEST(Ipv4Prefix, Covers) {
+  const auto p16 = Ipv4Prefix::make(Ipv4Addr(10, 1, 0, 0), 16);
+  const auto p24 = Ipv4Prefix::make(Ipv4Addr(10, 1, 5, 0), 24);
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p16.covers(p16));
+  const auto other = Ipv4Prefix::make(Ipv4Addr(10, 2, 0, 0), 24);
+  EXPECT_FALSE(p16.covers(other));
+}
+
+TEST(Ipv4Prefix, AddressAtBounds) {
+  const auto p = Ipv4Prefix::make(Ipv4Addr(192, 0, 2, 0), 30);
+  EXPECT_EQ(p.address_at(0), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.address_at(3), Ipv4Addr(192, 0, 2, 3));
+  EXPECT_THROW(p.address_at(4), std::out_of_range);
+}
+
+TEST(Ipv4Prefix, MakeRejectsLongLength) {
+  EXPECT_THROW(Ipv4Prefix::make(Ipv4Addr(1, 2, 3, 4), 33),
+               std::invalid_argument);
+}
+
+TEST(Asn, BasicsAndFormatting) {
+  const Asn a(64500);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a.to_string(), "AS64500");
+  EXPECT_FALSE(Asn{}.is_valid());
+  EXPECT_LT(Asn(1), Asn(2));
+}
+
+TEST(Hashing, AddrPrefixAsnUsableInMaps) {
+  std::hash<Ipv4Addr> ha;
+  std::hash<Ipv4Prefix> hp;
+  std::hash<Asn> hasn;
+  EXPECT_EQ(ha(Ipv4Addr(1, 2, 3, 4)), ha(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_EQ(hp(Ipv4Prefix::make(Ipv4Addr(1, 0, 0, 0), 8)),
+            hp(Ipv4Prefix::make(Ipv4Addr(1, 2, 3, 4), 8)));
+  EXPECT_EQ(hasn(Asn(5)), hasn(Asn(5)));
+  // Same network, different lengths must differ (they are distinct prefixes).
+  EXPECT_NE(hp(Ipv4Prefix::make(Ipv4Addr(1, 0, 0, 0), 8)),
+            hp(Ipv4Prefix::make(Ipv4Addr(1, 0, 0, 0), 9)));
+}
+
+}  // namespace
+}  // namespace rp::net

@@ -1,0 +1,53 @@
+#include "net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::net {
+namespace {
+
+TEST(MacAddr, FromIdIsLocalUnicast) {
+  const MacAddr m = MacAddr::from_id(0x01020304);
+  EXPECT_EQ(m.to_string(), "02:00:01:02:03:04");
+  EXPECT_FALSE(m.is_broadcast());
+  EXPECT_FALSE(m.is_multicast());
+}
+
+TEST(MacAddr, FromIdUniquePerId) {
+  EXPECT_NE(MacAddr::from_id(1), MacAddr::from_id(2));
+  EXPECT_EQ(MacAddr::from_id(7), MacAddr::from_id(7));
+}
+
+TEST(MacAddr, Broadcast) {
+  const MacAddr b = MacAddr::broadcast();
+  EXPECT_TRUE(b.is_broadcast());
+  EXPECT_TRUE(b.is_multicast());  // Broadcast sets the group bit.
+  EXPECT_EQ(b.to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddr, ParseValid) {
+  const auto m = MacAddr::parse("aa:BB:0c:1d:2E:3f");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_string(), "aa:bb:0c:1d:2e:3f");
+}
+
+TEST(MacAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse(""));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee"));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:ff:00"));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:f"));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:gg"));
+}
+
+TEST(MacAddr, ToU64RoundTrip) {
+  const MacAddr m({0x02, 0x00, 0x00, 0x00, 0x01, 0x00});
+  EXPECT_EQ(m.to_u64(), 0x020000000100ULL);
+}
+
+TEST(MacAddr, MulticastBit) {
+  const MacAddr multicast({0x01, 0x00, 0x5e, 0x00, 0x00, 0x01});
+  EXPECT_TRUE(multicast.is_multicast());
+  EXPECT_FALSE(multicast.is_broadcast());
+}
+
+}  // namespace
+}  // namespace rp::net

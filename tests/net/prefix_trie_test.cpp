@@ -1,0 +1,134 @@
+#include "net/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rp::net {
+namespace {
+
+Ipv4Prefix pfx(const char* s) {
+  const auto p = Ipv4Prefix::parse(s);
+  if (!p) throw std::invalid_argument(std::string("bad prefix ") + s);
+  return *p;
+}
+
+Ipv4Addr addr(const char* s) {
+  const auto a = Ipv4Addr::parse(s);
+  if (!a) throw std::invalid_argument(std::string("bad addr ") + s);
+  return *a;
+}
+
+TEST(PrefixTrie, InsertFindExact) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(pfx("10.1.0.0/16"), 2));
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(pfx("10.1.0.0/16")), 2);
+  EXPECT_EQ(trie.find(pfx("10.2.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 9));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 9);
+}
+
+TEST(PrefixTrie, LongestPrefixMatchPrefersSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.lookup(addr("10.1.2.3")), 24);
+  EXPECT_EQ(*trie.lookup(addr("10.1.9.9")), 16);
+  EXPECT_EQ(*trie.lookup(addr("10.9.9.9")), 8);
+  EXPECT_EQ(trie.lookup(addr("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  trie.insert(pfx("192.168.0.0/16"), 1);
+  EXPECT_EQ(*trie.lookup(addr("8.8.8.8")), 0);
+  EXPECT_EQ(*trie.lookup(addr("192.168.1.1")), 1);
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 7);
+  EXPECT_EQ(*trie.lookup(addr("1.2.3.4")), 7);
+  EXPECT_EQ(trie.lookup(addr("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrie, EraseRemovesOnlyExact) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  EXPECT_TRUE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_FALSE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(addr("10.1.2.3")), 8);
+}
+
+TEST(PrefixTrie, LookupMatchReportsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  const auto match = trie.lookup_match(addr("10.1.2.3"));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->prefix.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(*match->value, 16);
+  EXPECT_FALSE(trie.lookup_match(addr("11.0.0.1")));
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("128.0.0.0/1"), 1);
+  trie.insert(pfx("0.0.0.0/8"), 2);
+  trie.insert(pfx("10.0.0.0/8"), 3);
+  std::vector<std::string> seen;
+  trie.for_each([&seen](const Ipv4Prefix& p, const int&) {
+    seen.push_back(p.to_string());
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "0.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.0.0.0/8");
+  EXPECT_EQ(seen[2], "128.0.0.0/1");
+}
+
+TEST(PrefixTrie, RandomizedAgainstLinearScan) {
+  // Property check: trie LPM equals brute-force longest covering prefix.
+  util::Rng rng(17);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 300; ++i) {
+    const auto length = static_cast<unsigned>(rng.uniform_int(4, 28));
+    const Ipv4Addr base{static_cast<std::uint32_t>(rng())};
+    const auto p = Ipv4Prefix::make(base, length);
+    if (trie.insert(p, prefixes.size())) prefixes.push_back(p);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr probe{static_cast<std::uint32_t>(rng())};
+    const Ipv4Prefix* best = nullptr;
+    for (const auto& p : prefixes) {
+      if (!p.contains(probe)) continue;
+      if (best == nullptr || p.length() > best->length()) best = &p;
+    }
+    const auto match = trie.lookup_match(probe);
+    if (best == nullptr) {
+      EXPECT_FALSE(match.has_value());
+    } else {
+      ASSERT_TRUE(match.has_value());
+      EXPECT_EQ(match->prefix, *best);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rp::net

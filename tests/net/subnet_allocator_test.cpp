@@ -1,0 +1,65 @@
+#include "net/subnet_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::net {
+namespace {
+
+TEST(SubnetAllocator, SequentialDisjointChildren) {
+  SubnetAllocator alloc(Ipv4Prefix::make(Ipv4Addr(10, 0, 0, 0), 16));
+  const auto a = alloc.allocate(24);
+  const auto b = alloc.allocate(24);
+  EXPECT_EQ(a.to_string(), "10.0.0.0/24");
+  EXPECT_EQ(b.to_string(), "10.0.1.0/24");
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+}
+
+TEST(SubnetAllocator, AlignsMixedSizes) {
+  SubnetAllocator alloc(Ipv4Prefix::make(Ipv4Addr(10, 0, 0, 0), 16));
+  const auto small = alloc.allocate(26);  // 10.0.0.0/26
+  const auto big = alloc.allocate(24);    // Must skip to the next /24 edge.
+  EXPECT_EQ(small.to_string(), "10.0.0.0/26");
+  EXPECT_EQ(big.to_string(), "10.0.1.0/24");
+  EXPECT_FALSE(big.contains(small.network()));
+}
+
+TEST(SubnetAllocator, ExhaustionThrows) {
+  SubnetAllocator alloc(Ipv4Prefix::make(Ipv4Addr(10, 0, 0, 0), 24));
+  alloc.allocate(25);
+  alloc.allocate(25);
+  EXPECT_THROW(alloc.allocate(25), std::length_error);
+}
+
+TEST(SubnetAllocator, RejectsChildShorterThanPool) {
+  SubnetAllocator alloc(Ipv4Prefix::make(Ipv4Addr(10, 0, 0, 0), 16));
+  EXPECT_THROW(alloc.allocate(8), std::invalid_argument);
+  EXPECT_THROW(alloc.allocate(33), std::invalid_argument);
+}
+
+TEST(SubnetAllocator, RemainingDecreases) {
+  SubnetAllocator alloc(Ipv4Prefix::make(Ipv4Addr(10, 0, 0, 0), 24));
+  EXPECT_EQ(alloc.remaining(), 256u);
+  alloc.allocate(26);
+  EXPECT_EQ(alloc.remaining(), 192u);
+}
+
+TEST(HostAllocator, SkipsNetworkAndBroadcast) {
+  HostAllocator hosts(Ipv4Prefix::make(Ipv4Addr(192, 0, 2, 0), 29));
+  // /29: 8 addresses, usable .1 - .6.
+  EXPECT_EQ(hosts.remaining(), 6u);
+  EXPECT_EQ(hosts.allocate(), Ipv4Addr(192, 0, 2, 1));
+  for (int i = 0; i < 5; ++i) hosts.allocate();
+  EXPECT_THROW(hosts.allocate(), std::length_error);
+}
+
+TEST(HostAllocator, Slash31UsesBothAddresses) {
+  HostAllocator hosts(Ipv4Prefix::make(Ipv4Addr(192, 0, 2, 0), 31));
+  EXPECT_EQ(hosts.remaining(), 2u);
+  EXPECT_EQ(hosts.allocate(), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(hosts.allocate(), Ipv4Addr(192, 0, 2, 1));
+  EXPECT_THROW(hosts.allocate(), std::length_error);
+}
+
+}  // namespace
+}  // namespace rp::net

@@ -1,0 +1,296 @@
+// Offload analysis against a hand-built world with known answers.
+//
+// Topology (transit edges point provider -> customer):
+//   T1a (1), T1b (2): tier-1 providers of the vantage V (10).
+//   P1 (21, open) with customers C1 (31), C2 (32).
+//   P2 (22, selective) with customer C3 (33).
+//   P3 (23, restrictive) with customer C4 (34).
+//   P4 (24, selective) with customer C5 (35).
+//   D (40, open content stub).
+//   All of P1..P4 and D buy transit from the tier-1s, so V reaches every
+//   endpoint through a transit provider.
+// IXPs: X1 {P1, P2, P4}, X2 {P2, P3, D}, HOME {P1, V} (the vantage's own
+// exchange, so P1 is excluded as a remote-peering candidate).
+#include "offload/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/cities.hpp"
+
+namespace rp::offload {
+namespace {
+
+net::Asn as(std::uint32_t n) { return net::Asn{n}; }
+
+struct World {
+  topology::AsGraph graph;
+  ixp::IxpEcosystem eco;
+  net::Asn vantage = as(10);
+  flow::TrafficMatrix matrix;
+  std::unique_ptr<bgp::Rib> rib;
+  std::unique_ptr<OffloadAnalyzer> analyzer;
+
+  World() {
+    auto add = [this](std::uint32_t asn, topology::AsClass cls,
+                      topology::PeeringPolicy policy, const char* prefix,
+                      double scale) {
+      topology::AsNode node;
+      node.asn = as(asn);
+      node.name = "AS" + std::to_string(asn);
+      node.cls = cls;
+      node.policy = policy;
+      node.home_city = geo::CityRegistry::world().at("Amsterdam");
+      node.prefixes.push_back(*net::Ipv4Prefix::parse(prefix));
+      node.traffic_scale = scale;
+      graph.add_as(std::move(node));
+    };
+    using AC = topology::AsClass;
+    using PP = topology::PeeringPolicy;
+    // Strictly decreasing traffic scales pin the rank order (no jitter).
+    add(1, AC::kTier1, PP::kRestrictive, "10.1.0.0/16", 12.0);
+    add(2, AC::kTier1, PP::kRestrictive, "10.2.0.0/16", 11.0);
+    add(10, AC::kNren, PP::kSelective, "10.10.0.0/16", 1.0);
+    add(21, AC::kTier2, PP::kOpen, "10.21.0.0/16", 10.0);
+    add(22, AC::kTier2, PP::kSelective, "10.22.0.0/16", 9.0);
+    add(23, AC::kTier2, PP::kRestrictive, "10.23.0.0/16", 8.0);
+    add(24, AC::kTier2, PP::kSelective, "10.24.0.0/16", 7.5);
+    add(31, AC::kAccess, PP::kOpen, "10.31.0.0/16", 7.0);
+    add(32, AC::kAccess, PP::kOpen, "10.32.0.0/16", 6.0);
+    add(33, AC::kAccess, PP::kOpen, "10.33.0.0/16", 5.0);
+    add(34, AC::kAccess, PP::kOpen, "10.34.0.0/16", 4.0);
+    add(35, AC::kAccess, PP::kOpen, "10.35.0.0/16", 3.5);
+    add(40, AC::kContent, PP::kOpen, "10.40.0.0/16", 3.0);
+
+    graph.add_peering(as(1), as(2));
+    graph.add_transit(as(1), as(10));
+    graph.add_transit(as(2), as(10));
+    for (std::uint32_t p : {21, 22, 23, 24, 40}) {
+      graph.add_transit(as(1), as(p));
+      if (p != 40) graph.add_transit(as(2), as(p));
+    }
+    graph.add_transit(as(21), as(31));
+    graph.add_transit(as(21), as(32));
+    graph.add_transit(as(22), as(33));
+    graph.add_transit(as(23), as(34));
+    graph.add_transit(as(24), as(35));
+
+    util::Rng rng(1);
+    flow::TrafficConfig traffic;
+    traffic.rank_jitter_sigma = 0.0;
+    traffic.direction_ratio_sigma = 0.0;
+    matrix = flow::TrafficMatrix::generate(graph, vantage, traffic, rng);
+
+    const auto& city = geo::CityRegistry::world().at("Amsterdam");
+    auto lan = [](int i) {
+      return net::Ipv4Prefix::make(
+          net::Ipv4Addr(198, 18, static_cast<std::uint8_t>(i), 0), 24);
+    };
+    const auto x1 = eco.add_ixp("X1", "X1", city, 1.0, lan(1));
+    const auto x2 = eco.add_ixp("X2", "X2", city, 1.0, lan(2));
+    const auto home = eco.add_ixp("HOME", "HOME", city, 0.1, lan(3));
+    int serial = 1;
+    auto join = [&](ixp::IxpId id, std::uint32_t member, int host) {
+      ixp::MemberInterface iface;
+      iface.asn = as(member);
+      iface.addr = net::Ipv4Addr(198, 18, static_cast<std::uint8_t>(id + 1),
+                                 static_cast<std::uint8_t>(host));
+      iface.mac = net::MacAddr::from_id(serial++);
+      iface.equipment_city = city;
+      eco.ixp(id).add_interface(iface);
+    };
+    join(x1, 21, 1);
+    join(x1, 22, 2);
+    join(x1, 24, 3);
+    join(x2, 22, 1);
+    join(x2, 23, 2);
+    join(x2, 40, 3);
+    join(home, 21, 1);
+    join(home, 10, 2);
+
+    rib = std::make_unique<bgp::Rib>(bgp::Rib::build(graph, vantage));
+    AnalyzerConfig config;
+    config.vantage_member_ixps = {"HOME"};
+    config.exclude_nren_fellows = true;
+    analyzer = std::make_unique<OffloadAnalyzer>(graph, eco, vantage, matrix,
+                                                 *rib, config);
+  }
+};
+
+TEST(OffloadAnalyzer, TransitEndpointsAreAllNonVantageNetworks) {
+  World w;
+  // The vantage has no peers or customers here, so all 12 other networks
+  // are reached via its transit providers.
+  EXPECT_EQ(w.analyzer->transit_endpoints().size(), 12u);
+  for (const auto& e : w.analyzer->transit_endpoints())
+    EXPECT_NE(e.asn, w.vantage);
+  EXPECT_NEAR(w.analyzer->transit_inbound_bps(),
+              w.matrix.total_inbound_bps(), 1.0);
+}
+
+TEST(OffloadAnalyzer, ExclusionRulesApplied) {
+  World w;
+  // IXP members: {21, 22, 24, 23, 40, 10}. Excluded: the vantage (10) and
+  // its HOME co-member 21. The tier-1 transit providers are not members.
+  EXPECT_EQ(w.analyzer->eligible_peers(),
+            (std::vector<net::Asn>{as(22), as(23), as(24), as(40)}));
+}
+
+TEST(OffloadAnalyzer, PeerGroupsNest) {
+  World w;
+  EXPECT_EQ(w.analyzer->peers_in_group(PeerGroup::kOpen),
+            (std::vector<net::Asn>{as(40)}));
+  EXPECT_EQ(w.analyzer->peers_in_group(PeerGroup::kOpenSelective),
+            (std::vector<net::Asn>{as(22), as(24), as(40)}));
+  EXPECT_EQ(w.analyzer->peers_in_group(PeerGroup::kAll),
+            (std::vector<net::Asn>{as(22), as(23), as(24), as(40)}));
+}
+
+TEST(OffloadAnalyzer, Group2AddsTopSelective) {
+  World w;
+  // Both selective candidates fit in a top-10, so group 2 = group 3 here.
+  EXPECT_EQ(w.analyzer->peers_in_group(PeerGroup::kOpenTop10Selective),
+            (std::vector<net::Asn>{as(22), as(24), as(40)}));
+}
+
+TEST(OffloadAnalyzer, CoverageFollowsConesAndMembership) {
+  World w;
+  const std::vector<ixp::IxpId> x2{1};
+  // X2 under group 1 (open): only member 40 qualifies; cone(40) = {40}.
+  EXPECT_EQ(w.analyzer->covered_endpoints(x2, PeerGroup::kOpen),
+            (std::vector<net::Asn>{as(40)}));
+  // Under group 4: members 22, 23, 40 -> cones {22,33}, {23,34}, {40}.
+  auto covered = w.analyzer->covered_endpoints(x2, PeerGroup::kAll);
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, (std::vector<net::Asn>{as(22), as(23), as(33), as(34),
+                                            as(40)}));
+}
+
+TEST(OffloadAnalyzer, PotentialSumsCoveredRates) {
+  World w;
+  const std::vector<ixp::IxpId> x2{1};
+  const auto p = w.analyzer->potential_at(x2, PeerGroup::kAll);
+  double expected_in = 0.0, expected_out = 0.0;
+  for (net::Asn covered : {as(22), as(23), as(33), as(34), as(40)}) {
+    const auto* c = w.matrix.find(covered);
+    ASSERT_NE(c, nullptr);
+    expected_in += c->inbound_bps;
+    expected_out += c->outbound_bps;
+  }
+  EXPECT_NEAR(p.inbound_bps, expected_in, 1.0);
+  EXPECT_NEAR(p.outbound_bps, expected_out, 1.0);
+  EXPECT_EQ(p.covered_networks, 5u);
+}
+
+TEST(OffloadAnalyzer, RemainingPotentialSubtractsOverlap) {
+  World w;
+  // X1 under group 4 covers cones of 22 and 24: {22, 33, 24, 35}.
+  // After realizing X1, X2's remaining coverage is {23, 34, 40}.
+  const std::vector<ixp::IxpId> x1{0};
+  const auto remaining =
+      w.analyzer->remaining_potential_at(1, x1, PeerGroup::kAll);
+  EXPECT_EQ(remaining.covered_networks, 3u);
+  const auto full = w.analyzer->potential_at(std::vector<ixp::IxpId>{1},
+                                             PeerGroup::kAll);
+  EXPECT_LT(remaining.total_bps(), full.total_bps());
+}
+
+TEST(OffloadAnalyzer, GreedyPicksLargestFirstAndIsMonotone) {
+  World w;
+  const auto steps = w.analyzer->greedy_by_traffic(PeerGroup::kAll, 10);
+  // X2's coverage outweighs X1's; X1 then adds {24, 35}; HOME adds nothing.
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].acronym, "X2");
+  EXPECT_EQ(steps[1].acronym, "X1");
+  double prev = steps[0].remaining + steps[0].gained;
+  for (const auto& step : steps) {
+    EXPECT_GT(step.gained, 0.0);
+    EXPECT_NEAR(step.remaining, prev - step.gained, 1.0);
+    EXPECT_NEAR(step.remaining,
+                step.remaining_inbound_bps + step.remaining_outbound_bps,
+                1.0);
+    prev = step.remaining;
+  }
+}
+
+TEST(OffloadAnalyzer, GreedyByAddressesUsesAddressWeights) {
+  World w;
+  const auto steps = w.analyzer->greedy_by_addresses(PeerGroup::kAll, 10);
+  ASSERT_FALSE(steps.empty());
+  // Each endpoint owns a /16 = 65,536 addresses; X2 covers 5 endpoints.
+  EXPECT_DOUBLE_EQ(steps[0].gained, 5.0 * 65536.0);
+  EXPECT_DOUBLE_EQ(steps[0].remaining_inbound_bps, 0.0);  // Address mode.
+}
+
+TEST(OffloadAnalyzer, TransitAddressesCountEndpointSpace) {
+  World w;
+  EXPECT_DOUBLE_EQ(w.analyzer->transit_addresses(), 12.0 * 65536.0);
+}
+
+TEST(OffloadAnalyzer, TopContributorsSplitEndpointVsTransient) {
+  World w;
+  const auto rows = w.analyzer->top_contributors(20, PeerGroup::kAll);
+  ASSERT_FALSE(rows.empty());
+  // P2 (22) carries its customer C3 (33) as transient traffic.
+  const auto p2 = std::find_if(
+      rows.begin(), rows.end(),
+      [](const ContributorRow& r) { return r.asn == as(22); });
+  ASSERT_NE(p2, rows.end());
+  EXPECT_GT(p2->transient_inbound_bps, 0.0);
+  EXPECT_GT(p2->endpoint_inbound_bps, 0.0);
+  EXPECT_FALSE(p2->name.empty());
+  // Stub C3 (33) transits nothing.
+  const auto c3 = std::find_if(
+      rows.begin(), rows.end(),
+      [](const ContributorRow& r) { return r.asn == as(33); });
+  if (c3 != rows.end()) {
+    EXPECT_DOUBLE_EQ(c3->transient_inbound_bps, 0.0);
+    EXPECT_DOUBLE_EQ(c3->transient_outbound_bps, 0.0);
+  }
+  // The vantage's transit providers are not listed as contributors.
+  for (const auto& row : rows) {
+    EXPECT_NE(row.asn, as(1));
+    EXPECT_NE(row.asn, as(2));
+  }
+  // Ranked by total contribution.
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].total_bps(), rows[i].total_bps());
+}
+
+TEST(OffloadAnalyzer, PotentialBoundedByTransitTotals) {
+  World w;
+  const auto everywhere = w.analyzer->all_ixps();
+  const auto p = w.analyzer->potential_at(everywhere, PeerGroup::kAll);
+  EXPECT_LE(p.inbound_bps, w.analyzer->transit_inbound_bps() + 1e-9);
+  EXPECT_LE(p.outbound_bps, w.analyzer->transit_outbound_bps() + 1e-9);
+}
+
+TEST(OffloadAnalyzer, GroupMonotonicity) {
+  // Property: larger peer groups never cover less.
+  World w;
+  const auto everywhere = w.analyzer->all_ixps();
+  double prev = -1.0;
+  for (PeerGroup g : {PeerGroup::kOpen, PeerGroup::kOpenTop10Selective,
+                      PeerGroup::kOpenSelective, PeerGroup::kAll}) {
+    const auto p = w.analyzer->potential_at(everywhere, g);
+    EXPECT_GE(p.total_bps(), prev);
+    prev = p.total_bps();
+  }
+}
+
+TEST(PeerGroups, PolicyMembership) {
+  using topology::PeeringPolicy;
+  EXPECT_TRUE(policy_in_group(PeeringPolicy::kOpen, PeerGroup::kOpen));
+  EXPECT_FALSE(policy_in_group(PeeringPolicy::kSelective, PeerGroup::kOpen));
+  EXPECT_TRUE(policy_in_group(PeeringPolicy::kSelective,
+                              PeerGroup::kOpenSelective));
+  EXPECT_FALSE(policy_in_group(PeeringPolicy::kRestrictive,
+                               PeerGroup::kOpenSelective));
+  EXPECT_TRUE(policy_in_group(PeeringPolicy::kRestrictive, PeerGroup::kAll));
+  EXPECT_EQ(to_string(PeerGroup::kAll), "all policies");
+  EXPECT_EQ(to_string(PeerGroup::kOpen), "all open policies");
+}
+
+}  // namespace
+}  // namespace rp::offload

@@ -1,0 +1,121 @@
+// Property sweep over generated worlds: invariants of the offload analysis
+// that must hold for any seed — greedy monotonicity, coverage bounds, group
+// nesting, and consistency between the greedy curve and direct potentials.
+#include <gtest/gtest.h>
+
+#include "core/offload_study.hpp"
+#include "core/scenario.hpp"
+
+namespace rp::offload {
+namespace {
+
+class OffloadProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static core::Scenario make_scenario(std::uint64_t seed) {
+    core::ScenarioConfig config;
+    config.seed = seed;
+    config.membership_scale = 0.08;
+    config.topology.tier2_count = 40;
+    config.topology.access_count = 120;
+    config.topology.content_count = 40;
+    config.topology.cdn_count = 6;
+    config.topology.nren_count = 5;
+    config.topology.enterprise_count = 100;
+    return core::Scenario::build(config);
+  }
+};
+
+TEST_P(OffloadProperty, GreedyInvariants) {
+  const auto scenario = make_scenario(GetParam());
+  core::OffloadStudyConfig config;
+  config.rate_model.span = util::SimDuration::days(2);
+  const auto study = core::OffloadStudy::run(scenario, config);
+  const auto& analyzer = study.analyzer();
+
+  const double total =
+      analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps();
+  const auto steps = analyzer.greedy_by_traffic(PeerGroup::kAll, 65);
+
+  double cumulative = 0.0;
+  double previous_gain = 1e18;
+  for (const auto& step : steps) {
+    // Gains are positive and non-increasing (diminishing marginal utility).
+    EXPECT_GT(step.gained, 0.0);
+    EXPECT_LE(step.gained, previous_gain + 1e-6);
+    previous_gain = step.gained;
+    cumulative += step.gained;
+    // Remaining + cumulative == total throughout.
+    EXPECT_NEAR(step.remaining + cumulative, total, total * 1e-9 + 1.0);
+    EXPECT_GE(step.remaining, -1e-6);
+    EXPECT_NEAR(step.remaining,
+                step.remaining_inbound_bps + step.remaining_outbound_bps,
+                1.0);
+  }
+
+  // The greedy total equals the full-reach potential.
+  const auto everywhere = analyzer.all_ixps();
+  const auto full = analyzer.potential_at(everywhere, PeerGroup::kAll);
+  EXPECT_NEAR(cumulative, full.total_bps(), total * 1e-9 + 1.0);
+  // The first step equals the best single-IXP potential.
+  if (!steps.empty()) {
+    double best_single = 0.0;
+    for (const auto& ixp : scenario.ecosystem().ixps()) {
+      const std::vector<ixp::IxpId> just_this{ixp.id()};
+      best_single = std::max(
+          best_single,
+          analyzer.potential_at(just_this, PeerGroup::kAll).total_bps());
+    }
+    EXPECT_NEAR(steps.front().gained, best_single, best_single * 1e-9 + 1.0);
+  }
+}
+
+TEST_P(OffloadProperty, GroupNestingHoldsPerIxp) {
+  const auto scenario = make_scenario(GetParam());
+  core::OffloadStudyConfig config;
+  config.rate_model.span = util::SimDuration::days(2);
+  const auto study = core::OffloadStudy::run(scenario, config);
+  const auto& analyzer = study.analyzer();
+  // Sampled per-IXP: potentials must be nested across the four groups.
+  for (std::size_t i = 0; i < scenario.ecosystem().ixps().size(); i += 7) {
+    const std::vector<ixp::IxpId> just_this{
+        scenario.ecosystem().ixps()[i].id()};
+    double previous = -1.0;
+    for (PeerGroup group : {PeerGroup::kOpen, PeerGroup::kOpenTop10Selective,
+                            PeerGroup::kOpenSelective, PeerGroup::kAll}) {
+      const double bps = analyzer.potential_at(just_this, group).total_bps();
+      EXPECT_GE(bps, previous - 1e-9);
+      previous = bps;
+    }
+  }
+}
+
+TEST_P(OffloadProperty, CoverageBoundedByEligibleCones) {
+  const auto scenario = make_scenario(GetParam());
+  core::OffloadStudyConfig config;
+  config.rate_model.span = util::SimDuration::days(2);
+  const auto study = core::OffloadStudy::run(scenario, config);
+  const auto& analyzer = study.analyzer();
+  const auto everywhere = analyzer.all_ixps();
+  const auto covered = analyzer.covered_endpoints(everywhere, PeerGroup::kAll);
+
+  // Every covered endpoint must sit inside some eligible peer's cone.
+  std::unordered_set<net::Asn> cone_union;
+  for (net::Asn peer : analyzer.eligible_peers())
+    for (net::Asn member : scenario.graph().customer_cone(peer))
+      cone_union.insert(member);
+  for (net::Asn endpoint : covered)
+    EXPECT_TRUE(cone_union.contains(endpoint)) << endpoint.to_string();
+
+  // Excluded entities never appear among eligible peers.
+  const auto eligible = analyzer.eligible_peers();
+  for (net::Asn provider : scenario.graph().providers_of(scenario.vantage()))
+    EXPECT_EQ(std::count(eligible.begin(), eligible.end(), provider), 0);
+  EXPECT_EQ(std::count(eligible.begin(), eligible.end(), scenario.vantage()),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OffloadProperty,
+                         ::testing::Values(3, 17, 42, 2014));
+
+}  // namespace
+}  // namespace rp::offload

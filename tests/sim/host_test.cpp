@@ -1,0 +1,196 @@
+#include "sim/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/l2_switch.hpp"
+
+namespace rp::sim {
+namespace {
+
+const net::Ipv4Prefix kLan =
+    net::Ipv4Prefix::make(net::Ipv4Addr(198, 18, 0, 0), 24);
+
+HostConfig host_config(const char* name, std::uint32_t id,
+                       net::Ipv4Addr ip) {
+  HostConfig config;
+  config.name = name;
+  config.mac = net::MacAddr::from_id(id);
+  config.ip = ip;
+  config.subnet = kLan;
+  // Deterministic timing for assertions.
+  config.processing_median = util::SimDuration::micros(100);
+  config.processing_sigma = 0.0;
+  return config;
+}
+
+struct Lan {
+  Simulator sim;
+  Network network{sim};
+  L2Switch* sw;
+  Host* pinger;   // Plays the LG role.
+  Host* target;
+
+  explicit Lan(HostConfig target_config,
+               util::SimDuration target_link_delay =
+                   util::SimDuration::micros(50)) {
+    sw = &network.emplace_device<L2Switch>("fabric");
+    pinger = &network.emplace_device<Host>(
+        sim, host_config("lg", 1, net::Ipv4Addr(198, 18, 0, 1)),
+        util::Rng(1));
+    target = &network.emplace_device<Host>(sim, std::move(target_config),
+                                           util::Rng(2));
+    network.connect(*sw, *pinger, util::SimDuration::micros(10));
+    network.connect(*sw, *target, target_link_delay);
+  }
+
+  std::optional<PingOutcome> ping_once(
+      net::Ipv4Addr addr,
+      util::SimDuration timeout = util::SimDuration::seconds(2)) {
+    std::optional<PingOutcome> outcome;
+    pinger->ping(addr, timeout, [&outcome](const PingOutcome& o) {
+      outcome = o;
+    });
+    sim.run();
+    return outcome;
+  }
+};
+
+TEST(Host, PingResolvesArpAndEchoes) {
+  Lan lan(host_config("t", 2, net::Ipv4Addr(198, 18, 0, 2)));
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(outcome);
+  EXPECT_TRUE(outcome->replied);
+  EXPECT_EQ(outcome->reply_ttl, 64);
+  EXPECT_EQ(outcome->reply_src, net::Ipv4Addr(198, 18, 0, 2));
+  // RTT = 2 * (10us + 50us link) + processing (100us) plus ARP is separate;
+  // the echo RTT must exceed the pure propagation floor.
+  EXPECT_GT(outcome->rtt, util::SimDuration::micros(120));
+  EXPECT_LT(outcome->rtt, util::SimDuration::millis(2));
+  EXPECT_EQ(lan.target->echo_requests_received(), 1u);
+}
+
+TEST(Host, RttScalesWithCircuitDelay) {
+  // A "remote" member: 20 ms one-way circuit -> RTT slightly above 40 ms.
+  Lan lan(host_config("remote", 2, net::Ipv4Addr(198, 18, 0, 2)),
+          util::SimDuration::millis(20));
+  // First ping pays the ARP round trip on top (roughly doubles the RTT) —
+  // exactly why campaigns rely on minima over repeated probes.
+  const auto cold = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(cold && cold->replied);
+  EXPECT_GT(cold->rtt, util::SimDuration::millis(80));
+  const auto warm = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(warm && warm->replied);
+  EXPECT_GT(warm->rtt, util::SimDuration::millis(40));
+  EXPECT_LT(warm->rtt, util::SimDuration::millis(41));
+}
+
+TEST(Host, UnresolvableAddressTimesOut) {
+  Lan lan(host_config("t", 2, net::Ipv4Addr(198, 18, 0, 2)));
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 99),
+                                     util::SimDuration::millis(500));
+  ASSERT_TRUE(outcome);
+  EXPECT_FALSE(outcome->replied);
+  EXPECT_EQ(lan.sim.now().since_origin(), util::SimDuration::millis(500));
+}
+
+TEST(Host, BlackholedTargetTimesOut) {
+  auto config = host_config("bh", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.blackhole_icmp = true;
+  Lan lan(std::move(config));
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2),
+                                     util::SimDuration::millis(300));
+  ASSERT_TRUE(outcome);
+  EXPECT_FALSE(outcome->replied);
+  EXPECT_EQ(lan.target->echo_requests_received(), 1u);
+}
+
+TEST(Host, InitialTtl255Honored) {
+  auto config = host_config("router", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.initial_ttl = 255;
+  Lan lan(std::move(config));
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(outcome && outcome->replied);
+  EXPECT_EQ(outcome->reply_ttl, 255);
+}
+
+TEST(Host, TtlSwitchTakesEffectAtScheduledTime) {
+  auto config = host_config("os-change", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.initial_ttl = 64;
+  config.ttl_changes.emplace_back(
+      util::SimTime::at(util::SimDuration::seconds(10)), 255);
+  Lan lan(std::move(config));
+  EXPECT_EQ(lan.target->current_initial_ttl(util::SimTime::origin()), 64);
+  EXPECT_EQ(lan.target->current_initial_ttl(
+                util::SimTime::at(util::SimDuration::seconds(11))), 255);
+
+  const auto before = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(before && before->replied);
+  EXPECT_EQ(before->reply_ttl, 64);
+
+  // Advance past the change and ping again.
+  lan.sim.run_until(util::SimTime::at(util::SimDuration::seconds(20)));
+  const auto after = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(after && after->replied);
+  EXPECT_EQ(after->reply_ttl, 255);
+}
+
+TEST(Host, ProxiedReplyDecrementsTtlAndChangesSource) {
+  auto config = host_config("proxy", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.reply_extra_hops = 2;
+  config.reply_src_override = net::Ipv4Addr(198, 51, 100, 7);
+  Lan lan(std::move(config));
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(outcome && outcome->replied);
+  EXPECT_EQ(outcome->reply_ttl, 62);  // 64 - 2 hops.
+  EXPECT_EQ(outcome->reply_src, net::Ipv4Addr(198, 51, 100, 7));
+}
+
+TEST(Host, ReplyLossDropsSomeEchoes) {
+  auto config = host_config("lossy", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.reply_loss_probability = 0.5;
+  Lan lan(std::move(config));
+  int replies = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2),
+                                       util::SimDuration::millis(100));
+    if (outcome && outcome->replied) ++replies;
+  }
+  EXPECT_GT(replies, 60);
+  EXPECT_LT(replies, 140);
+}
+
+TEST(Host, PerRequesterExtraDelayOnlyHitsThatRequester) {
+  auto config = host_config("asym", 2, net::Ipv4Addr(198, 18, 0, 2));
+  config.per_requester_extra = {net::Ipv4Addr(198, 18, 0, 1),
+                                util::SimDuration::millis(20)};
+  Lan lan(std::move(config));
+  // Our pinger IS the afflicted requester: RTT inflated well above floor.
+  const auto outcome = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(outcome && outcome->replied);
+  EXPECT_GT(outcome->rtt, util::SimDuration::millis(1));
+}
+
+TEST(Host, SecondPingSkipsArp) {
+  Lan lan(host_config("t", 2, net::Ipv4Addr(198, 18, 0, 2)));
+  const auto first = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  const auto second = lan.ping_once(net::Ipv4Addr(198, 18, 0, 2));
+  ASSERT_TRUE(first && second && first->replied && second->replied);
+  // Without the ARP round trip the second RTT cannot exceed the first.
+  EXPECT_LE(second->rtt, first->rtt);
+}
+
+TEST(Host, CannotBeWiredTwice) {
+  Simulator sim;
+  Network network{sim};
+  auto& sw = network.emplace_device<L2Switch>("sw");
+  auto& host = network.emplace_device<Host>(
+      sim, host_config("h", 2, net::Ipv4Addr(198, 18, 0, 2)), util::Rng(3));
+  network.connect(sw, host, util::SimDuration::micros(1));
+  EXPECT_THROW(network.connect(sw, host, util::SimDuration::micros(1)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace rp::sim

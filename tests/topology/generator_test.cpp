@@ -1,0 +1,171 @@
+#include "topology/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bgp/route_computer.hpp"
+
+namespace rp::topology {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 12;
+  config.access_count = 40;
+  config.content_count = 15;
+  config.cdn_count = 4;
+  config.nren_count = 5;
+  config.enterprise_count = 30;
+  return config;
+}
+
+TEST(Generator, ProducesRequestedClassCounts) {
+  util::Rng rng(1);
+  const AsGraph g = generate_topology(small_config(), rng);
+  std::map<AsClass, int> counts;
+  for (const auto& node : g.nodes()) ++counts[node.cls];
+  EXPECT_EQ(counts[AsClass::kTier1], 4);
+  EXPECT_EQ(counts[AsClass::kTier2], 12);
+  EXPECT_EQ(counts[AsClass::kAccess], 40);
+  EXPECT_EQ(counts[AsClass::kContent], 15);
+  EXPECT_EQ(counts[AsClass::kCdn], 4);
+  EXPECT_EQ(counts[AsClass::kNren], 6);  // 5 + the backbone.
+  EXPECT_EQ(counts[AsClass::kEnterprise], 30);
+}
+
+TEST(Generator, ResultValidates) {
+  util::Rng rng(2);
+  const AsGraph g = generate_topology(small_config(), rng);
+  EXPECT_FALSE(g.validate().has_value());
+}
+
+TEST(Generator, Tier1sFormPeeringCliqueAndAreProviderFree) {
+  util::Rng rng(3);
+  const AsGraph g = generate_topology(small_config(), rng);
+  std::vector<net::Asn> tier1s;
+  for (const auto& node : g.nodes())
+    if (node.cls == AsClass::kTier1) tier1s.push_back(node.asn);
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    EXPECT_TRUE(g.providers_of(tier1s[i]).empty());
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j)
+      EXPECT_TRUE(g.is_peering(tier1s[i], tier1s[j]));
+  }
+}
+
+TEST(Generator, EveryNonTier1HasAProvider) {
+  util::Rng rng(4);
+  const AsGraph g = generate_topology(small_config(), rng);
+  for (const auto& node : g.nodes()) {
+    if (node.cls == AsClass::kTier1) continue;
+    EXPECT_FALSE(g.providers_of(node.asn).empty()) << node.name;
+  }
+}
+
+TEST(Generator, EveryAsReachableUnderValleyFreeRouting) {
+  // Global reachability: a tier-1's valley-free routes must reach every AS,
+  // and every AS must reach a tier-1.
+  util::Rng rng(5);
+  const AsGraph g = generate_topology(small_config(), rng);
+  const bgp::RouteComputer computer(g);
+  net::Asn tier1;
+  for (const auto& node : g.nodes())
+    if (node.cls == AsClass::kTier1) {
+      tier1 = node.asn;
+      break;
+    }
+  const auto routes = computer.routes_to(tier1);
+  for (const auto& node : g.nodes())
+    EXPECT_TRUE(routes.reachable_from(node.asn)) << node.name;
+}
+
+TEST(Generator, PrefixesAreDisjoint) {
+  util::Rng rng(6);
+  const AsGraph g = generate_topology(small_config(), rng);
+  std::vector<net::Ipv4Prefix> all;
+  for (const auto& node : g.nodes())
+    for (const auto& p : node.prefixes) all.push_back(p);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_FALSE(all[i].covers(all[j]) || all[j].covers(all[i]))
+          << all[i].to_string() << " vs " << all[j].to_string();
+}
+
+TEST(Generator, AccessNetworksHoldMostAddressSpace) {
+  util::Rng rng(7);
+  const AsGraph g = generate_topology(small_config(), rng);
+  std::uint64_t access = 0, enterprise = 0;
+  for (const auto& node : g.nodes()) {
+    if (node.cls == AsClass::kAccess) access += node.address_count();
+    if (node.cls == AsClass::kEnterprise) enterprise += node.address_count();
+  }
+  EXPECT_GT(access, enterprise * 10);
+}
+
+TEST(Generator, NrenBackbonePeersWithAllNrens) {
+  util::Rng rng(8);
+  const AsGraph g = generate_topology(small_config(), rng);
+  net::Asn backbone;
+  for (const auto& node : g.nodes())
+    if (node.name == kNrenBackboneName) backbone = node.asn;
+  ASSERT_TRUE(backbone.is_valid());
+  for (const auto& node : g.nodes()) {
+    if (node.cls != AsClass::kNren || node.asn == backbone) continue;
+    EXPECT_TRUE(g.is_peering(backbone, node.asn)) << node.name;
+  }
+}
+
+TEST(Generator, NrenBackboneCanBeDisabled) {
+  GeneratorConfig config = small_config();
+  config.nren_backbone = false;
+  util::Rng rng(9);
+  const AsGraph g = generate_topology(config, rng);
+  for (const auto& node : g.nodes())
+    EXPECT_NE(node.name, kNrenBackboneName);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  util::Rng rng1(10), rng2(10);
+  const AsGraph a = generate_topology(small_config(), rng1);
+  const AsGraph b = generate_topology(small_config(), rng2);
+  ASSERT_EQ(a.as_count(), b.as_count());
+  EXPECT_EQ(a.transit_link_count(), b.transit_link_count());
+  EXPECT_EQ(a.peering_link_count(), b.peering_link_count());
+  for (std::size_t i = 0; i < a.as_count(); ++i) {
+    EXPECT_EQ(a.nodes()[i].asn, b.nodes()[i].asn);
+    EXPECT_EQ(a.nodes()[i].name, b.nodes()[i].name);
+    EXPECT_EQ(a.nodes()[i].policy, b.nodes()[i].policy);
+    EXPECT_DOUBLE_EQ(a.nodes()[i].traffic_scale, b.nodes()[i].traffic_scale);
+  }
+}
+
+TEST(Generator, TrafficScalesAreHeavyTailed) {
+  util::Rng rng(11);
+  const AsGraph g = generate_topology(small_config(), rng);
+  double max_scale = 0.0, total = 0.0;
+  for (const auto& node : g.nodes()) {
+    max_scale = std::max(max_scale, node.traffic_scale);
+    total += node.traffic_scale;
+  }
+  // The single most popular network should carry a macroscopic share.
+  EXPECT_GT(max_scale / total, 0.05);
+}
+
+TEST(Generator, Tier1sAreRestrictive) {
+  util::Rng rng(12);
+  const AsGraph g = generate_topology(small_config(), rng);
+  for (const auto& node : g.nodes())
+    if (node.cls == AsClass::kTier1)
+      EXPECT_EQ(node.policy, PeeringPolicy::kRestrictive);
+}
+
+TEST(Generator, RequiresATier1) {
+  GeneratorConfig config = small_config();
+  config.tier1_count = 0;
+  util::Rng rng(13);
+  EXPECT_THROW(generate_topology(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::topology

@@ -1,0 +1,101 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rp::util {
+namespace {
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynamicBitset, OutOfRangeThrows) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), std::out_of_range);
+  EXPECT_THROW(b.test(11), std::out_of_range);
+}
+
+TEST(DynamicBitset, UnionIntersection) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+}
+
+TEST(DynamicBitset, Subtract) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(2);
+  a.set(3);
+  b.set(2);
+  a.subtract(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_FALSE(a.test(2));
+  EXPECT_TRUE(a.test(3));
+}
+
+TEST(DynamicBitset, IntersectionCountWithoutMaterializing) {
+  DynamicBitset a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 2) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);
+  // Multiples of 6 below 200: 0, 6, ..., 198 -> 34 values.
+  EXPECT_EQ(a.intersection_count(b), 34u);
+}
+
+TEST(DynamicBitset, SizeMismatchThrows) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW(a.intersection_count(b), std::invalid_argument);
+}
+
+TEST(DynamicBitset, ForEachVisitsAscending) {
+  DynamicBitset b(150);
+  b.set(3);
+  b.set(64);
+  b.set(149);
+  std::vector<std::size_t> seen;
+  b.for_each([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 149}));
+}
+
+TEST(DynamicBitset, AnyNone) {
+  DynamicBitset b(65);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  b.set(64);
+  EXPECT_TRUE(b.any());
+  EXPECT_FALSE(b.none());
+}
+
+TEST(DynamicBitset, EqualityComparesContents) {
+  DynamicBitset a(64), b(64);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rp::util

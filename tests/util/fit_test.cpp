@@ -1,0 +1,88 @@
+#include "util/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rp::util {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi - 1.0);
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, ConstantYGivesZeroSlope) {
+  const LinearFit f = fit_linear({0, 1, 2}, {5, 5, 5});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r_squared, 1.0);
+}
+
+TEST(FitLinear, NoisyLineRecoversSlope) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(static_cast<double>(i) / 10.0);
+    y.push_back(2.0 * x.back() + 1.0 + rng.normal(0.0, 0.1));
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.02);
+  EXPECT_NEAR(f.intercept, 1.0, 0.05);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(FitLinear, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1}, {2}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1, 2}, {2}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({2, 2}, {1, 3}), std::invalid_argument);
+}
+
+TEST(FitExponentialDecay, ExactDecay) {
+  // The paper's eq. 3: t = exp(-b k). Recover b = 0.7 exactly.
+  std::vector<double> x, y;
+  for (int k = 0; k <= 10; ++k) {
+    x.push_back(k);
+    y.push_back(std::exp(-0.7 * k));
+  }
+  const ExponentialDecayFit f = fit_exponential_decay(x, y);
+  EXPECT_NEAR(f.decay, 0.7, 1e-12);
+  EXPECT_NEAR(f.amplitude, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitExponentialDecay, EvaluateRoundTrips) {
+  ExponentialDecayFit f;
+  f.amplitude = 2.0;
+  f.decay = 0.5;
+  EXPECT_NEAR(f.evaluate(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(f.evaluate(2.0), 2.0 * std::exp(-1.0), 1e-12);
+}
+
+TEST(FitExponentialDecay, RejectsNonPositiveY) {
+  EXPECT_THROW(fit_exponential_decay({0, 1}, {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_exponential_decay({0, 1}, {1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(FitExponentialDecay, NoisyDecayRecoversParameter) {
+  Rng rng(9);
+  std::vector<double> x, y;
+  for (int k = 0; k <= 30; ++k) {
+    x.push_back(k);
+    y.push_back(std::exp(-0.35 * k) * rng.lognormal(0.0, 0.05));
+  }
+  const ExponentialDecayFit f = fit_exponential_decay(x, y);
+  EXPECT_NEAR(f.decay, 0.35, 0.02);
+}
+
+}  // namespace
+}  // namespace rp::util

@@ -1,0 +1,68 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::util {
+namespace {
+
+TEST(SimDuration, UnitConstructors) {
+  EXPECT_EQ(SimDuration::micros(1).count_nanos(), 1000);
+  EXPECT_EQ(SimDuration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(SimDuration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(SimDuration::minutes(2).count_nanos(), 120'000'000'000LL);
+  EXPECT_EQ(SimDuration::hours(1), SimDuration::minutes(60));
+  EXPECT_EQ(SimDuration::days(1), SimDuration::hours(24));
+}
+
+TEST(SimDuration, FloatingConversionsRoundTrip) {
+  const auto d = SimDuration::from_millis_f(12.5);
+  EXPECT_DOUBLE_EQ(d.as_millis_f(), 12.5);
+  const auto s = SimDuration::from_seconds_f(0.25);
+  EXPECT_DOUBLE_EQ(s.as_seconds_f(), 0.25);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::millis(3);
+  const auto b = SimDuration::millis(2);
+  EXPECT_EQ((a + b).count_nanos(), 5'000'000);
+  EXPECT_EQ((a - b).count_nanos(), 1'000'000);
+  EXPECT_EQ((a * 4).count_nanos(), 12'000'000);
+  EXPECT_EQ((a / 3).count_nanos(), 1'000'000);
+  EXPECT_EQ((-a).count_nanos(), -3'000'000);
+}
+
+TEST(SimDuration, Ordering) {
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+  EXPECT_GE(SimDuration::seconds(1), SimDuration::millis(1000));
+}
+
+TEST(SimDuration, ToStringAdaptiveUnits) {
+  EXPECT_EQ(SimDuration::nanos(12).to_string(), "12ns");
+  EXPECT_EQ(SimDuration::micros(5).to_string(), "5.000us");
+  EXPECT_EQ(SimDuration::millis(7).to_string(), "7.000ms");
+  EXPECT_EQ(SimDuration::seconds(3).to_string(), "3.000s");
+}
+
+TEST(SimTime, OriginAndOffsets) {
+  const SimTime t0 = SimTime::origin();
+  EXPECT_EQ(t0.count_nanos(), 0);
+  const SimTime t1 = t0 + SimDuration::seconds(5);
+  EXPECT_EQ((t1 - t0), SimDuration::seconds(5));
+  EXPECT_EQ(t1.since_origin(), SimDuration::seconds(5));
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::origin();
+  t += SimDuration::millis(10);
+  t += SimDuration::millis(5);
+  EXPECT_EQ(t.since_origin(), SimDuration::millis(15));
+}
+
+TEST(SimTime, AtConstructsFromDuration) {
+  const SimTime t = SimTime::at(SimDuration::hours(2));
+  EXPECT_EQ(t.since_origin(), SimDuration::hours(2));
+}
+
+}  // namespace
+}  // namespace rp::util

@@ -1,0 +1,60 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(IsAllDigits, Cases) {
+  EXPECT_TRUE(is_all_digits("0123"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("12a"));
+  EXPECT_FALSE(is_all_digits("-1"));
+}
+
+TEST(ParseU32, ParsesAndBounds) {
+  unsigned long v = 0;
+  EXPECT_TRUE(parse_u32("4294967295", v));
+  EXPECT_EQ(v, 4294967295UL);
+  EXPECT_FALSE(parse_u32("4294967296", v));
+  EXPECT_FALSE(parse_u32("", v));
+  EXPECT_FALSE(parse_u32("1x", v));
+  EXPECT_TRUE(parse_u32("0", v));
+  EXPECT_EQ(v, 0UL);
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AmS-IX"), "ams-ix");
+  EXPECT_EQ(to_lower("123"), "123");
+}
+
+}  // namespace
+}  // namespace rp::util
