@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq_viability.dir/eq_viability.cpp.o"
+  "CMakeFiles/eq_viability.dir/eq_viability.cpp.o.d"
+  "eq_viability"
+  "eq_viability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq_viability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

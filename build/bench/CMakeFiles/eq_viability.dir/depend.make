@@ -1,0 +1,2 @@
+# Empty dependencies file for eq_viability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reachable_interfaces.dir/fig10_reachable_interfaces.cpp.o"
+  "CMakeFiles/fig10_reachable_interfaces.dir/fig10_reachable_interfaces.cpp.o.d"
+  "fig10_reachable_interfaces"
+  "fig10_reachable_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reachable_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rtt_cdf.dir/fig2_rtt_cdf.cpp.o"
+  "CMakeFiles/fig2_rtt_cdf.dir/fig2_rtt_cdf.cpp.o.d"
+  "fig2_rtt_cdf"
+  "fig2_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

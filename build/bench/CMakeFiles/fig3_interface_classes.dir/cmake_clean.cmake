@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_interface_classes.dir/fig3_interface_classes.cpp.o"
+  "CMakeFiles/fig3_interface_classes.dir/fig3_interface_classes.cpp.o.d"
+  "fig3_interface_classes"
+  "fig3_interface_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_interface_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ixp_counts.dir/fig4_ixp_counts.cpp.o"
+  "CMakeFiles/fig4_ixp_counts.dir/fig4_ixp_counts.cpp.o.d"
+  "fig4_ixp_counts"
+  "fig4_ixp_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ixp_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_traffic.dir/fig5_traffic.cpp.o"
+  "CMakeFiles/fig5_traffic.dir/fig5_traffic.cpp.o.d"
+  "fig5_traffic"
+  "fig5_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

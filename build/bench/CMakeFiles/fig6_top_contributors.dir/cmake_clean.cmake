@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_top_contributors.dir/fig6_top_contributors.cpp.o"
+  "CMakeFiles/fig6_top_contributors.dir/fig6_top_contributors.cpp.o.d"
+  "fig6_top_contributors"
+  "fig6_top_contributors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_top_contributors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_single_ixp.dir/fig7_single_ixp.cpp.o"
+  "CMakeFiles/fig7_single_ixp.dir/fig7_single_ixp.cpp.o.d"
+  "fig7_single_ixp"
+  "fig7_single_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_single_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

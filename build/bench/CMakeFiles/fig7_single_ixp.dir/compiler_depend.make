@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_single_ixp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_second_ixp.dir/fig8_second_ixp.cpp.o"
+  "CMakeFiles/fig8_second_ixp.dir/fig8_second_ixp.cpp.o.d"
+  "fig8_second_ixp"
+  "fig8_second_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_second_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_remaining_transit.dir/fig9_remaining_transit.cpp.o"
+  "CMakeFiles/fig9_remaining_transit.dir/fig9_remaining_transit.cpp.o.d"
+  "fig9_remaining_transit"
+  "fig9_remaining_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_remaining_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flattening_analysis.dir/flattening_analysis.cpp.o"
+  "CMakeFiles/flattening_analysis.dir/flattening_analysis.cpp.o.d"
+  "flattening_analysis"
+  "flattening_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flattening_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

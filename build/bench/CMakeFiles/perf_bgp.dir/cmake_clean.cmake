@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_bgp.dir/perf_bgp.cpp.o"
+  "CMakeFiles/perf_bgp.dir/perf_bgp.cpp.o.d"
+  "perf_bgp"
+  "perf_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_net.dir/perf_net.cpp.o"
+  "CMakeFiles/perf_net.dir/perf_net.cpp.o.d"
+  "perf_net"
+  "perf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_topology.dir/perf_topology.cpp.o"
+  "CMakeFiles/perf_topology.dir/perf_topology.cpp.o.d"
+  "perf_topology"
+  "perf_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

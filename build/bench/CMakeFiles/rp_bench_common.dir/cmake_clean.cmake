@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rp_bench_common.dir/common.cpp.o.d"
+  "librp_bench_common.a"
+  "librp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_ground_truth.dir/validation_ground_truth.cpp.o"
+  "CMakeFiles/validation_ground_truth.dir/validation_ground_truth.cpp.o.d"
+  "validation_ground_truth"
+  "validation_ground_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_remote_peering.dir/detect_remote_peering.cpp.o"
+  "CMakeFiles/detect_remote_peering.dir/detect_remote_peering.cpp.o.d"
+  "detect_remote_peering"
+  "detect_remote_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_remote_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

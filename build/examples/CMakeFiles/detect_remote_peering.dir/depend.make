@@ -1,0 +1,2 @@
+# Empty dependencies file for detect_remote_peering.
+# This may be replaced when dependencies are built.

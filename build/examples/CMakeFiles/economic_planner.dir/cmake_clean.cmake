@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economic_planner.dir/economic_planner.cpp.o"
+  "CMakeFiles/economic_planner.dir/economic_planner.cpp.o.d"
+  "economic_planner"
+  "economic_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economic_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for economic_planner.
+# This may be replaced when dependencies are built.

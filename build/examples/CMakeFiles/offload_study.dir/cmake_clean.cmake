@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_study.dir/offload_study.cpp.o"
+  "CMakeFiles/offload_study.dir/offload_study.cpp.o.d"
+  "offload_study"
+  "offload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("geo")
+subdirs("topology")
+subdirs("bgp")
+subdirs("ixp")
+subdirs("sim")
+subdirs("measure")
+subdirs("flow")
+subdirs("offload")
+subdirs("layer2")
+subdirs("econ")
+subdirs("core")

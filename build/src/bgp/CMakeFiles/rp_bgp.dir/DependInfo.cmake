@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/rp_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/rp_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/route_computer.cpp" "src/bgp/CMakeFiles/rp_bgp.dir/route_computer.cpp.o" "gcc" "src/bgp/CMakeFiles/rp_bgp.dir/route_computer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/rp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_bgp.dir/rib.cpp.o"
+  "CMakeFiles/rp_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/rp_bgp.dir/route_computer.cpp.o"
+  "CMakeFiles/rp_bgp.dir/route_computer.cpp.o.d"
+  "librp_bgp.a"
+  "librp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/offload_study.cpp.o"
+  "CMakeFiles/rp_core.dir/offload_study.cpp.o.d"
+  "CMakeFiles/rp_core.dir/scenario.cpp.o"
+  "CMakeFiles/rp_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/rp_core.dir/spread_study.cpp.o"
+  "CMakeFiles/rp_core.dir/spread_study.cpp.o.d"
+  "CMakeFiles/rp_core.dir/viability_study.cpp.o"
+  "CMakeFiles/rp_core.dir/viability_study.cpp.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

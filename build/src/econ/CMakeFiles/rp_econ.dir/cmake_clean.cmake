@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_econ.dir/cost_model.cpp.o"
+  "CMakeFiles/rp_econ.dir/cost_model.cpp.o.d"
+  "librp_econ.a"
+  "librp_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/netflow.cpp" "src/flow/CMakeFiles/rp_flow.dir/netflow.cpp.o" "gcc" "src/flow/CMakeFiles/rp_flow.dir/netflow.cpp.o.d"
+  "/root/repo/src/flow/rate_model.cpp" "src/flow/CMakeFiles/rp_flow.dir/rate_model.cpp.o" "gcc" "src/flow/CMakeFiles/rp_flow.dir/rate_model.cpp.o.d"
+  "/root/repo/src/flow/traffic_matrix.cpp" "src/flow/CMakeFiles/rp_flow.dir/traffic_matrix.cpp.o" "gcc" "src/flow/CMakeFiles/rp_flow.dir/traffic_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/rp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

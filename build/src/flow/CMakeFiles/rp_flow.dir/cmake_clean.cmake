@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_flow.dir/netflow.cpp.o"
+  "CMakeFiles/rp_flow.dir/netflow.cpp.o.d"
+  "CMakeFiles/rp_flow.dir/rate_model.cpp.o"
+  "CMakeFiles/rp_flow.dir/rate_model.cpp.o.d"
+  "CMakeFiles/rp_flow.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/rp_flow.dir/traffic_matrix.cpp.o.d"
+  "librp_flow.a"
+  "librp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

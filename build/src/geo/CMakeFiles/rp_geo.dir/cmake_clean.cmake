@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_geo.dir/cities.cpp.o"
+  "CMakeFiles/rp_geo.dir/cities.cpp.o.d"
+  "CMakeFiles/rp_geo.dir/geo.cpp.o"
+  "CMakeFiles/rp_geo.dir/geo.cpp.o.d"
+  "librp_geo.a"
+  "librp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

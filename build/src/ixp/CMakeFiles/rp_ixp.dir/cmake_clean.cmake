@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_ixp.dir/ixp.cpp.o"
+  "CMakeFiles/rp_ixp.dir/ixp.cpp.o.d"
+  "CMakeFiles/rp_ixp.dir/seeds.cpp.o"
+  "CMakeFiles/rp_ixp.dir/seeds.cpp.o.d"
+  "librp_ixp.a"
+  "librp_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_layer2.dir/entity_path.cpp.o"
+  "CMakeFiles/rp_layer2.dir/entity_path.cpp.o.d"
+  "CMakeFiles/rp_layer2.dir/risk.cpp.o"
+  "CMakeFiles/rp_layer2.dir/risk.cpp.o.d"
+  "librp_layer2.a"
+  "librp_layer2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_layer2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

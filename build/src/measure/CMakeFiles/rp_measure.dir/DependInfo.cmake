@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/campaign.cpp" "src/measure/CMakeFiles/rp_measure.dir/campaign.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/campaign.cpp.o.d"
+  "/root/repo/src/measure/classifier.cpp" "src/measure/CMakeFiles/rp_measure.dir/classifier.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/classifier.cpp.o.d"
+  "/root/repo/src/measure/dataset_io.cpp" "src/measure/CMakeFiles/rp_measure.dir/dataset_io.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/measure/faults.cpp" "src/measure/CMakeFiles/rp_measure.dir/faults.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/faults.cpp.o.d"
+  "/root/repo/src/measure/filters.cpp" "src/measure/CMakeFiles/rp_measure.dir/filters.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/filters.cpp.o.d"
+  "/root/repo/src/measure/report.cpp" "src/measure/CMakeFiles/rp_measure.dir/report.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/report.cpp.o.d"
+  "/root/repo/src/measure/testbed.cpp" "src/measure/CMakeFiles/rp_measure.dir/testbed.cpp.o" "gcc" "src/measure/CMakeFiles/rp_measure.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ixp/CMakeFiles/rp_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rp_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

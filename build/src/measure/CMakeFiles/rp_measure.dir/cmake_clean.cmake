@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_measure.dir/campaign.cpp.o"
+  "CMakeFiles/rp_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/classifier.cpp.o"
+  "CMakeFiles/rp_measure.dir/classifier.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/dataset_io.cpp.o"
+  "CMakeFiles/rp_measure.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/faults.cpp.o"
+  "CMakeFiles/rp_measure.dir/faults.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/filters.cpp.o"
+  "CMakeFiles/rp_measure.dir/filters.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/report.cpp.o"
+  "CMakeFiles/rp_measure.dir/report.cpp.o.d"
+  "CMakeFiles/rp_measure.dir/testbed.cpp.o"
+  "CMakeFiles/rp_measure.dir/testbed.cpp.o.d"
+  "librp_measure.a"
+  "librp_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

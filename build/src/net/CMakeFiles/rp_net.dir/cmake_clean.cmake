@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_net.dir/ip.cpp.o"
+  "CMakeFiles/rp_net.dir/ip.cpp.o.d"
+  "CMakeFiles/rp_net.dir/mac.cpp.o"
+  "CMakeFiles/rp_net.dir/mac.cpp.o.d"
+  "CMakeFiles/rp_net.dir/subnet_allocator.cpp.o"
+  "CMakeFiles/rp_net.dir/subnet_allocator.cpp.o.d"
+  "librp_net.a"
+  "librp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

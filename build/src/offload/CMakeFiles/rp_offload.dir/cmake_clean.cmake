@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_offload.dir/analyzer.cpp.o"
+  "CMakeFiles/rp_offload.dir/analyzer.cpp.o.d"
+  "CMakeFiles/rp_offload.dir/peer_groups.cpp.o"
+  "CMakeFiles/rp_offload.dir/peer_groups.cpp.o.d"
+  "librp_offload.a"
+  "librp_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_model.cpp" "src/sim/CMakeFiles/rp_sim.dir/delay_model.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/delay_model.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/rp_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/l2_switch.cpp" "src/sim/CMakeFiles/rp_sim.dir/l2_switch.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/l2_switch.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/rp_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/sim/CMakeFiles/rp_sim.dir/packet.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/packet.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/rp_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/rp_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_sim.dir/delay_model.cpp.o"
+  "CMakeFiles/rp_sim.dir/delay_model.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/host.cpp.o"
+  "CMakeFiles/rp_sim.dir/host.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/l2_switch.cpp.o"
+  "CMakeFiles/rp_sim.dir/l2_switch.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/link.cpp.o"
+  "CMakeFiles/rp_sim.dir/link.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/packet.cpp.o"
+  "CMakeFiles/rp_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/rp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rp_sim.dir/simulator.cpp.o.d"
+  "librp_sim.a"
+  "librp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/rp_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/rp_topology.dir/generator.cpp.o"
+  "CMakeFiles/rp_topology.dir/generator.cpp.o.d"
+  "librp_topology.a"
+  "librp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

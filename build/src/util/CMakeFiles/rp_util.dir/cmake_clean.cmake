@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_util.dir/fit.cpp.o"
+  "CMakeFiles/rp_util.dir/fit.cpp.o.d"
+  "CMakeFiles/rp_util.dir/rng.cpp.o"
+  "CMakeFiles/rp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rp_util.dir/sim_time.cpp.o"
+  "CMakeFiles/rp_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/rp_util.dir/stats.cpp.o"
+  "CMakeFiles/rp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rp_util.dir/strings.cpp.o"
+  "CMakeFiles/rp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rp_util.dir/table.cpp.o"
+  "CMakeFiles/rp_util.dir/table.cpp.o.d"
+  "librp_util.a"
+  "librp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/bgp/rib_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/rib_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/route_computer_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/route_computer_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/valley_free_property_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/valley_free_property_test.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_econ.dir/econ/cost_model_test.cpp.o"
+  "CMakeFiles/test_econ.dir/econ/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_econ.dir/econ/econ_property_test.cpp.o"
+  "CMakeFiles/test_econ.dir/econ/econ_property_test.cpp.o.d"
+  "test_econ"
+  "test_econ.pdb"
+  "test_econ[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

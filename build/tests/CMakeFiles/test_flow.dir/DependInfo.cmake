@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/netflow_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/netflow_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/netflow_test.cpp.o.d"
+  "/root/repo/tests/flow/rate_model_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/rate_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/rate_model_test.cpp.o.d"
+  "/root/repo/tests/flow/traffic_matrix_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/traffic_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/traffic_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layer2/CMakeFiles/rp_layer2.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/rp_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/rp_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/rp_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/rp_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ixp.dir/ixp/ixp_test.cpp.o"
+  "CMakeFiles/test_ixp.dir/ixp/ixp_test.cpp.o.d"
+  "CMakeFiles/test_ixp.dir/ixp/seeds_test.cpp.o"
+  "CMakeFiles/test_ixp.dir/ixp/seeds_test.cpp.o.d"
+  "test_ixp"
+  "test_ixp.pdb"
+  "test_ixp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

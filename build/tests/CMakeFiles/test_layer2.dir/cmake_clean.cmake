@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer2.dir/layer2/entity_path_test.cpp.o"
+  "CMakeFiles/test_layer2.dir/layer2/entity_path_test.cpp.o.d"
+  "CMakeFiles/test_layer2.dir/layer2/flattening_integration_test.cpp.o"
+  "CMakeFiles/test_layer2.dir/layer2/flattening_integration_test.cpp.o.d"
+  "CMakeFiles/test_layer2.dir/layer2/risk_test.cpp.o"
+  "CMakeFiles/test_layer2.dir/layer2/risk_test.cpp.o.d"
+  "test_layer2"
+  "test_layer2.pdb"
+  "test_layer2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

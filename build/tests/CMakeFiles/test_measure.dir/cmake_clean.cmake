@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/measure/campaign_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/campaign_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/classifier_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/classifier_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/dataset_io_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/dataset_io_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/filters_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/filters_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/multisite_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/multisite_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/report_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/report_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/threshold_property_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/threshold_property_test.cpp.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

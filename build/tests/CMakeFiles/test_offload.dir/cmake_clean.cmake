@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offload.dir/offload/analyzer_test.cpp.o"
+  "CMakeFiles/test_offload.dir/offload/analyzer_test.cpp.o.d"
+  "CMakeFiles/test_offload.dir/offload/greedy_property_test.cpp.o"
+  "CMakeFiles/test_offload.dir/offload/greedy_property_test.cpp.o.d"
+  "test_offload"
+  "test_offload.pdb"
+  "test_offload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
