@@ -1,0 +1,98 @@
+// Microbenchmarks of the §4 offload hot paths: analyzer construction, the
+// greedy IXP expansion (Fig. 9), and point-queries of the offload potential.
+// Arg(0) runs whatever scale RP_BENCH_FAST selects; the shared world is the
+// same one the fig5-fig10 harnesses use, so these numbers track the real
+// pipeline.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+#if __has_include("util/thread_pool.hpp")
+#include "util/thread_pool.hpp"
+#define RP_HAVE_THREAD_POOL 1
+#endif
+
+namespace {
+
+using namespace rp;
+
+void set_thread_counter(benchmark::State& state) {
+#ifdef RP_HAVE_THREAD_POOL
+  state.counters["rp_threads"] =
+      static_cast<double>(util::ThreadPool::global().thread_count());
+#else
+  state.counters["rp_threads"] = 1.0;
+#endif
+}
+
+void BM_AnalyzerConstruction(benchmark::State& state) {
+  const auto& study = bench::offload_study();
+  const auto& world = bench::scenario();
+  const offload::AnalyzerConfig config = study.study_config().analyzer;
+  for (auto _ : state) {
+    offload::OffloadAnalyzer analyzer(world.graph(), world.ecosystem(),
+                                      world.vantage(), study.matrix(),
+                                      study.rib(), config);
+    benchmark::DoNotOptimize(analyzer);
+    state.counters["eligible"] =
+        static_cast<double>(analyzer.eligible_peers().size());
+  }
+  set_thread_counter(state);
+}
+BENCHMARK(BM_AnalyzerConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyByTraffic(benchmark::State& state) {
+  const auto& analyzer = bench::offload_study().analyzer();
+  for (auto _ : state) {
+    const auto steps =
+        analyzer.greedy_by_traffic(offload::PeerGroup::kAll, 30);
+    benchmark::DoNotOptimize(steps);
+    state.counters["steps"] = static_cast<double>(steps.size());
+  }
+  set_thread_counter(state);
+}
+BENCHMARK(BM_GreedyByTraffic)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyByAddresses(benchmark::State& state) {
+  const auto& analyzer = bench::offload_study().analyzer();
+  for (auto _ : state) {
+    const auto steps =
+        analyzer.greedy_by_addresses(offload::PeerGroup::kOpenSelective, 30);
+    benchmark::DoNotOptimize(steps);
+  }
+  set_thread_counter(state);
+}
+BENCHMARK(BM_GreedyByAddresses)->Unit(benchmark::kMillisecond);
+
+void BM_PotentialAt(benchmark::State& state) {
+  const auto& analyzer = bench::offload_study().analyzer();
+  const auto everywhere = analyzer.all_ixps();
+  for (auto _ : state) {
+    const auto p =
+        analyzer.potential_at(everywhere, offload::PeerGroup::kAll);
+    benchmark::DoNotOptimize(p);
+  }
+  set_thread_counter(state);
+}
+BENCHMARK(BM_PotentialAt)->Unit(benchmark::kMillisecond);
+
+void BM_RemainingPotentialAt(benchmark::State& state) {
+  const auto& analyzer = bench::offload_study().analyzer();
+  const auto everywhere = analyzer.all_ixps();
+  if (everywhere.size() < 2) {
+    state.SkipWithError("need at least two IXPs");
+    return;
+  }
+  const std::vector<ixp::IxpId> reached{everywhere[0]};
+  for (auto _ : state) {
+    const auto p = analyzer.remaining_potential_at(
+        everywhere[1], reached, offload::PeerGroup::kAll);
+    benchmark::DoNotOptimize(p);
+  }
+  set_thread_counter(state);
+}
+BENCHMARK(BM_RemainingPotentialAt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

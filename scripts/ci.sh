@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI smoke gate: tier-1 verify (configure, build, ctest) plus the perf and
+# figure binaries under RP_BENCH_FAST=1 so a regression in the bench harnesses
+# is caught without paying paper-scale runtimes.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "=== configure ==="
+cmake -B "$BUILD_DIR" -S .
+
+echo "=== build ==="
+cmake --build "$BUILD_DIR" -j
+
+echo "=== tier-1 tests ==="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "=== perf smoke (RP_BENCH_FAST=1) ==="
+export RP_BENCH_FAST=1
+for bin in perf_net perf_topology perf_bgp perf_sim perf_offload; do
+  echo "--- $bin ---"
+  "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
+done
+
+echo "=== figure harness smoke (RP_BENCH_FAST=1) ==="
+for bin in table1_ixp_properties fig2_rtt_cdf fig9_remaining_transit; do
+  echo "--- $bin ---"
+  "$BUILD_DIR/bench/$bin" > /dev/null
+done
+
+echo "ci.sh: all gates passed"

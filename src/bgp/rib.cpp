@@ -1,18 +1,32 @@
 #include "bgp/rib.hpp"
 
+#include <optional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
 namespace rp::bgp {
 
 Rib Rib::build(const topology::AsGraph& graph, net::Asn vantage) {
   Rib rib;
   rib.vantage_ = vantage;
   const RouteComputer computer(graph);
-  for (const auto& node : graph.nodes()) {
-    const auto routes = computer.routes_to(node.asn);
-    const auto route = routes.route_from(vantage);
-    if (!route) continue;
-    for (const auto& prefix : node.prefixes)
-      rib.trie_.insert(prefix, RibEntry{node.asn, *route});
-    rib.by_destination_.emplace(node.asn, *route);
+  const auto& nodes = graph.nodes();
+
+  // Destination route builds are independent; fan them out and do the
+  // (order-sensitive) trie/map inserts serially in node order afterwards so
+  // the resulting RIB is identical at any thread count.
+  const std::vector<std::optional<Route>> routes =
+      util::ThreadPool::global().parallel_transform(
+          nodes.size(), [&computer, &nodes, vantage](std::size_t i) {
+            return computer.routes_to(nodes[i].asn).route_from(vantage);
+          });
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!routes[i]) continue;
+    for (const auto& prefix : nodes[i].prefixes)
+      rib.trie_.insert(prefix, RibEntry{nodes[i].asn, *routes[i]});
+    rib.by_destination_.emplace(nodes[i].asn, *routes[i]);
   }
   return rib;
 }

@@ -1,20 +1,29 @@
 #include "core/spread_study.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace rp::core {
 
 SpreadStudy SpreadStudy::run(const Scenario& scenario,
                              const SpreadStudyConfig& config) {
   SpreadStudy study;
   study.config_ = config;
-  for (ixp::IxpId id : scenario.measured_ixps()) {
-    const ixp::Ixp& ixp = scenario.ecosystem().ixp(id);
-    util::Rng campaign_rng = scenario.fork_rng(0x100 + id);
-    study.raw_.push_back(
-        measure::run_ixp_campaign(ixp, config.campaign, campaign_rng));
-  }
-  for (const auto& measurement : study.raw_)
-    study.analyses_.push_back(
-        measure::apply_filters(measurement, config.filters));
+  // Each per-IXP campaign owns its own simulator and a deterministically
+  // forked RNG, so the fan-out is pure per index: the report is
+  // byte-identical at any RP_THREADS setting.
+  const std::vector<ixp::IxpId>& measured = scenario.measured_ixps();
+  util::ThreadPool& pool = util::ThreadPool::global();
+  study.raw_ = pool.parallel_transform(
+      measured.size(), [&scenario, &config, &measured](std::size_t k) {
+        const ixp::IxpId id = measured[k];
+        const ixp::Ixp& ixp = scenario.ecosystem().ixp(id);
+        util::Rng campaign_rng = scenario.fork_rng(0x100 + id);
+        return measure::run_ixp_campaign(ixp, config.campaign, campaign_rng);
+      });
+  study.analyses_ = pool.parallel_transform(
+      study.raw_.size(), [&study, &config](std::size_t k) {
+        return measure::apply_filters(study.raw_[k], config.filters);
+      });
   study.report_ =
       measure::SpreadReport::build(study.analyses_, config.classifier);
   return study;
@@ -26,9 +35,10 @@ SpreadStudy SpreadStudy::reanalyze(
   SpreadStudy study;
   study.config_ = config;
   study.raw_ = raw;
-  for (const auto& measurement : study.raw_)
-    study.analyses_.push_back(
-        measure::apply_filters(measurement, config.filters));
+  study.analyses_ = util::ThreadPool::global().parallel_transform(
+      study.raw_.size(), [&study, &config](std::size_t k) {
+        return measure::apply_filters(study.raw_[k], config.filters);
+      });
   study.report_ =
       measure::SpreadReport::build(study.analyses_, config.classifier);
   return study;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/thread_pool.hpp"
+
 namespace rp::offload {
 
 OffloadAnalyzer::OffloadAnalyzer(const topology::AsGraph& graph,
@@ -61,14 +63,26 @@ OffloadAnalyzer::OffloadAnalyzer(const topology::AsGraph& graph,
   std::sort(eligible_.begin(), eligible_.end());
 
   // --- Cone coverage masks for eligible peers ---
-  for (net::Asn peer : eligible_) {
-    util::DynamicBitset mask(endpoints_.size());
-    for (net::Asn member : graph.customer_cone(peer)) {
-      const auto it = endpoint_index_.find(member);
-      if (it != endpoint_index_.end()) mask.set(it->second);
-    }
-    cone_masks_.emplace(peer, std::move(mask));
-  }
+  // Translate each peer's (memoized, index-space) customer cone into
+  // endpoint space. The node -> endpoint map makes the translation a single
+  // sweep over the cone's set bits; the peers are independent, so fan out.
+  std::vector<std::int32_t> endpoint_of_node(graph.as_count(), -1);
+  for (std::size_t e = 0; e < endpoints_.size(); ++e)
+    endpoint_of_node[graph.index_of(endpoints_[e].asn)] =
+        static_cast<std::int32_t>(e);
+  if (graph.as_count() > 0) graph.cone_mask(0);  // Build the memo once.
+  cone_masks_ = util::ThreadPool::global().parallel_transform(
+      eligible_.size(), [this, &graph, &endpoint_of_node](std::size_t k) {
+        util::DynamicBitset mask(endpoints_.size());
+        graph.cone_mask(graph.index_of(eligible_[k]))
+            .for_each([&mask, &endpoint_of_node](std::size_t j) {
+              const std::int32_t e = endpoint_of_node[j];
+              if (e >= 0) mask.set(static_cast<std::size_t>(e));
+            });
+        return mask;
+      });
+  for (std::size_t k = 0; k < eligible_.size(); ++k)
+    cone_index_.emplace(eligible_[k], k);
 
   // --- Group 2's top-10 selective networks by offload potential ---
   std::vector<net::Asn> selective;
@@ -95,8 +109,8 @@ double OffloadAnalyzer::peer_potential(net::Asn peer) const {
 
 const util::DynamicBitset* OffloadAnalyzer::peer_cone_mask(
     net::Asn peer) const {
-  const auto it = cone_masks_.find(peer);
-  return it == cone_masks_.end() ? nullptr : &it->second;
+  const auto it = cone_index_.find(peer);
+  return it == cone_index_.end() ? nullptr : &cone_masks_[it->second];
 }
 
 bool OffloadAnalyzer::peer_in_group_resolved(net::Asn peer,
@@ -122,16 +136,33 @@ std::vector<net::Asn> OffloadAnalyzer::peers_in_group(PeerGroup group) const {
   return out;
 }
 
-util::DynamicBitset OffloadAnalyzer::ixp_coverage(ixp::IxpId ixp,
-                                                  PeerGroup group) const {
-  util::DynamicBitset mask(endpoints_.size());
-  for (net::Asn member : ecosystem_->ixp(ixp).member_asns()) {
-    const util::DynamicBitset* cone = peer_cone_mask(member);
-    if (cone == nullptr) continue;  // Excluded or unknown network.
-    if (!peer_in_group_resolved(member, group)) continue;
-    mask |= *cone;
+const std::vector<util::DynamicBitset>& OffloadAnalyzer::coverage_for(
+    PeerGroup group) const {
+  const auto slot = static_cast<std::size_t>(group);
+  std::scoped_lock lock(coverage_mutex_);
+  if (!coverage_built_[slot]) {
+    // IxpId is the index into ecosystem().ixps(), so the cache vector is
+    // directly addressable by id. Masks are independent per IXP; fan out.
+    const auto ixps = ecosystem_->ixps();
+    coverage_cache_[slot] = util::ThreadPool::global().parallel_transform(
+        ixps.size(), [this, &ixps, group](std::size_t x) {
+          util::DynamicBitset mask(endpoints_.size());
+          for (net::Asn member : ixps[x].member_asns()) {
+            const util::DynamicBitset* cone = peer_cone_mask(member);
+            if (cone == nullptr) continue;  // Excluded or unknown network.
+            if (!peer_in_group_resolved(member, group)) continue;
+            mask |= *cone;
+          }
+          return mask;
+        });
+    coverage_built_[slot] = true;
   }
-  return mask;
+  return coverage_cache_[slot];
+}
+
+const util::DynamicBitset& OffloadAnalyzer::ixp_coverage(
+    ixp::IxpId ixp, PeerGroup group) const {
+  return coverage_for(group)[ixp];
 }
 
 std::vector<net::Asn> OffloadAnalyzer::covered_endpoints(
@@ -161,7 +192,7 @@ Potential OffloadAnalyzer::potential_at(std::span<const ixp::IxpId> ixps,
 Potential OffloadAnalyzer::remaining_potential_at(
     ixp::IxpId target, std::span<const ixp::IxpId> already_reached,
     PeerGroup group) const {
-  util::DynamicBitset mask = ixp_coverage(target, group);
+  util::DynamicBitset mask = ixp_coverage(target, group);  // Copy of cache.
   for (ixp::IxpId id : already_reached)
     mask.subtract(ixp_coverage(id, group));
   Potential p;
@@ -182,11 +213,9 @@ std::vector<ixp::IxpId> OffloadAnalyzer::all_ixps() const {
 std::vector<GreedyStep> OffloadAnalyzer::greedy(
     PeerGroup group, std::size_t max_steps, const std::vector<double>& weights,
     bool traffic_mode) const {
-  // Precompute coverage per IXP once; the greedy loop then only intersects.
-  std::vector<util::DynamicBitset> coverage;
-  coverage.reserve(ecosystem_->ixps().size());
-  for (const auto& ixp : ecosystem_->ixps())
-    coverage.push_back(ixp_coverage(ixp.id(), group));
+  // The cached coverage masks make every step a pure scan: intersect each
+  // unused IXP's mask with the remaining set and weigh the overlap.
+  const std::vector<util::DynamicBitset>& coverage = coverage_for(group);
 
   util::DynamicBitset remaining(endpoints_.size());
   for (std::size_t i = 0; i < endpoints_.size(); ++i) remaining.set(i);
@@ -199,20 +228,29 @@ std::vector<GreedyStep> OffloadAnalyzer::greedy(
 
   std::vector<bool> used(coverage.size(), false);
   std::vector<GreedyStep> steps;
+  std::vector<double> gains(coverage.size());
+  util::ThreadPool& pool = util::ThreadPool::global();
 
   for (std::size_t step = 0; step < max_steps; ++step) {
+    // Per-IXP gains are independent; compute them across the pool, then do
+    // the argmax serially so ties keep breaking toward the lower IXP index
+    // exactly as the sequential scan did.
+    pool.parallel_for(coverage.size(), [&](std::size_t x) {
+      if (used[x]) {
+        gains[x] = 0.0;
+        return;
+      }
+      double gain = 0.0;
+      coverage[x].for_each_intersection(
+          remaining, [&gain, &weights](std::size_t i) { gain += weights[i]; });
+      gains[x] = gain;
+    });
     double best_gain = 0.0;
     std::size_t best_ixp = coverage.size();
     for (std::size_t x = 0; x < coverage.size(); ++x) {
       if (used[x]) continue;
-      double gain = 0.0;
-      util::DynamicBitset overlap = coverage[x];
-      overlap &= remaining;
-      overlap.for_each([&gain, &weights](std::size_t i) {
-        gain += weights[i];
-      });
-      if (gain > best_gain) {
-        best_gain = gain;
+      if (gains[x] > best_gain) {
+        best_gain = gains[x];
         best_ixp = x;
       }
     }
@@ -223,12 +261,11 @@ std::vector<GreedyStep> OffloadAnalyzer::greedy(
     result.acronym = ecosystem_->ixps()[best_ixp].acronym();
     result.gained = best_gain;
 
-    util::DynamicBitset newly = coverage[best_ixp];
-    newly &= remaining;
-    newly.for_each([this, &remaining_in, &remaining_out](std::size_t i) {
-      remaining_in -= endpoints_[i].inbound_bps;
-      remaining_out -= endpoints_[i].outbound_bps;
-    });
+    coverage[best_ixp].for_each_intersection(
+        remaining, [this, &remaining_in, &remaining_out](std::size_t i) {
+          remaining_in -= endpoints_[i].inbound_bps;
+          remaining_out -= endpoints_[i].outbound_bps;
+        });
     remaining.subtract(coverage[best_ixp]);
     remaining_weight -= best_gain;
     used[best_ixp] = true;

@@ -11,6 +11,8 @@
 // yields Fig. 10's vantage-independent generalization.
 #pragma once
 
+#include <array>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -128,8 +130,14 @@ class OffloadAnalyzer {
   std::vector<ixp::IxpId> all_ixps() const;
 
  private:
+  /// All coverage masks of a group, indexed by IxpId. Built lazily (in
+  /// parallel across IXPs) on first use and cached for the analyzer's
+  /// lifetime — every public query then reuses them instead of re-unioning
+  /// member cones per call.
+  const std::vector<util::DynamicBitset>& coverage_for(PeerGroup group) const;
   /// Coverage mask of one IXP under a group: endpoints offloadable there.
-  util::DynamicBitset ixp_coverage(ixp::IxpId ixp, PeerGroup group) const;
+  const util::DynamicBitset& ixp_coverage(ixp::IxpId ixp,
+                                          PeerGroup group) const;
   const util::DynamicBitset* peer_cone_mask(net::Asn peer) const;
   bool peer_in_group_resolved(net::Asn peer, PeerGroup group) const;
   std::vector<GreedyStep> greedy(PeerGroup group, std::size_t max_steps,
@@ -150,8 +158,15 @@ class OffloadAnalyzer {
   double transit_addresses_ = 0.0;
 
   std::vector<net::Asn> eligible_;  ///< Candidate peers after exclusions.
-  std::unordered_map<net::Asn, util::DynamicBitset> cone_masks_;
+  /// Endpoint-space cone mask per eligible peer, aligned with eligible_.
+  std::vector<util::DynamicBitset> cone_masks_;
+  std::unordered_map<net::Asn, std::size_t> cone_index_;
   std::vector<net::Asn> top10_selective_;
+
+  /// Per-group coverage-mask cache, indexed by static_cast of PeerGroup.
+  mutable std::mutex coverage_mutex_;
+  mutable std::array<std::vector<util::DynamicBitset>, 5> coverage_cache_;
+  mutable std::array<bool, 5> coverage_built_{};
 };
 
 }  // namespace rp::offload

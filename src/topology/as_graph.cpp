@@ -3,8 +3,43 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
+#include <utility>
 
 namespace rp::topology {
+
+AsGraph::AsGraph(const AsGraph& other) { *this = other; }
+
+AsGraph& AsGraph::operator=(const AsGraph& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(other.cone_mutex_);
+  nodes_ = other.nodes_;
+  index_ = other.index_;
+  adj_ = other.adj_;
+  transit_links_ = other.transit_links_;
+  peering_links_ = other.peering_links_;
+  cones_built_ = other.cones_built_.load();
+  cone_masks_ = other.cone_masks_;
+  cone_addresses_ = other.cone_addresses_;
+  cone_sizes_ = other.cone_sizes_;
+  return *this;
+}
+
+AsGraph::AsGraph(AsGraph&& other) noexcept { *this = std::move(other); }
+
+AsGraph& AsGraph::operator=(AsGraph&& other) noexcept {
+  if (this == &other) return *this;
+  nodes_ = std::move(other.nodes_);
+  index_ = std::move(other.index_);
+  adj_ = std::move(other.adj_);
+  transit_links_ = other.transit_links_;
+  peering_links_ = other.peering_links_;
+  cones_built_ = other.cones_built_.load();
+  cone_masks_ = std::move(other.cone_masks_);
+  cone_addresses_ = std::move(other.cone_addresses_);
+  cone_sizes_ = std::move(other.cone_sizes_);
+  other.cones_built_ = false;
+  return *this;
+}
 
 void AsGraph::add_as(AsNode node) {
   if (!node.asn.is_valid())
@@ -15,6 +50,7 @@ void AsGraph::add_as(AsNode node) {
   index_.emplace(node.asn, nodes_.size());
   nodes_.push_back(std::move(node));
   adj_.emplace_back();
+  invalidate_cones();
 }
 
 void AsGraph::add_transit(net::Asn provider, net::Asn customer) {
@@ -28,6 +64,7 @@ void AsGraph::add_transit(net::Asn provider, net::Asn customer) {
   adj_[index_of(provider)].customers.push_back(customer);
   adj_[index_of(customer)].providers.push_back(provider);
   ++transit_links_;
+  invalidate_cones();
 }
 
 void AsGraph::add_peering(net::Asn a, net::Asn b) {
@@ -74,27 +111,129 @@ bool AsGraph::is_peering(net::Asn a, net::Asn b) const {
   return std::find(peers.begin(), peers.end(), b) != peers.end();
 }
 
-std::vector<net::Asn> AsGraph::customer_cone(net::Asn asn) const {
-  std::vector<net::Asn> cone;
-  std::unordered_set<net::Asn> seen;
-  std::deque<net::Asn> frontier{asn};
-  seen.insert(asn);
+namespace {
+
+/// Reference cone computation: BFS over customer edges. Used as the fallback
+/// for nodes caught in a (invalid) provider cycle, where the topological
+/// sweep cannot settle.
+util::DynamicBitset bfs_cone_mask(const AsGraph& graph, std::size_t root) {
+  util::DynamicBitset mask(graph.as_count());
+  std::vector<std::size_t> frontier{root};
+  mask.set(root);
   while (!frontier.empty()) {
-    const net::Asn current = frontier.front();
-    frontier.pop_front();
-    cone.push_back(current);
-    for (net::Asn customer : customers_of(current)) {
-      if (seen.insert(customer).second) frontier.push_back(customer);
+    const std::size_t current = frontier.back();
+    frontier.pop_back();
+    for (net::Asn customer : graph.customers_of(graph.nodes()[current].asn)) {
+      const std::size_t j = graph.index_of(customer);
+      if (!mask.test(j)) {
+        mask.set(j);
+        frontier.push_back(j);
+      }
     }
   }
+  return mask;
+}
+
+}  // namespace
+
+void AsGraph::invalidate_cones() {
+  std::scoped_lock lock(cone_mutex_);
+  cones_built_.store(false, std::memory_order_release);
+  cone_masks_.clear();
+  cone_addresses_.clear();
+  cone_sizes_.clear();
+}
+
+void AsGraph::ensure_cones() const {
+  if (cones_built_.load(std::memory_order_acquire)) return;
+  std::scoped_lock lock(cone_mutex_);
+  if (cones_built_.load(std::memory_order_relaxed)) return;
+  const std::size_t n = nodes_.size();
+  cone_masks_.assign(n, util::DynamicBitset(n));
+  cone_addresses_.assign(n, 0);
+  cone_sizes_.assign(n, 1);
+
+  // One reverse-topological sweep: a node's cone is itself plus the union of
+  // its customers' cones, so processing customers before providers (Kahn's
+  // algorithm on customer -> provider order) computes every cone once.
+  std::vector<std::size_t> pending(n, 0);
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    pending[i] = adj_[i].customers.size();
+    if (pending[i] == 0) ready.push_back(i);
+  }
+  std::size_t processed = 0;
+  std::vector<bool> done(n, false);
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    util::DynamicBitset& mask = cone_masks_[i];
+    mask.set(i);
+    std::uint64_t addresses = nodes_[i].address_count();
+    for (net::Asn customer : adj_[i].customers)
+      mask |= cone_masks_[index_of(customer)];
+    // The address total cannot be summed from child totals (multihomed
+    // customers would double-count), so it is re-counted from the mask.
+    if (adj_[i].customers.empty()) {
+      cone_addresses_[i] = addresses;
+    } else {
+      addresses = 0;
+      std::size_t members = 0;
+      mask.for_each([this, &addresses, &members](std::size_t j) {
+        addresses += nodes_[j].address_count();
+        ++members;
+      });
+      cone_addresses_[i] = addresses;
+      cone_sizes_[i] = members;
+    }
+    done[i] = true;
+    ++processed;
+    for (net::Asn provider : adj_[i].providers) {
+      const std::size_t p = index_of(provider);
+      if (--pending[p] == 0) ready.push_back(p);
+    }
+  }
+
+  // A provider cycle (rejected by validate(), but the graph is mutable) would
+  // strand nodes; give them correct per-node BFS cones so queries still
+  // terminate.
+  if (processed != n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      cone_masks_[i] = bfs_cone_mask(*this, i);
+      std::uint64_t addresses = 0;
+      std::size_t members = 0;
+      cone_masks_[i].for_each([this, &addresses, &members](std::size_t j) {
+        addresses += nodes_[j].address_count();
+        ++members;
+      });
+      cone_addresses_[i] = addresses;
+      cone_sizes_[i] = members;
+    }
+  }
+  cones_built_ = true;
+}
+
+const util::DynamicBitset& AsGraph::cone_mask(std::size_t index) const {
+  ensure_cones();
+  return cone_masks_[index];
+}
+
+std::vector<net::Asn> AsGraph::customer_cone(net::Asn asn) const {
+  const std::size_t root = index_of(asn);
+  const util::DynamicBitset& mask = cone_mask(root);
+  std::vector<net::Asn> cone;
+  cone.reserve(cone_sizes_[root]);
+  cone.push_back(asn);
+  mask.for_each([this, root, &cone](std::size_t i) {
+    if (i != root) cone.push_back(nodes_[i].asn);
+  });
   return cone;
 }
 
 std::uint64_t AsGraph::cone_address_count(net::Asn asn) const {
-  std::uint64_t total = 0;
-  for (net::Asn member : customer_cone(asn))
-    total += node(member).address_count();
-  return total;
+  ensure_cones();
+  return cone_addresses_[index_of(asn)];
 }
 
 std::uint64_t AsGraph::total_address_count() const {

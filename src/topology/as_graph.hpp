@@ -7,7 +7,9 @@
 // can offload (§4.2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "topology/as_node.hpp"
+#include "util/bitset.hpp"
 
 namespace rp::topology {
 
@@ -22,6 +25,15 @@ namespace rp::topology {
 /// hierarchy must stay acyclic (enforced lazily by validate()).
 class AsGraph {
  public:
+  AsGraph() = default;
+  // The cone-memo mutex is not copyable, so the special members are spelled
+  // out; they transfer the graph and whatever memo has been built.
+  AsGraph(const AsGraph& other);
+  AsGraph& operator=(const AsGraph& other);
+  AsGraph(AsGraph&& other) noexcept;
+  AsGraph& operator=(AsGraph&& other) noexcept;
+  ~AsGraph() = default;
+
   /// Adds an AS. Throws std::invalid_argument on duplicate or invalid ASN.
   void add_as(AsNode node);
 
@@ -54,10 +66,20 @@ class AsGraph {
   bool is_peering(net::Asn a, net::Asn b) const;
 
   /// The customer cone: `asn` plus every direct and indirect transit
-  /// customer, each AS listed once. The root is always the first element.
+  /// customer, each AS listed once. The root is always the first element;
+  /// the rest follow in node-index (insertion) order.
   std::vector<net::Asn> customer_cone(net::Asn asn) const;
 
-  /// Number of IP interfaces originated inside the customer cone.
+  /// The customer cone of nodes()[index] as an index-space bitset (bit j set
+  /// iff nodes()[j] is in the cone). All cones are memoized on first use via
+  /// one reverse-topological sweep of the transit DAG; adding ASes or
+  /// transit edges invalidates the memo. The reference stays valid until the
+  /// next such mutation.
+  const util::DynamicBitset& cone_mask(std::size_t index) const;
+
+  /// Number of IP interfaces originated inside the customer cone. Memoized
+  /// alongside cone_mask(); assumes node prefixes stop changing once cones
+  /// are queried.
   std::uint64_t cone_address_count(net::Asn asn) const;
 
   /// Total addresses originated by all ASes in the graph.
@@ -80,11 +102,24 @@ class AsGraph {
 
   const Adjacency& adjacency(net::Asn asn) const;
 
+  /// Builds all cone masks (and per-cone address totals) if stale.
+  void ensure_cones() const;
+  void invalidate_cones();
+
   std::vector<AsNode> nodes_;
   std::unordered_map<net::Asn, std::size_t> index_;
   std::vector<Adjacency> adj_;
   std::size_t transit_links_ = 0;
   std::size_t peering_links_ = 0;
+
+  // Lazily built cone memo; guarded by cone_mutex_ during construction so
+  // concurrent readers (the thread-pool fan-outs) build it exactly once.
+  // The built flag is atomic so the post-build fast path takes no lock.
+  mutable std::mutex cone_mutex_;
+  mutable std::atomic<bool> cones_built_ = false;
+  mutable std::vector<util::DynamicBitset> cone_masks_;
+  mutable std::vector<std::uint64_t> cone_addresses_;
+  mutable std::vector<std::size_t> cone_sizes_;
 };
 
 }  // namespace rp::topology

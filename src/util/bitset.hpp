@@ -7,6 +7,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -22,16 +23,18 @@ class DynamicBitset {
 
   std::size_t size() const { return bits_; }
 
+  // The per-bit accessors sit inside the greedy loop's innermost scans, so
+  // bounds are asserted in debug builds only; callers own the range.
   void set(std::size_t i) {
-    check(i);
+    assert(i < bits_);
     words_[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
   void reset(std::size_t i) {
-    check(i);
+    assert(i < bits_);
     words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
   bool test(std::size_t i) const {
-    check(i);
+    assert(i < bits_);
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
@@ -88,12 +91,24 @@ class DynamicBitset {
     }
   }
 
+  /// Calls fn(index) for every bit set in (*this & other), ascending,
+  /// without materializing the intersection.
+  template <typename Fn>
+  void for_each_intersection(const DynamicBitset& other, Fn&& fn) const {
+    check_same(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w] & other.words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
   bool operator==(const DynamicBitset&) const = default;
 
  private:
-  void check(std::size_t i) const {
-    if (i >= bits_) throw std::out_of_range("DynamicBitset: index");
-  }
   void check_same(const DynamicBitset& other) const {
     if (bits_ != other.bits_)
       throw std::invalid_argument("DynamicBitset: size mismatch");

@@ -1,0 +1,79 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace rp::util {
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads_ = threads == 0 ? configured_threads() : threads;
+  if (threads_ <= 1) {
+    threads_ = 1;
+    return;  // Inline mode: no workers, parallel_for runs on the caller.
+  }
+  workers_.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::configured_threads() {
+  if (const char* value = std::getenv("RP_THREADS");
+      value != nullptr && value[0] != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed >= 1)
+      return static_cast<unsigned>(std::min(parsed, 512L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::scoped_lock lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  std::scoped_lock lock(g_global_mutex);
+  g_global_pool.reset();
+  if (threads != 0) g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+bool& ThreadPool::worker_flag() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+void ThreadPool::worker_loop() {
+  worker_flag() = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rp::util

@@ -1,0 +1,123 @@
+// A small fixed-size thread pool for the embarrassingly parallel stages of
+// the pipeline: per-IXP measurement campaigns (§3), per-destination route
+// computation, and the per-IXP argmax scans of the offload analysis (§4).
+//
+// Work is always expressed as an indexed loop (`parallel_for(n, fn)` runs
+// fn(0..n-1)), so results land in caller-owned slots and the output is
+// independent of scheduling order — the same inputs produce byte-identical
+// results at any thread count. Worker count comes from the RP_THREADS
+// environment variable, defaulting to std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means configured_threads(). A pool of one
+  /// thread spawns no workers and runs every loop inline on the caller.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical parallelism (1 when the pool runs inline).
+  unsigned thread_count() const { return threads_; }
+
+  /// Worker count from RP_THREADS (clamped to [1, 512]), or
+  /// hardware_concurrency() when unset/unparsable.
+  static unsigned configured_threads();
+
+  /// The process-wide pool, built on first use with configured_threads().
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` workers (0 restores the
+  /// RP_THREADS/hardware default on next use). Intended for tests and tools;
+  /// must not race with loops running on the old pool.
+  static void set_global_threads(unsigned threads);
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the
+  /// workers, and blocks until all complete. Calls from inside a worker (or
+  /// on a single-thread pool) run inline and serial, so nesting cannot
+  /// deadlock. The first exception thrown by any fn is rethrown here.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1 || on_worker_thread()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    Batch batch;
+    batch.n = n;
+    const std::size_t tasks = std::min<std::size_t>(workers_.size(), n);
+    batch.pending_tasks = tasks;
+    auto run_chunk = [&batch, &fn] {
+      for (std::size_t i = batch.next.fetch_add(1); i < batch.n;
+           i = batch.next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::scoped_lock lock(batch.mutex);
+          if (!batch.error) batch.error = std::current_exception();
+        }
+      }
+    };
+    {
+      std::scoped_lock lock(queue_mutex_);
+      for (std::size_t t = 0; t < tasks; ++t)
+        queue_.emplace_back([&batch, run_chunk] {
+          run_chunk();
+          std::scoped_lock lock(batch.mutex);
+          if (--batch.pending_tasks == 0) batch.done.notify_all();
+        });
+    }
+    queue_cv_.notify_all();
+    std::unique_lock lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.pending_tasks == 0; });
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+  /// Runs fn(i) for every i in [0, n) and collects the results, in index
+  /// order, into a vector. The result type must be default-constructible
+  /// and movable.
+  template <typename Fn>
+  auto parallel_transform(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    parallel_for(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::size_t pending_tasks = 0;  ///< Guarded by mutex.
+    std::exception_ptr error;       ///< Guarded by mutex.
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+
+  static bool& worker_flag();
+  static bool on_worker_thread() { return worker_flag(); }
+  void worker_loop();
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rp::util

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/rng.hpp"
 
 namespace rp::topology {
 namespace {
@@ -107,6 +111,59 @@ TEST(AsGraph, ConeAddressCount) {
   EXPECT_EQ(g.cone_address_count(net::Asn{1}), 256u + 128u);
   EXPECT_EQ(g.cone_address_count(net::Asn{2}), 128u);
   EXPECT_EQ(g.total_address_count(), 384u);
+}
+
+/// Reference implementation: the plain BFS the pre-memoization code used.
+std::unordered_set<std::uint32_t> bfs_cone(const AsGraph& g, net::Asn root) {
+  std::unordered_set<std::uint32_t> seen{root.value()};
+  std::deque<net::Asn> frontier{root};
+  while (!frontier.empty()) {
+    const net::Asn current = frontier.front();
+    frontier.pop_front();
+    for (net::Asn customer : g.customers_of(current))
+      if (seen.insert(customer.value()).second) frontier.push_back(customer);
+  }
+  return seen;
+}
+
+TEST(AsGraph, MemoizedConesMatchBfsOnRandomDag) {
+  // A random layered DAG: edges only point from lower layers to higher
+  // node ids, so the provider hierarchy stays acyclic by construction.
+  util::Rng rng(2024);
+  AsGraph g;
+  constexpr std::uint32_t kNodes = 120;
+  for (std::uint32_t asn = 1; asn <= kNodes; ++asn) g.add_as(make_node(asn));
+  for (std::uint32_t provider = 1; provider <= kNodes; ++provider) {
+    for (std::uint32_t customer = provider + 1; customer <= kNodes;
+         ++customer) {
+      if (rng.chance(0.04))
+        g.add_transit(net::Asn{provider}, net::Asn{customer});
+    }
+  }
+  ASSERT_FALSE(g.validate().has_value());
+
+  for (std::uint32_t asn = 1; asn <= kNodes; ++asn) {
+    const auto reference = bfs_cone(g, net::Asn{asn});
+    const auto cone = g.customer_cone(net::Asn{asn});
+    EXPECT_EQ(cone.size(), reference.size()) << "cone of AS" << asn;
+    EXPECT_EQ(cone.front(), net::Asn{asn});  // Root stays first.
+    std::unordered_set<std::uint32_t> got;
+    for (net::Asn member : cone) got.insert(member.value());
+    EXPECT_EQ(got, reference) << "cone of AS" << asn;
+    // The index-space mask agrees with the ASN-space listing.
+    const auto& mask = g.cone_mask(g.index_of(net::Asn{asn}));
+    EXPECT_EQ(mask.count(), reference.size());
+  }
+}
+
+TEST(AsGraph, ConeMemoInvalidatedByNewTransitEdge) {
+  AsGraph g;
+  for (std::uint32_t asn : {1, 2, 3}) g.add_as(make_node(asn));
+  g.add_transit(net::Asn{1}, net::Asn{2});
+  EXPECT_EQ(g.customer_cone(net::Asn{1}).size(), 2u);  // Memo built here.
+  g.add_transit(net::Asn{2}, net::Asn{3});
+  EXPECT_EQ(g.customer_cone(net::Asn{1}).size(), 3u);
+  EXPECT_EQ(g.customer_cone(net::Asn{2}).size(), 2u);
 }
 
 TEST(AsGraph, ValidateDetectsProviderCycle) {

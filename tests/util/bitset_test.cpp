@@ -22,10 +22,41 @@ TEST(DynamicBitset, SetTestReset) {
   EXPECT_EQ(b.count(), 2u);
 }
 
-TEST(DynamicBitset, OutOfRangeThrows) {
+// Per-bit bounds are debug-only asserts (the accessors sit in the greedy
+// loop's hot path); death tests only fire in builds with assertions on.
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(DynamicBitsetDeathTest, OutOfRangeAssertsInDebug) {
   DynamicBitset b(10);
-  EXPECT_THROW(b.set(10), std::out_of_range);
-  EXPECT_THROW(b.test(11), std::out_of_range);
+  EXPECT_DEATH(b.set(10), "");
+  EXPECT_DEATH(b.test(11), "");
+}
+#endif
+
+TEST(DynamicBitset, EmptyBitsetBehaves) {
+  DynamicBitset empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(empty.none());
+  EXPECT_FALSE(empty.any());
+  int visits = 0;
+  empty.for_each([&visits](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  DynamicBitset other;
+  empty |= other;  // Zero-size ops are no-ops, not errors.
+  empty.subtract(other);
+  EXPECT_EQ(empty.intersection_count(other), 0u);
+  EXPECT_EQ(empty, other);
+}
+
+TEST(DynamicBitset, SubtractSelfAndDisjoint) {
+  DynamicBitset a(70), b(70);
+  a.set(0);
+  a.set(69);
+  b.set(33);
+  a.subtract(b);  // Disjoint subtrahend removes nothing.
+  EXPECT_EQ(a.count(), 2u);
+  a.subtract(a);  // Self-subtraction empties the set.
+  EXPECT_TRUE(a.none());
 }
 
 TEST(DynamicBitset, UnionIntersection) {
@@ -78,6 +109,22 @@ TEST(DynamicBitset, ForEachVisitsAscending) {
   std::vector<std::size_t> seen;
   b.for_each([&seen](std::size_t i) { seen.push_back(i); });
   EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 149}));
+}
+
+TEST(DynamicBitset, ForEachIntersectionVisitsCommonBits) {
+  DynamicBitset a(150), b(150);
+  a.set(3);
+  a.set(64);
+  a.set(149);
+  b.set(64);
+  b.set(100);
+  b.set(149);
+  std::vector<std::size_t> seen;
+  a.for_each_intersection(b, [&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{64, 149}));
+  DynamicBitset wrong(151);
+  EXPECT_THROW(a.for_each_intersection(wrong, [](std::size_t) {}),
+               std::invalid_argument);
 }
 
 TEST(DynamicBitset, AnyNone) {

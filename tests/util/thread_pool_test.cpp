@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rp::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneElementLoops) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // Safe: inline and sequential.
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, TransformKeepsIndexOrder) {
+  ThreadPool pool(8);
+  const auto squares =
+      pool.parallel_transform(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, ResultIdenticalAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_transform(
+        257, [](std::size_t i) { return 31 * i + 7; });
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedLoopsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&pool, &total](std::size_t) {
+    pool.parallel_for(8, [&total](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ConfiguredThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolReconfigurable) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(0);  // Back to the environment default.
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rp::util
