@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "io/snapshot.hpp"
+
 namespace rp::bench {
 
 bool fast_mode() {
@@ -29,9 +31,16 @@ core::ScenarioConfig scenario_config() {
 
 const core::Scenario& scenario() {
   static const core::Scenario world = [] {
-    std::fprintf(stderr, "[bench] building %s scenario...\n",
-                 fast_mode() ? "fast" : "paper-scale");
-    return core::Scenario::build(scenario_config());
+    core::SnapshotCacheResult cache;
+    core::Scenario built = core::Scenario::build_cached(
+        scenario_config(), io::default_cache_dir(), &cache);
+    std::fprintf(stderr, "[bench] %s %s scenario (%s)\n",
+                 cache.outcome == core::SnapshotCacheResult::Outcome::kHit
+                     ? "loaded snapshot of"
+                     : "built",
+                 fast_mode() ? "fast" : "paper-scale",
+                 cache.path.string().c_str());
+    return built;
   }();
   return world;
 }

@@ -1,0 +1,94 @@
+// Microbenchmarks of the snapshot subsystem: a fresh Scenario::build against
+// encoding, a cold cache write, and a snapshot load. The acceptance bar for
+// the cache is BM_SnapshotLoad beating BM_ScenarioBuild by >= 5x.
+//
+// RP_BENCH_FAST=1 shrinks the world the same way the other benches do.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common.hpp"
+#include "io/snapshot.hpp"
+
+namespace {
+
+using namespace rp;
+
+const core::ScenarioConfig& bench_config() {
+  static const core::ScenarioConfig config = bench::scenario_config();
+  return config;
+}
+
+/// A world built once and shared by the encode/load benchmarks (the build
+/// benchmark below measures construction itself).
+const core::Scenario& bench_world() {
+  static const core::Scenario world = core::Scenario::build(bench_config());
+  return world;
+}
+
+std::filesystem::path bench_snapshot_path() {
+  static const std::filesystem::path path = [] {
+    const auto file = std::filesystem::temp_directory_path() /
+                      "rp_perf_io_world.rpsnap";
+    io::SaveOptions options;
+    options.with_cones = true;
+    io::save_scenario(bench_world(), file, options);
+    return file;
+  }();
+  return path;
+}
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Scenario scenario = core::Scenario::build(bench_config());
+    benchmark::DoNotOptimize(scenario);
+    state.counters["ases"] = static_cast<double>(scenario.graph().as_count());
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  const core::Scenario& world = bench_world();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto image = io::encode_scenario(world);
+    bytes = image.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotEncode)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotColdWrite(benchmark::State& state) {
+  const core::Scenario& world = bench_world();
+  const auto path =
+      std::filesystem::temp_directory_path() / "rp_perf_io_cold.rpsnap";
+  for (auto _ : state) {
+    io::save_scenario(world, path);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotColdWrite)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto path = bench_snapshot_path();
+  for (auto _ : state) {
+    io::LoadedWorld loaded = io::load_scenario(path);
+    benchmark::DoNotOptimize(loaded);
+    state.counters["ases"] =
+        static_cast<double>(loaded.scenario.graph().as_count());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

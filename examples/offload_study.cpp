@@ -10,6 +10,7 @@
 
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
+#include "io/snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -27,7 +28,9 @@ int main() {
   config.topology.cdn_count = 12;
   config.topology.nren_count = 10;
   config.topology.enterprise_count = 1200;
-  const core::Scenario scenario = core::Scenario::build(config);
+  // Reruns load the snapshot from .rpsnap-cache/ instead of rebuilding.
+  const core::Scenario scenario =
+      core::Scenario::build_cached(config, io::default_cache_dir());
 
   core::OffloadStudyConfig study_config;
   study_config.rate_model.span = util::SimDuration::days(14);

@@ -10,6 +10,7 @@
 #include "core/scenario.hpp"
 #include "core/spread_study.hpp"
 #include "core/viability_study.hpp"
+#include "io/snapshot.hpp"
 
 int main() {
   using namespace rp;
@@ -28,8 +29,15 @@ int main() {
   config.topology.nren_count = 8;
   config.topology.enterprise_count = 150;
 
-  const core::Scenario scenario = core::Scenario::build(config);
-  std::printf("world: %zu ASes, %zu transit links, %zu peering links, %zu IXPs\n",
+  // build_cached snapshots the world under .rpsnap-cache/ (or
+  // $RP_SNAPSHOT_CACHE); reruns load the snapshot instead of rebuilding.
+  core::SnapshotCacheResult cache;
+  const core::Scenario scenario =
+      core::Scenario::build_cached(config, io::default_cache_dir(), &cache);
+  std::printf("world (%s): %zu ASes, %zu transit links, %zu peering links, %zu IXPs\n",
+              cache.outcome == core::SnapshotCacheResult::Outcome::kHit
+                  ? "snapshot cache hit"
+                  : "built",
               scenario.graph().as_count(),
               scenario.graph().transit_link_count(),
               scenario.graph().peering_link_count(),

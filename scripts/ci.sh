@@ -18,9 +18,22 @@ cmake --build "$BUILD_DIR" -j
 echo "=== tier-1 tests ==="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
+echo "=== snapshot smoke (RP_BENCH_FAST=1) ==="
+SNAP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SNAP_DIR"' EXIT
+RPWORLD="$BUILD_DIR/examples/rpworld"
+"$RPWORLD" save --fast --cache-dir "$SNAP_DIR" --out "$SNAP_DIR/world.rpsnap"
+"$RPWORLD" info "$SNAP_DIR/world.rpsnap"
+"$RPWORLD" verify "$SNAP_DIR/world.rpsnap"
+# A rerun with the same config must load the cached snapshot, not rebuild.
+"$RPWORLD" save --fast --cache-dir "$SNAP_DIR" | tee "$SNAP_DIR/rerun.log"
+grep -q "cache hit" "$SNAP_DIR/rerun.log"
+# The explicit save and the cache entry must describe identical worlds.
+"$RPWORLD" diff "$SNAP_DIR/world.rpsnap" "$SNAP_DIR"/world-*.rpsnap
+
 echo "=== perf smoke (RP_BENCH_FAST=1) ==="
 export RP_BENCH_FAST=1
-for bin in perf_net perf_topology perf_bgp perf_sim perf_offload; do
+for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload; do
   echo "--- $bin ---"
   "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
 done

@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ixp/ixp.hpp"
@@ -47,11 +50,51 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
 };
 
+/// How Scenario::build_cached obtained the world.
+struct SnapshotCacheResult {
+  enum class Outcome {
+    kHit,       ///< Loaded from a valid cached snapshot.
+    kMiss,      ///< No snapshot for this config; built and cached.
+    kFallback,  ///< Snapshot existed but was rejected; rebuilt and recached.
+  };
+  Outcome outcome = Outcome::kMiss;
+  /// The cache file consulted/written.
+  std::filesystem::path path;
+  /// Why a snapshot was rejected (kFallback only).
+  std::string message;
+};
+
 class Scenario {
  public:
   /// Builds the world. Throws std::logic_error if the configuration cannot
   /// be satisfied (e.g. no NREN to serve as vantage).
   static Scenario build(const ScenarioConfig& config);
+
+  /// Like build(), but backed by a snapshot cache: the config is hashed to a
+  /// file name under `cache_dir`; a valid snapshot is loaded (checksums
+  /// verified), a missing one is built and written atomically, and a corrupt
+  /// or version-mismatched one is rebuilt from scratch (never partially
+  /// loaded). Cache-write failures are non-fatal — the freshly built world
+  /// is returned regardless.
+  static Scenario build_cached(const ScenarioConfig& config,
+                               const std::filesystem::path& cache_dir,
+                               SnapshotCacheResult* result = nullptr);
+
+  /// Reassembles a Scenario from snapshot parts (used by rp::io; inline so
+  /// rp_io does not need to link against rp_core). The parts must describe a
+  /// consistent world — io::load_scenario validates, arbitrary callers are
+  /// trusted like Scenario::build's own internals.
+  static Scenario from_parts(ScenarioConfig config, topology::AsGraph graph,
+                             ixp::IxpEcosystem ecosystem, net::Asn vantage,
+                             std::vector<ixp::IxpId> measured_ixps) {
+    Scenario scenario;
+    scenario.config_ = config;
+    scenario.graph_ = std::move(graph);
+    scenario.ecosystem_ = std::move(ecosystem);
+    scenario.vantage_ = vantage;
+    scenario.measured_ixps_ = std::move(measured_ixps);
+    return scenario;
+  }
 
   const ScenarioConfig& config() const { return config_; }
   const topology::AsGraph& graph() const { return graph_; }

@@ -1,0 +1,54 @@
+// Scenario::build_cached — the config-keyed snapshot cache on top of rp::io.
+//
+// The world is fully determined by its config (including the seed), so the
+// cache key is a digest of the canonical config encoding and a hit can be
+// trusted byte-for-byte once the container checksums pass. Any rejection —
+// corrupt file, truncation, future format version, or a digest that does not
+// match the requested config after decode — falls back to a clean rebuild and
+// recaches atomically, so a bad snapshot can delay a run but never corrupt it.
+#include <exception>
+
+#include "core/scenario.hpp"
+#include "io/snapshot.hpp"
+
+namespace rp::core {
+
+Scenario Scenario::build_cached(const ScenarioConfig& config,
+                                const std::filesystem::path& cache_dir,
+                                SnapshotCacheResult* result) {
+  SnapshotCacheResult local;
+  SnapshotCacheResult& out = result != nullptr ? *result : local;
+  out = SnapshotCacheResult{};
+  out.path = io::cache_path(config, cache_dir);
+
+  std::error_code ec;
+  if (std::filesystem::exists(out.path, ec)) {
+    try {
+      io::LoadedWorld world = io::load_scenario(out.path);
+      if (io::config_digest(world.scenario.config()) ==
+          io::config_digest(config)) {
+        out.outcome = SnapshotCacheResult::Outcome::kHit;
+        return std::move(world.scenario);
+      }
+      // A digest collision in the file name (or a hand-renamed file): the
+      // snapshot is valid but describes a different world.
+      out.message = "snapshot describes a different config";
+    } catch (const std::exception& e) {
+      out.message = e.what();
+    }
+    out.outcome = SnapshotCacheResult::Outcome::kFallback;
+  }
+
+  Scenario scenario = build(config);
+  // Cache-write failures (read-only dir, disk full) must not fail the build;
+  // the next run just misses again.
+  try {
+    std::filesystem::create_directories(cache_dir);
+    io::save_scenario(scenario, out.path);
+  } catch (const std::exception& e) {
+    if (out.message.empty()) out.message = e.what();
+  }
+  return scenario;
+}
+
+}  // namespace rp::core

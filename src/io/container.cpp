@@ -1,0 +1,283 @@
+#include "io/container.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "util/thread_pool.hpp"
+
+namespace rp::io {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+/// Bytes per section-table entry: id, reserved, offset, size, checksum.
+constexpr std::size_t kEntryBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 4;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64_accumulate(std::uint64_t state,
+                                 std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) {
+    state ^= b;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  return fnv1a64_accumulate(kFnvOffset, data);
+}
+
+// --- ByteWriter --------------------------------------------------------------
+
+void ByteWriter::u32_fixed(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::u64_fixed(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::f64(double v) { u64_fixed(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+// --- ByteReader --------------------------------------------------------------
+
+void ByteReader::underrun() const {
+  throw SnapshotError("snapshot " + context_ +
+                      ": truncated (read past end of section)");
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ >= data_.size()) underrun();
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32_fixed() {
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(u8()) << shift;
+  return v;
+}
+
+std::uint64_t ByteReader::u64_fixed() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(u8()) << shift;
+  return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The tenth byte may only contribute the single top bit.
+      if (shift == 63 && (byte & 0x7E) != 0)
+        throw SnapshotError("snapshot " + context_ + ": varint overflows");
+      return v;
+    }
+  }
+  throw SnapshotError("snapshot " + context_ + ": varint longer than 10 bytes");
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t z = varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64_fixed()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) underrun();
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::expect_end() const {
+  if (pos_ != data_.size())
+    throw SnapshotError("snapshot " + context_ + ": " +
+                        std::to_string(data_.size() - pos_) +
+                        " trailing bytes after decode");
+}
+
+// --- ContainerWriter ---------------------------------------------------------
+
+void ContainerWriter::add_section(std::uint32_t id,
+                                  std::vector<std::uint8_t> payload) {
+  for (const auto& s : sections_)
+    if (s.id == id)
+      throw SnapshotError("container: duplicate section id " +
+                          std::to_string(id));
+  sections_.push_back(Pending{id, std::move(payload)});
+}
+
+std::vector<std::uint8_t> ContainerWriter::serialize() const {
+  ByteWriter out;
+  for (std::uint8_t b : kMagic) out.u8(b);
+  out.u32_fixed(kFormatVersion);
+  out.u32_fixed(static_cast<std::uint32_t>(sections_.size()));
+  std::uint64_t offset = kHeaderBytes + kEntryBytes * sections_.size();
+  for (const auto& s : sections_) {
+    out.u32_fixed(s.id);
+    out.u32_fixed(0);  // Reserved.
+    out.u64_fixed(offset);
+    out.u64_fixed(s.payload.size());
+    out.u64_fixed(fnv1a64(s.payload));
+    offset += s.payload.size();
+  }
+  std::vector<std::uint8_t> bytes = std::move(out).take();
+  bytes.reserve(offset);
+  for (const auto& s : sections_)
+    bytes.insert(bytes.end(), s.payload.begin(), s.payload.end());
+  return bytes;
+}
+
+void write_bytes_atomic(std::span<const std::uint8_t> bytes,
+                        const std::filesystem::path& path) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw SnapshotError("cannot open " + tmp.string() + " for writing");
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) throw SnapshotError("short write to " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    throw SnapshotError("cannot rename " + tmp.string() + " over " +
+                        path.string() + ": " + ec.message());
+  }
+}
+
+void ContainerWriter::write_file_atomic(
+    const std::filesystem::path& path) const {
+  write_bytes_atomic(serialize(), path);
+}
+
+// --- ContainerReader ---------------------------------------------------------
+
+ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
+  ContainerReader reader;
+  reader.bytes_ = std::move(bytes);
+  const auto& data = reader.bytes_;
+  if (data.size() < kHeaderBytes)
+    throw SnapshotError("snapshot header: file too small (" +
+                        std::to_string(data.size()) + " bytes)");
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (data[i] != kMagic[i])
+      throw SnapshotError("snapshot header: bad magic (not a snapshot file)");
+  const std::span<const std::uint8_t> whole(data);
+  ByteReader header(whole.subspan(kMagic.size()), "header");
+  reader.version_ = header.u32_fixed();
+  if (reader.version_ > kFormatVersion)
+    throw SnapshotError(
+        "snapshot header: format version " + std::to_string(reader.version_) +
+        " is newer than supported version " + std::to_string(kFormatVersion));
+  const std::uint32_t count = header.u32_fixed();
+  if (data.size() < kHeaderBytes + kEntryBytes * std::uint64_t{count})
+    throw SnapshotError("snapshot header: section table truncated");
+  ByteReader table(
+      whole.subspan(kHeaderBytes, kEntryBytes * std::size_t{count}),
+      "section table");
+  reader.entries_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectionEntry entry;
+    entry.id = table.u32_fixed();
+    table.u32_fixed();  // Reserved.
+    entry.offset = table.u64_fixed();
+    entry.size = table.u64_fixed();
+    entry.checksum = table.u64_fixed();
+    if (entry.offset > data.size() || entry.size > data.size() - entry.offset)
+      throw SnapshotError("snapshot section " + std::to_string(entry.id) +
+                          ": payload extends past end of file (truncated?)");
+    for (const auto& prior : reader.entries_)
+      if (prior.id == entry.id)
+        throw SnapshotError("snapshot section table: duplicate section id " +
+                            std::to_string(entry.id));
+    reader.entries_.push_back(entry);
+  }
+
+  // Verify every checksum up front (in parallel) so no decoder ever touches
+  // corrupt bytes. parallel_for rethrows the first failure.
+  util::ThreadPool::global().parallel_for(
+      reader.entries_.size(), [&reader](std::size_t i) {
+        const SectionEntry& entry = reader.entries_[i];
+        const auto payload = std::span(reader.bytes_)
+                                 .subspan(entry.offset, entry.size);
+        const std::uint64_t actual = fnv1a64(payload);
+        if (actual != entry.checksum)
+          throw SnapshotError(
+              "snapshot section " + std::to_string(entry.id) +
+              ": checksum mismatch (stored " + hex16(entry.checksum) +
+              ", computed " + hex16(actual) + ") — file is corrupt");
+      });
+  return reader;
+}
+
+ContainerReader ContainerReader::from_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open " + path.string());
+  std::vector<std::uint8_t> bytes;
+  is.seekg(0, std::ios::end);
+  const auto size = is.tellg();
+  if (size < 0) throw SnapshotError("cannot stat " + path.string());
+  bytes.resize(static_cast<std::size_t>(size));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw SnapshotError("short read from " + path.string());
+  return from_bytes(std::move(bytes));
+}
+
+bool ContainerReader::has(std::uint32_t id) const {
+  for (const auto& entry : entries_)
+    if (entry.id == id) return true;
+  return false;
+}
+
+std::span<const std::uint8_t> ContainerReader::section(std::uint32_t id) const {
+  for (const auto& entry : entries_)
+    if (entry.id == id)
+      return std::span(bytes_).subspan(entry.offset, entry.size);
+  throw SnapshotError("snapshot: missing required section " +
+                      std::to_string(id));
+}
+
+}  // namespace rp::io

@@ -1,0 +1,159 @@
+// The rp-snapshot binary container: a chunked, versioned, checksummed file
+// format for world snapshots.
+//
+// Layout (all fixed-width fields little-endian):
+//   magic[8]      "RPSNAP\r\n"   (the CRLF catches text-mode mangling)
+//   u32           format version (kFormatVersion)
+//   u32           section count
+//   entry[count]  { u32 id, u32 reserved, u64 offset, u64 size, u64 fnv1a64 }
+//   payloads...   (concatenated, at the offsets recorded in the table)
+//
+// Section payloads are opaque byte strings; higher layers (snapshot.cpp)
+// encode them with the varint ByteWriter below. Every section carries its own
+// 64-bit FNV-1a checksum, verified (in parallel) when a file is opened, so a
+// truncated or bit-flipped snapshot is rejected before any decoding starts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rp::io {
+
+/// Raised for every malformed-snapshot condition: bad magic, future format
+/// version, truncated table or payload, checksum mismatch, decode underrun.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current container format version. Readers reject files with a greater
+/// version outright (no forward compatibility); older versions may be
+/// accepted once the format evolves.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The 8-byte file magic.
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'R', 'P', 'S', 'N',
+                                                       'A', 'P', '\r', '\n'};
+
+/// Writes `bytes` to `path` atomically: a sibling ".tmp" file is written and
+/// fsynced, then renamed over `path`, so readers never observe a
+/// half-written file and a crash leaves the old snapshot intact.
+void write_bytes_atomic(std::span<const std::uint8_t> bytes,
+                        const std::filesystem::path& path);
+
+/// 64-bit FNV-1a over a byte range.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+/// Continues an FNV-1a stream from a prior state (seed with kFnvOffset).
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+std::uint64_t fnv1a64_accumulate(std::uint64_t state,
+                                 std::span<const std::uint8_t> data);
+
+/// An append-only byte buffer with varint integer packing.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32_fixed(std::uint32_t v);
+  void u64_fixed(std::uint64_t v);
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+  /// Zigzag-coded signed LEB128.
+  void svarint(std::int64_t v);
+  /// IEEE-754 bit pattern, 8 bytes LE (exact round trip).
+  void f64(double v);
+  /// Length-prefixed (varint) byte string.
+  void str(std::string_view s);
+
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// A bounds-checked reader over a byte span; throws SnapshotError (naming
+/// `context`) on any read past the end or malformed varint.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data,
+                      std::string context = "payload")
+      : data_(data), context_(std::move(context)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32_fixed();
+  std::uint64_t u64_fixed();
+  std::uint64_t varint();
+  std::int64_t svarint();
+  double f64();
+  std::string str();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Requires the reader to be fully consumed (catches trailing garbage).
+  void expect_end() const;
+
+ private:
+  [[noreturn]] void underrun() const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// One section of a container file.
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;  ///< Payload offset from the start of the file.
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Assembles a container. Sections appear in the file in add order.
+class ContainerWriter {
+ public:
+  void add_section(std::uint32_t id, std::vector<std::uint8_t> payload);
+
+  /// The full file image (header + table + payloads).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Writes atomically: serialize to `path` + ".tmp", then rename over
+  /// `path`, so a crashed writer never leaves a half-written snapshot and
+  /// concurrent readers see either the old file or the new one.
+  void write_file_atomic(const std::filesystem::path& path) const;
+
+ private:
+  struct Pending {
+    std::uint32_t id;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// Parses and verifies a container image. Construction validates the magic,
+/// version, and table geometry, then verifies every section checksum (fanned
+/// out across rp::util::ThreadPool::global()); any failure throws
+/// SnapshotError with a message naming the offending part.
+class ContainerReader {
+ public:
+  static ContainerReader from_bytes(std::vector<std::uint8_t> bytes);
+  static ContainerReader from_file(const std::filesystem::path& path);
+
+  std::uint32_t version() const { return version_; }
+  const std::vector<SectionEntry>& sections() const { return entries_; }
+  bool has(std::uint32_t id) const;
+  /// Payload of a section; throws SnapshotError if absent.
+  std::span<const std::uint8_t> section(std::uint32_t id) const;
+
+ private:
+  ContainerReader() = default;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<SectionEntry> entries_;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace rp::io

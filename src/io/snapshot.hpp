@@ -1,0 +1,126 @@
+// Versioned binary world snapshots: save/load a whole core::Scenario (and
+// optionally its computed hot caches) through the rp-snapshot container.
+//
+// A Scenario is fully determined by its config + seed, so a snapshot is a
+// cache, not a source of truth — but construction at paper scale is costly
+// while loading is mostly memcpy, and a snapshot file can be shared across
+// processes (the prerequisite for sharded studies). Loads are byte-identical
+// to the world that was saved: node order, adjacency order, interface order,
+// and the cone memo all survive exactly, so SpreadStudy / OffloadAnalyzer
+// outputs match a fresh build bit-for-bit at any RP_THREADS.
+//
+// Sections (see container.hpp for the envelope):
+//   kConfigSection     ScenarioConfig (every knob, varint/f64-bit packed)
+//   kNodesSection      AsNode list (asn, name, class, policy, city, prefixes)
+//   kEdgesSection      per-node adjacency (providers/customers/peers) as
+//                      node-index varints, preserving insertion order
+//   kEcosystemSection  remote-peering providers + IXPs with interfaces & LGs
+//   kVantageSection    vantage ASN + measured-IXP ids
+//   kConesSection      (optional) customer-cone bitsets + address totals
+//   kRibSection        (optional) the vantage RIB's selected routes
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "core/scenario.hpp"
+#include "io/container.hpp"
+
+namespace rp::io {
+
+inline constexpr std::uint32_t kConfigSection = 1;
+inline constexpr std::uint32_t kNodesSection = 2;
+inline constexpr std::uint32_t kEdgesSection = 3;
+inline constexpr std::uint32_t kEcosystemSection = 4;
+inline constexpr std::uint32_t kVantageSection = 5;
+inline constexpr std::uint32_t kConesSection = 6;
+inline constexpr std::uint32_t kRibSection = 7;
+
+/// Human-readable section name for CLI output ("?" for unknown ids).
+const char* section_name(std::uint32_t id);
+
+struct SaveOptions {
+  /// Embed the customer-cone memo (forces computing it first) so loads skip
+  /// the topological sweep.
+  bool with_cones = true;
+  /// Embed this RIB's routes (nullptr omits the section).
+  const bgp::Rib* rib = nullptr;
+};
+
+/// Encodes a scenario into a full container image. Section payloads are
+/// encoded in parallel across rp::util::ThreadPool::global(); the bytes are
+/// identical at any thread count.
+std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
+                                          const SaveOptions& options = {});
+
+/// encode_scenario + atomic file write (temp file, then rename).
+void save_scenario(const core::Scenario& scenario,
+                   const std::filesystem::path& path,
+                   const SaveOptions& options = {});
+
+/// A decoded snapshot: the world plus whatever optional artifacts it embeds.
+struct LoadedWorld {
+  core::Scenario scenario;
+  /// Present when the snapshot carried a kRibSection.
+  std::optional<bgp::Rib> rib;
+  /// Whether the cone memo was embedded (it is adopted into the graph).
+  bool had_cones = false;
+};
+
+/// Decodes a container image. Throws SnapshotError on any corruption,
+/// truncation, version mismatch, or cross-section inconsistency — a failed
+/// load never returns a partially populated world.
+LoadedWorld decode_scenario(std::span<const std::uint8_t> bytes);
+
+/// Reads, verifies, and decodes a snapshot file.
+LoadedWorld load_scenario(const std::filesystem::path& path);
+
+/// The cache key: FNV-1a over the canonical kConfigSection encoding of the
+/// config, so any knob change (including nested topology knobs and the seed)
+/// yields a different key.
+std::uint64_t config_digest(const core::ScenarioConfig& config);
+std::string config_digest_hex(const core::ScenarioConfig& config);
+
+/// The cache file for a config: `<dir>/world-<digest16>.rpsnap`.
+std::filesystem::path cache_path(const core::ScenarioConfig& config,
+                                 const std::filesystem::path& cache_dir);
+
+/// The default snapshot cache directory: $RP_SNAPSHOT_CACHE when set,
+/// otherwise ".rpsnap-cache" under the current working directory.
+std::filesystem::path default_cache_dir();
+
+/// Summary of a snapshot file, for `rpworld info` / `rpworld diff`.
+struct SnapshotInfo {
+  std::uint32_t format_version = 0;
+  std::uint64_t file_size = 0;
+  std::vector<SectionEntry> sections;
+  std::uint64_t config_digest = 0;
+  std::uint64_t seed = 0;
+  std::size_t as_count = 0;
+  std::size_t transit_links = 0;
+  std::size_t peering_links = 0;
+  std::size_t ixp_count = 0;
+  std::size_t provider_count = 0;
+  std::size_t interface_count = 0;
+  std::size_t measured_ixp_count = 0;
+  std::uint32_t vantage_asn = 0;
+  bool has_cones = false;
+  bool has_rib = false;
+  std::size_t rib_destinations = 0;
+};
+
+/// Fully decodes `path` and summarizes it (so a successful info implies a
+/// loadable snapshot). Throws SnapshotError like load_scenario.
+SnapshotInfo snapshot_info(const std::filesystem::path& path);
+
+/// Deep verification: load the snapshot and run the graph's structural
+/// validation on top of the checksum/decode checks. Returns an error
+/// message, or nullopt when the snapshot is sound.
+std::optional<std::string> verify_snapshot(const std::filesystem::path& path);
+
+}  // namespace rp::io

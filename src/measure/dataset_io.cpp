@@ -1,6 +1,7 @@
 #include "measure/dataset_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -43,11 +44,20 @@ bool parse_i64(std::string_view s, long long& out) {
   }
   unsigned long long value = 0;
   if (s.empty()) return false;
+  // Reject overflow instead of wrapping: a wrapped value would silently
+  // alias a different (possibly valid) interface index or timestamp.
+  const unsigned long long limit =
+      negative ? 1ull + static_cast<unsigned long long>(
+                            std::numeric_limits<long long>::max())
+               : static_cast<unsigned long long>(
+                     std::numeric_limits<long long>::max());
   for (char c : s) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<unsigned>(c - '0');
+    const auto digit = static_cast<unsigned>(c - '0');
+    if (value > (limit - digit) / 10) return false;
+    value = value * 10 + digit;
   }
-  out = negative ? -static_cast<long long>(value)
+  out = negative ? static_cast<long long>(~value + 1)
                  : static_cast<long long>(value);
   return true;
 }
@@ -124,6 +134,9 @@ std::optional<IxpMeasurement> read_dataset(std::istream& is,
     const std::string& tag = parts[0];
 
     if (tag == "H") {
+      if (have_header)
+        return fail("duplicate header line (dataset holds one campaign)",
+                    line_number);
       if (parts.size() != 5) return fail("malformed header", line_number);
       long long ixp_id = 0, start = 0, length = 0;
       if (!parse_i64(parts[1], ixp_id) || !parse_i64(parts[3], start) ||

@@ -277,6 +277,138 @@ std::optional<std::string> AsGraph::validate() const {
   return std::nullopt;
 }
 
+AsGraph::SnapshotParts AsGraph::snapshot_parts() const {
+  SnapshotParts parts;
+  parts.nodes = nodes_;
+  parts.providers.reserve(adj_.size());
+  parts.customers.reserve(adj_.size());
+  parts.peers.reserve(adj_.size());
+  for (const Adjacency& a : adj_) {
+    parts.providers.push_back(a.providers);
+    parts.customers.push_back(a.customers);
+    parts.peers.push_back(a.peers);
+  }
+  return parts;
+}
+
+AsGraph AsGraph::restore(SnapshotParts parts) {
+  const std::size_t n = parts.nodes.size();
+  if (parts.providers.size() != n || parts.customers.size() != n ||
+      parts.peers.size() != n)
+    throw std::invalid_argument(
+        "AsGraph::restore: adjacency/node count mismatch");
+
+  AsGraph graph;
+  graph.nodes_ = std::move(parts.nodes);
+  graph.index_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Asn asn = graph.nodes_[i].asn;
+    if (!asn.is_valid())
+      throw std::invalid_argument("AsGraph::restore: invalid ASN 0");
+    if (!graph.index_.emplace(asn, i).second)
+      throw std::invalid_argument("AsGraph::restore: duplicate " +
+                                  asn.to_string());
+  }
+
+  // Symmetry checks over (index, index) edge keys: each directed transit
+  // record must have exactly one mirror, each peering likewise. This is the
+  // cheap O(E) closure of what add_transit/add_peering enforce per insert.
+  auto key = [](std::size_t a, std::size_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  };
+  auto index_of_checked = [&graph](net::Asn asn) {
+    const auto it = graph.index_.find(asn);
+    if (it == graph.index_.end())
+      throw std::invalid_argument("AsGraph::restore: edge references unknown " +
+                                  asn.to_string());
+    return it->second;
+  };
+  std::unordered_map<std::uint64_t, int> transit;
+  std::size_t transit_directed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (net::Asn customer : parts.customers[i]) {
+      const std::size_t c = index_of_checked(customer);
+      if (c == i)
+        throw std::invalid_argument("AsGraph::restore: transit self-loop");
+      if (++transit[key(i, c)] > 1)
+        throw std::invalid_argument("AsGraph::restore: duplicate transit " +
+                                    graph.nodes_[i].asn.to_string() + " -> " +
+                                    customer.to_string());
+      ++transit_directed;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (net::Asn provider : parts.providers[i]) {
+      const std::size_t p = index_of_checked(provider);
+      const auto it = transit.find(key(p, i));
+      if (it == transit.end() || --it->second < 0)
+        throw std::invalid_argument(
+            "AsGraph::restore: provider list of " +
+            graph.nodes_[i].asn.to_string() +
+            " is not the mirror of the customer lists");
+      --transit_directed;
+    }
+  }
+  if (transit_directed != 0)
+    throw std::invalid_argument(
+        "AsGraph::restore: customer and provider lists disagree");
+
+  std::unordered_map<std::uint64_t, int> peering;
+  std::size_t peer_directed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (net::Asn peer : parts.peers[i]) {
+      const std::size_t j = index_of_checked(peer);
+      if (j == i)
+        throw std::invalid_argument("AsGraph::restore: peering self-loop");
+      if (++peering[key(i, j)] > 1)
+        throw std::invalid_argument("AsGraph::restore: duplicate peering " +
+                                    graph.nodes_[i].asn.to_string() + " <-> " +
+                                    peer.to_string());
+      ++peer_directed;
+    }
+  }
+  for (const auto& [k, count] : peering) {
+    const std::uint64_t mirror = key(k & 0xFFFFFFFFull, k >> 32);
+    const auto it = peering.find(mirror);
+    if (it == peering.end() || it->second != count)
+      throw std::invalid_argument(
+          "AsGraph::restore: peer lists are not symmetric");
+  }
+
+  graph.adj_.resize(n);
+  std::size_t transit_edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    transit_edges += parts.customers[i].size();
+    graph.adj_[i].providers = std::move(parts.providers[i]);
+    graph.adj_[i].customers = std::move(parts.customers[i]);
+    graph.adj_[i].peers = std::move(parts.peers[i]);
+  }
+  graph.transit_links_ = transit_edges;
+  graph.peering_links_ = peer_directed / 2;
+  return graph;
+}
+
+AsGraph::ConeMemo AsGraph::export_cones() const {
+  ensure_cones();
+  std::scoped_lock lock(cone_mutex_);
+  return ConeMemo{cone_masks_, cone_addresses_, cone_sizes_};
+}
+
+void AsGraph::adopt_cones(ConeMemo memo) {
+  const std::size_t n = nodes_.size();
+  if (memo.masks.size() != n || memo.addresses.size() != n ||
+      memo.sizes.size() != n)
+    throw std::invalid_argument("AsGraph::adopt_cones: memo size mismatch");
+  for (const auto& mask : memo.masks)
+    if (mask.size() != n)
+      throw std::invalid_argument("AsGraph::adopt_cones: mask width mismatch");
+  std::scoped_lock lock(cone_mutex_);
+  cone_masks_ = std::move(memo.masks);
+  cone_addresses_ = std::move(memo.addresses);
+  cone_sizes_ = std::move(memo.sizes);
+  cones_built_.store(true, std::memory_order_release);
+}
+
 std::size_t AsGraph::index_of(net::Asn asn) const {
   const auto it = index_.find(asn);
   if (it == index_.end())

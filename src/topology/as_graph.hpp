@@ -93,6 +93,48 @@ class AsGraph {
   /// Index of an ASN into nodes(); throws std::out_of_range if unknown.
   std::size_t index_of(net::Asn asn) const;
 
+  // --- Snapshot support (rp::io) --------------------------------------------
+  // A graph's observable state is its node list plus the per-node adjacency
+  // lists in insertion order (span order is visible to route computation and
+  // cone building, so a byte-identical reload must preserve it exactly).
+
+  /// Exact per-node adjacency, indexed like nodes().
+  struct SnapshotParts {
+    std::vector<AsNode> nodes;
+    std::vector<std::vector<net::Asn>> providers;
+    std::vector<std::vector<net::Asn>> customers;
+    std::vector<std::vector<net::Asn>> peers;
+  };
+
+  /// Copies the graph into its snapshot representation.
+  SnapshotParts snapshot_parts() const;
+
+  /// Rebuilds a graph from snapshot parts, preserving adjacency order
+  /// bit-for-bit. Validates referential symmetry (every transit edge appears
+  /// in both endpoints' lists exactly once, every peering in both peer
+  /// lists); throws std::invalid_argument on any inconsistency so a corrupt
+  /// snapshot can never produce a half-formed graph.
+  static AsGraph restore(SnapshotParts parts);
+
+  /// The memoized cone state, exportable so snapshots can persist it.
+  struct ConeMemo {
+    std::vector<util::DynamicBitset> masks;
+    std::vector<std::uint64_t> addresses;
+    std::vector<std::size_t> sizes;
+  };
+
+  /// Whether the cone memo has been built (and would be exported).
+  bool cones_ready() const {
+    return cones_built_.load(std::memory_order_acquire);
+  }
+  /// Builds the memo if needed and returns a copy.
+  ConeMemo export_cones() const;
+  /// Installs a previously exported memo, skipping the topological sweep.
+  /// The memo must come from export_cones() on an identical graph; vector
+  /// and bitset dimensions are validated, contents are trusted (snapshot
+  /// checksums cover them).
+  void adopt_cones(ConeMemo memo);
+
  private:
   struct Adjacency {
     std::vector<net::Asn> providers;

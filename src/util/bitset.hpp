@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -107,6 +108,26 @@ class DynamicBitset {
   }
 
   bool operator==(const DynamicBitset&) const = default;
+
+  /// The packed word storage, for serialization (rp::io snapshots).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Rebuilds a bitset from packed words (the inverse of words()). Throws
+  /// std::invalid_argument if the word count does not match `bits` or any
+  /// bit beyond `bits` is set.
+  static DynamicBitset from_words(std::size_t bits,
+                                  std::vector<std::uint64_t> words) {
+    if (words.size() != (bits + 63) / 64)
+      throw std::invalid_argument("DynamicBitset::from_words: word count");
+    if (bits % 64 != 0 && !words.empty() &&
+        (words.back() >> (bits % 64)) != 0)
+      throw std::invalid_argument(
+          "DynamicBitset::from_words: stray bits beyond size");
+    DynamicBitset out;
+    out.bits_ = bits;
+    out.words_ = std::move(words);
+    return out;
+  }
 
  private:
   void check_same(const DynamicBitset& other) const {

@@ -1,0 +1,93 @@
+// Determinism of the parallel study engine: SpreadStudy::run fans the
+// per-IXP campaigns across the thread pool, and the result must be
+// byte-identical at any RP_THREADS setting (each campaign owns a
+// deterministically forked RNG, and results land in per-index slots).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/spread_study.hpp"
+#include "measure/dataset_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::core {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.seed = 23;
+  config.euroix = false;  // Table-1 universe keeps the campaign count small.
+  config.membership_scale = 0.05;
+  config.topology.tier2_count = 20;
+  config.topology.access_count = 80;
+  config.topology.content_count = 20;
+  config.topology.cdn_count = 6;
+  config.topology.nren_count = 5;
+  config.topology.enterprise_count = 40;
+  return config;
+}
+
+SpreadStudyConfig small_study_config() {
+  SpreadStudyConfig config;
+  config.campaign.length = util::SimDuration::days(3);
+  config.campaign.queries_per_pch_lg = 3;
+  config.campaign.queries_per_ripe_lg = 2;
+  return config;
+}
+
+/// The full raw dataset of every campaign, serialized with the dataset
+/// writer: the strictest byte-level fingerprint the repo can produce.
+std::string fingerprint(const SpreadStudy& study) {
+  std::ostringstream out;
+  for (const auto& measurement : study.raw_measurements())
+    measure::write_dataset(measurement, out);
+  // Fold in the aggregated report so classifier/aggregation stages are
+  // covered too, not just the raw campaigns.
+  const auto& report = study.report();
+  out << "report " << report.total_probed() << ' ' << report.total_analyzed()
+      << ' ' << report.identified_interfaces() << ' '
+      << report.remote_networks() << '\n';
+  for (double rtt : report.min_rtts_ms()) out << rtt << '\n';
+  for (const auto& row : report.rows()) {
+    out << row.acronym << ' ' << row.probed << ' ' << row.analyzed << ' '
+        << row.remote_interfaces;
+    for (std::size_t b : row.band_counts) out << ' ' << b;
+    out << '\n';
+  }
+  return std::move(out).str();
+}
+
+TEST(SpreadStudyDeterminism, ByteIdenticalAcrossThreadCounts) {
+  const Scenario scenario = Scenario::build(small_config());
+  const SpreadStudyConfig config = small_study_config();
+
+  util::ThreadPool::set_global_threads(1);
+  const std::string serial = fingerprint(SpreadStudy::run(scenario, config));
+
+  util::ThreadPool::set_global_threads(2);
+  const std::string two = fingerprint(SpreadStudy::run(scenario, config));
+
+  util::ThreadPool::set_global_threads(8);
+  const std::string eight = fingerprint(SpreadStudy::run(scenario, config));
+
+  util::ThreadPool::set_global_threads(0);  // Restore the env default.
+
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(SpreadStudyDeterminism, ReanalyzeMatchesRunAnalyses) {
+  const Scenario scenario = Scenario::build(small_config());
+  const SpreadStudyConfig config = small_study_config();
+  const SpreadStudy study = SpreadStudy::run(scenario, config);
+  const SpreadStudy again =
+      SpreadStudy::reanalyze(study.raw_measurements(), config);
+  EXPECT_EQ(study.report().total_analyzed(), again.report().total_analyzed());
+  EXPECT_EQ(study.report().min_rtts_ms(), again.report().min_rtts_ms());
+}
+
+}  // namespace
+}  // namespace rp::core

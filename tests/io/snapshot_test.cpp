@@ -1,0 +1,353 @@
+// Round-trip fidelity and corruption handling for rp::io snapshots.
+//
+// Fidelity is held to the repo's strictest bar: the studies that run on a
+// loaded world must produce byte-identical outputs to the same studies on
+// the freshly built world, at any thread count.
+#include "io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/offload_study.hpp"
+#include "core/scenario.hpp"
+#include "core/spread_study.hpp"
+#include "measure/dataset_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::io {
+namespace {
+
+core::ScenarioConfig small_config() {
+  core::ScenarioConfig config;
+  config.seed = 23;
+  config.euroix = false;
+  config.membership_scale = 0.05;
+  config.topology.tier2_count = 20;
+  config.topology.access_count = 80;
+  config.topology.content_count = 20;
+  config.topology.cdn_count = 6;
+  config.topology.nren_count = 5;
+  config.topology.enterprise_count = 40;
+  return config;
+}
+
+const core::Scenario& small_world() {
+  static const core::Scenario scenario =
+      core::Scenario::build(small_config());
+  return scenario;
+}
+
+/// Structural equality of two scenarios, down to adjacency span order.
+void expect_same_world(const core::Scenario& a, const core::Scenario& b) {
+  ASSERT_EQ(a.graph().as_count(), b.graph().as_count());
+  EXPECT_EQ(a.graph().transit_link_count(), b.graph().transit_link_count());
+  EXPECT_EQ(a.graph().peering_link_count(), b.graph().peering_link_count());
+  for (std::size_t i = 0; i < a.graph().nodes().size(); ++i) {
+    const auto& na = a.graph().nodes()[i];
+    const auto& nb = b.graph().nodes()[i];
+    ASSERT_EQ(na.asn, nb.asn);
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.cls, nb.cls);
+    EXPECT_EQ(na.policy, nb.policy);
+    EXPECT_EQ(na.home_city.name, nb.home_city.name);
+    EXPECT_EQ(na.traffic_scale, nb.traffic_scale);
+    ASSERT_EQ(na.prefixes.size(), nb.prefixes.size());
+    for (std::size_t p = 0; p < na.prefixes.size(); ++p)
+      EXPECT_EQ(na.prefixes[p], nb.prefixes[p]);
+    auto same_span = [](std::span<const net::Asn> x,
+                        std::span<const net::Asn> y) {
+      ASSERT_EQ(x.size(), y.size());
+      for (std::size_t k = 0; k < x.size(); ++k) EXPECT_EQ(x[k], y[k]);
+    };
+    same_span(a.graph().providers_of(na.asn), b.graph().providers_of(nb.asn));
+    same_span(a.graph().customers_of(na.asn), b.graph().customers_of(nb.asn));
+    same_span(a.graph().peers_of(na.asn), b.graph().peers_of(nb.asn));
+  }
+  ASSERT_EQ(a.ecosystem().ixps().size(), b.ecosystem().ixps().size());
+  ASSERT_EQ(a.ecosystem().providers().size(), b.ecosystem().providers().size());
+  for (std::size_t i = 0; i < a.ecosystem().ixps().size(); ++i) {
+    const auto& xa = a.ecosystem().ixps()[i];
+    const auto& xb = b.ecosystem().ixps()[i];
+    EXPECT_EQ(xa.acronym(), xb.acronym());
+    EXPECT_EQ(xa.peering_lan(), xb.peering_lan());
+    ASSERT_EQ(xa.interfaces().size(), xb.interfaces().size());
+    for (std::size_t k = 0; k < xa.interfaces().size(); ++k) {
+      const auto& ia = xa.interfaces()[k];
+      const auto& ib = xb.interfaces()[k];
+      EXPECT_EQ(ia.asn, ib.asn);
+      EXPECT_EQ(ia.addr, ib.addr);
+      EXPECT_EQ(ia.mac, ib.mac);
+      EXPECT_EQ(ia.kind, ib.kind);
+      EXPECT_EQ(ia.circuit_one_way, ib.circuit_one_way);
+    }
+    ASSERT_EQ(xa.looking_glasses().size(), xb.looking_glasses().size());
+  }
+  EXPECT_EQ(a.vantage(), b.vantage());
+  EXPECT_EQ(a.measured_ixps(), b.measured_ixps());
+  EXPECT_EQ(a.config().seed, b.config().seed);
+}
+
+TEST(Snapshot, RoundTripReproducesTheWorldExactly) {
+  const core::Scenario& original = small_world();
+  const std::vector<std::uint8_t> image = encode_scenario(original);
+  const LoadedWorld loaded = decode_scenario(image);
+  EXPECT_TRUE(loaded.had_cones);
+  EXPECT_FALSE(loaded.rib.has_value());
+  expect_same_world(original, loaded.scenario);
+  EXPECT_TRUE(loaded.scenario.graph().cones_ready());
+}
+
+TEST(Snapshot, EncodeIsByteIdenticalAcrossThreadCounts) {
+  const core::Scenario& world = small_world();
+  util::ThreadPool::set_global_threads(1);
+  const auto serial = encode_scenario(world);
+  util::ThreadPool::set_global_threads(8);
+  const auto parallel = encode_scenario(world);
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(serial, parallel);
+}
+
+/// SpreadStudy fingerprint: raw campaign datasets + aggregated report.
+std::string spread_fingerprint(const core::Scenario& scenario) {
+  core::SpreadStudyConfig config;
+  config.campaign.length = util::SimDuration::days(3);
+  config.campaign.queries_per_pch_lg = 3;
+  config.campaign.queries_per_ripe_lg = 2;
+  const auto study = core::SpreadStudy::run(scenario, config);
+  std::ostringstream out;
+  for (const auto& measurement : study.raw_measurements())
+    measure::write_dataset(measurement, out);
+  const auto& report = study.report();
+  out << report.total_probed() << ' ' << report.total_analyzed() << '\n';
+  for (const auto& row : report.rows()) {
+    out << row.acronym << ' ' << row.probed << ' ' << row.analyzed << ' '
+        << row.remote_interfaces << '\n';
+  }
+  return std::move(out).str();
+}
+
+/// OffloadAnalyzer fingerprint: exact traffic figures and greedy order.
+std::string offload_fingerprint(const core::Scenario& scenario) {
+  core::OffloadStudyConfig config;
+  config.rate_model.span = util::SimDuration::days(3);
+  const auto study = core::OffloadStudy::run(scenario, config);
+  std::ostringstream out;
+  out.precision(17);
+  const auto& analyzer = study.analyzer();
+  out << analyzer.transit_inbound_bps() << ' '
+      << analyzer.transit_outbound_bps() << '\n';
+  for (net::Asn asn : analyzer.eligible_peers()) out << asn.value() << ' ';
+  out << '\n';
+  for (const auto& step :
+       analyzer.greedy_by_traffic(offload::PeerGroup::kAll, 6))
+    out << step.acronym << ' ' << step.gained << ' ' << step.remaining << '\n';
+  return std::move(out).str();
+}
+
+TEST(Snapshot, StudiesOnLoadedWorldMatchByteForByte) {
+  const core::Scenario& original = small_world();
+  const LoadedWorld loaded = decode_scenario(encode_scenario(original));
+  EXPECT_EQ(spread_fingerprint(original), spread_fingerprint(loaded.scenario));
+  EXPECT_EQ(offload_fingerprint(original),
+            offload_fingerprint(loaded.scenario));
+}
+
+TEST(Snapshot, RibSectionRoundTripsSelectedRoutes) {
+  const core::Scenario& world = small_world();
+  const bgp::Rib rib = bgp::Rib::build(world.graph(), world.vantage());
+  SaveOptions options;
+  options.rib = &rib;
+  const LoadedWorld loaded = decode_scenario(encode_scenario(world, options));
+  ASSERT_TRUE(loaded.rib.has_value());
+  for (const auto& node : world.graph().nodes()) {
+    const bgp::Route* a = rib.route_to(node.asn);
+    const bgp::Route* b = loaded.rib->route_to(node.asn);
+    ASSERT_EQ(a == nullptr, b == nullptr) << node.asn.to_string();
+    if (a == nullptr) continue;
+    EXPECT_EQ(a->destination, b->destination);
+    EXPECT_EQ(a->source, b->source);
+    ASSERT_EQ(a->as_path.size(), b->as_path.size());
+    for (std::size_t i = 0; i < a->as_path.size(); ++i)
+      EXPECT_EQ(a->as_path[i], b->as_path[i]);
+  }
+}
+
+TEST(Snapshot, ConesCanBeOmitted) {
+  SaveOptions options;
+  options.with_cones = false;
+  const LoadedWorld loaded =
+      decode_scenario(encode_scenario(small_world(), options));
+  EXPECT_FALSE(loaded.had_cones);
+  EXPECT_FALSE(loaded.scenario.graph().cones_ready());
+  // The loaded graph can still compute cones on demand.
+  EXPECT_GT(
+      loaded.scenario.graph().customer_cone(loaded.scenario.vantage()).size(),
+      0u);
+}
+
+TEST(Snapshot, ConfigDigestCoversEveryKnob) {
+  const core::ScenarioConfig base = small_config();
+  const std::uint64_t digest = config_digest(base);
+  EXPECT_EQ(config_digest(base), digest);  // Stable.
+
+  core::ScenarioConfig seed = base;
+  seed.seed += 1;
+  EXPECT_NE(config_digest(seed), digest);
+
+  core::ScenarioConfig knob = base;
+  knob.membership_scale += 0.001;
+  EXPECT_NE(config_digest(knob), digest);
+
+  core::ScenarioConfig nested = base;
+  nested.topology.cdn_count += 1;
+  EXPECT_NE(config_digest(nested), digest);
+
+  core::ScenarioConfig universe = base;
+  universe.euroix = !universe.euroix;
+  EXPECT_NE(config_digest(universe), digest);
+}
+
+class SnapshotFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           ("rpsnap_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ / "world.rpsnap";
+    save_scenario(small_world(), path_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::uint8_t> read_file() const {
+    std::ifstream is(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_file(const std::vector<std::uint8_t>& bytes) const {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::filesystem::path path_;
+};
+
+TEST_F(SnapshotFileTest, LoadsWhatWasSaved) {
+  const LoadedWorld loaded = load_scenario(path_);
+  expect_same_world(small_world(), loaded.scenario);
+  EXPECT_FALSE(verify_snapshot(path_).has_value());
+}
+
+TEST_F(SnapshotFileTest, InfoSummarizesTheWorld) {
+  const SnapshotInfo info = snapshot_info(path_);
+  EXPECT_EQ(info.format_version, kFormatVersion);
+  EXPECT_EQ(info.file_size, std::filesystem::file_size(path_));
+  EXPECT_EQ(info.config_digest, config_digest(small_world().config()));
+  EXPECT_EQ(info.seed, small_world().config().seed);
+  EXPECT_EQ(info.as_count, small_world().graph().as_count());
+  EXPECT_EQ(info.ixp_count, small_world().ecosystem().ixps().size());
+  EXPECT_EQ(info.vantage_asn, small_world().vantage().value());
+  EXPECT_TRUE(info.has_cones);
+  EXPECT_FALSE(info.has_rib);
+  EXPECT_GE(info.sections.size(), 5u);
+}
+
+TEST_F(SnapshotFileTest, BitFlipIsDetectedNotLoaded) {
+  auto bytes = read_file();
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_file(bytes);
+  EXPECT_THROW(load_scenario(path_), SnapshotError);
+  const auto error = verify_snapshot(path_);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST_F(SnapshotFileTest, TruncationIsDetected) {
+  auto bytes = read_file();
+  bytes.resize(bytes.size() * 3 / 4);
+  write_file(bytes);
+  EXPECT_THROW(load_scenario(path_), SnapshotError);
+}
+
+TEST_F(SnapshotFileTest, FutureVersionIsRejected) {
+  auto bytes = read_file();
+  bytes[8] += 1;  // Version field sits right after the 8-byte magic.
+  write_file(bytes);
+  try {
+    load_scenario(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("newer than supported"),
+              std::string::npos);
+  }
+}
+
+TEST_F(SnapshotFileTest, BuildCachedHitsMissesAndFallsBack) {
+  const core::ScenarioConfig config = small_config();
+  const std::filesystem::path cache_dir = dir_ / "cache";
+
+  core::SnapshotCacheResult result;
+  const core::Scenario built =
+      core::Scenario::build_cached(config, cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kMiss);
+  EXPECT_TRUE(std::filesystem::exists(result.path));
+  expect_same_world(small_world(), built);
+
+  const core::Scenario hit =
+      core::Scenario::build_cached(config, cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kHit);
+  expect_same_world(small_world(), hit);
+
+  // Corrupt the cached snapshot: build_cached must fall back to a clean
+  // rebuild and rewrite the cache.
+  {
+    std::fstream f(result.path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('\x7f');
+  }
+  const core::Scenario fallback =
+      core::Scenario::build_cached(config, cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kFallback);
+  EXPECT_FALSE(result.message.empty());
+  expect_same_world(small_world(), fallback);
+
+  // The rewrite healed the cache.
+  core::Scenario::build_cached(config, cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kHit);
+
+  // A different config never matches this cache entry.
+  core::ScenarioConfig other = config;
+  other.seed += 99;
+  core::Scenario::build_cached(other, cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kMiss);
+}
+
+TEST_F(SnapshotFileTest, MissingSectionIsRejected) {
+  // Rebuild an image that drops the vantage section: decode must refuse.
+  const auto image = encode_scenario(small_world());
+  const ContainerReader reader = ContainerReader::from_bytes(image);
+  ContainerWriter writer;
+  for (const auto& entry : reader.sections()) {
+    if (entry.id == kVantageSection) continue;
+    const auto body = reader.section(entry.id);
+    writer.add_section(entry.id, {body.begin(), body.end()});
+  }
+  try {
+    decode_scenario(writer.serialize());
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing required section"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rp::io

@@ -132,6 +132,58 @@ TEST(DatasetIo, RejectsMalformedInput) {
   }
 }
 
+TEST(DatasetIo, RejectsDuplicateHeader) {
+  std::string error;
+  std::stringstream bad(
+      "H,0,X,0,100\nI,0,1.2.3.4,0,colo,0\nH,1,Y,0,200\n");
+  EXPECT_FALSE(read_dataset(bad, &error));
+  EXPECT_NE(error.find("duplicate header"), std::string::npos);
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(DatasetIo, RejectsOutOfRangeInterfaceIndex) {
+  std::string error;
+  {
+    // Index past the declared interfaces.
+    std::stringstream bad(
+        "H,0,X,0,100\nI,0,1.2.3.4,0,colo,0\nR,7,5,500\n");
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("unknown interface"), std::string::npos);
+  }
+  {
+    // Negative index.
+    std::stringstream bad("H,0,X,0,100\nI,-1,1.2.3.4,0,colo,0\n");
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("bad interface index"), std::string::npos);
+  }
+}
+
+TEST(DatasetIo, RejectsOverflowingIntegerFields) {
+  std::string error;
+  {
+    // 2^64 + 1 used to wrap to 1 via unsigned arithmetic, silently aliasing
+    // interface 1; it must be rejected outright.
+    std::stringstream bad(
+        "H,0,X,0,100\nI,0,1.2.3.4,0,colo,0\nI,1,1.2.3.5,0,colo,0\n"
+        "R,18446744073709551617,5,500\n");
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("bad interface index"), std::string::npos);
+  }
+  {
+    // Overflow in a non-index field (campaign length).
+    std::stringstream bad("H,0,X,0,99999999999999999999\n");
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("bad header numbers"), std::string::npos);
+  }
+  {
+    // INT64_MIN and INT64_MAX are exactly representable and must survive.
+    std::stringstream ok(
+        "H,0,X,-9223372036854775808,9223372036854775807\n"
+        "I,0,1.2.3.4,0,colo,0\n");
+    EXPECT_TRUE(read_dataset(ok, &error)) << error;
+  }
+}
+
 TEST(DatasetIo, CommentsAndBlankLinesIgnored) {
   std::stringstream buffer(
       "# comment\n\nH,7,TINY,0,1000\n# more\nI,0,10.0.0.1,1,remote,500\n");
