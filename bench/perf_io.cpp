@@ -9,6 +9,7 @@
 
 #include "common.hpp"
 #include "io/snapshot.hpp"
+#include "perf_json.hpp"
 
 namespace {
 
@@ -91,4 +92,6 @@ BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rp::bench::run_benchmarks_with_json(argc, argv, "perf_io");
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "perf_json.hpp"
 
 #if __has_include("util/thread_pool.hpp")
 #include "util/thread_pool.hpp"
@@ -95,4 +96,6 @@ BENCHMARK(BM_RemainingPotentialAt)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rp::bench::run_benchmarks_with_json(argc, argv, "perf_offload");
+}

@@ -1,0 +1,73 @@
+// Shared --metrics / --trace handling for the example binaries.
+//
+// Examples call strip_obs_flags(argc, argv) first thing in main: it removes
+// the two observability flags from argv (so subcommand parsers never see
+// them), enables the metrics registry and/or opens a trace session, and
+// returns what it did so finish_obs can flush on exit. RP_METRICS=1 and
+// RP_TRACE=<file> behave like the flags without touching the command line.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rp::examples {
+
+struct ObsOptions {
+  bool metrics = false;       ///< Print the metrics table on exit.
+  std::string trace_path;     ///< Non-empty: write a Perfetto trace here.
+};
+
+/// Strips `--metrics` and `--trace FILE` out of argv in place, arming the
+/// requested instrumentation. Call before any subcommand parsing.
+inline ObsOptions strip_obs_flags(int& argc, char** argv) {
+  ObsOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      opts.metrics = true;
+      continue;
+    }
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --trace needs a file argument\n", argv[0]);
+        std::exit(2);
+      }
+      opts.trace_path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (opts.metrics || obs::metrics_env_requested())
+    obs::set_metrics_enabled(true);
+  if (!opts.trace_path.empty() && !obs::start_trace(opts.trace_path)) {
+    // RP_TRACE already opened a session; the explicit flag wins.
+    obs::stop_trace();
+    obs::start_trace(opts.trace_path);
+  }
+  return opts;
+}
+
+/// Renders the metrics table (when requested) and flushes the trace file.
+/// Call once, at the end of main.
+inline void finish_obs(const ObsOptions& opts) {
+  if (opts.metrics) {
+    std::printf("\n");
+    obs::dump_global_metrics(std::cout);
+  }
+  if (!opts.trace_path.empty()) {
+    const std::size_t events = obs::stop_trace();
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n", events,
+                 opts.trace_path.c_str());
+  }
+}
+
+}  // namespace rp::examples

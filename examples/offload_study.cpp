@@ -5,18 +5,22 @@
 // operational questions the paper poses: how much transit traffic could
 // remote peering take over, which IXPs matter, how fast do returns
 // diminish, and what does that do to the 95th-percentile transit bill?
+// Pass --metrics to print the instrumentation counters on exit, or
+// --trace FILE to record a Perfetto-loadable phase trace (see DESIGN.md §10).
 #include <algorithm>
 #include <cstdio>
 
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
 #include "io/snapshot.hpp"
+#include "obs_cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace rp;
 
-int main() {
+int main(int argc, char** argv) {
+  const examples::ObsOptions obs_opts = examples::strip_obs_flags(argc, argv);
   // A mid-sized world keeps this example interactive (~10 s). Drop the
   // overrides for the full paper-scale run.
   core::ScenarioConfig config;
@@ -105,5 +109,6 @@ int main() {
         util::fmt_rate_bps(after.total_bps()).c_str(),
         all_steps[0].acronym.c_str());
   }
+  examples::finish_obs(obs_opts);
   return 0;
 }

@@ -5,15 +5,19 @@
 //   1. core::Scenario        — a deterministic synthetic Internet
 //   2. core::SpreadStudy     — the ping-based detection method (paper §3)
 //   3. core::ViabilityStudy  — the cost model (paper §5)
+// Pass --metrics to print the instrumentation counters on exit, or
+// --trace FILE to record a Perfetto-loadable phase trace (see DESIGN.md §10).
 #include <cstdio>
 
 #include "core/scenario.hpp"
 #include "core/spread_study.hpp"
 #include "core/viability_study.hpp"
 #include "io/snapshot.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rp;
+  const examples::ObsOptions obs_opts = examples::strip_obs_flags(argc, argv);
 
   // 1. A small world: shrink the AS counts and IXP rosters so the example
   //    runs in a couple of seconds. Everything is seeded — rerunning gives
@@ -83,5 +87,6 @@ int main() {
               viability.optimal_remote_m());
   std::printf("  remote peering viable: %s\n",
               viability.remote_viable() ? "yes" : "no");
+  examples::finish_obs(obs_opts);
   return 0;
 }

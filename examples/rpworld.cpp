@@ -17,6 +17,7 @@
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
 #include "io/snapshot.hpp"
+#include "obs_cli.hpp"
 
 namespace {
 
@@ -28,7 +29,9 @@ int usage() {
                " [--cache-dir DIR] [--out FILE] [--with-rib] [--no-cones]\n"
                "       rpworld info <file>\n"
                "       rpworld verify <file>\n"
-               "       rpworld diff <a> <b>\n");
+               "       rpworld diff <a> <b>\n"
+               "Global flags: --metrics (counter table on exit),"
+               " --trace FILE (Perfetto phase trace)\n");
   return 2;
 }
 
@@ -189,16 +192,20 @@ int cmd_diff(const char* file_a, const char* file_b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const examples::ObsOptions obs_opts = examples::strip_obs_flags(argc, argv);
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  int rc = 2;
   try {
-    if (cmd == "save") return cmd_save(argc - 2, argv + 2);
-    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
-    if (cmd == "verify" && argc == 3) return cmd_verify(argv[2]);
-    if (cmd == "diff" && argc == 4) return cmd_diff(argv[2], argv[3]);
+    if (cmd == "save") rc = cmd_save(argc - 2, argv + 2);
+    else if (cmd == "info" && argc == 3) rc = cmd_info(argv[2]);
+    else if (cmd == "verify" && argc == 3) rc = cmd_verify(argv[2]);
+    else if (cmd == "diff" && argc == 4) rc = cmd_diff(argv[2], argv[3]);
+    else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rpworld %s: %s\n", cmd.c_str(), e.what());
     return 1;
   }
-  return usage();
+  examples::finish_obs(obs_opts);
+  return rc;
 }

@@ -31,12 +31,33 @@ grep -q "cache hit" "$SNAP_DIR/rerun.log"
 # The explicit save and the cache entry must describe identical worlds.
 "$RPWORLD" diff "$SNAP_DIR/world.rpsnap" "$SNAP_DIR"/world-*.rpsnap
 
+echo "=== obs smoke (rpstat metrics + trace) ==="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$SNAP_DIR" "$OBS_DIR"' EXIT
+RP_SNAPSHOT_CACHE="$OBS_DIR/cache" "$BUILD_DIR/examples/rpstat" --fast \
+  --json "$OBS_DIR/metrics.json" --trace "$OBS_DIR/trace.json" \
+  > "$OBS_DIR/rpstat.log"
+# Both exports must be well-formed JSON...
+python3 -m json.tool "$OBS_DIR/metrics.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
+# ...and the metrics must cover every instrumented layer.
+for metric in rp.core.scenario.builds rp.pool.parallel_for.calls \
+              rp.bgp.routes.computed rp.measure.probes.sent \
+              rp.offload.greedy.steps rp.io.bytes_written; do
+  grep -q "\"$metric\"" "$OBS_DIR/metrics.json"
+  grep -q "$metric" "$OBS_DIR/rpstat.log"
+done
+
 echo "=== perf smoke (RP_BENCH_FAST=1) ==="
 export RP_BENCH_FAST=1
+export RP_BENCH_JSON_DIR="$OBS_DIR"
 for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload; do
   echo "--- $bin ---"
   "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
 done
+# The instrumented perf binaries must emit valid trajectory JSON.
+python3 -m json.tool "$OBS_DIR/BENCH_perf_io.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/BENCH_perf_offload.json" > /dev/null
 
 echo "=== figure harness smoke (RP_BENCH_FAST=1) ==="
 for bin in table1_ixp_properties fig2_rtt_cdf fig9_remaining_transit; do

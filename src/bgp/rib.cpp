@@ -4,11 +4,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rp::bgp {
 
 Rib Rib::build(const topology::AsGraph& graph, net::Asn vantage) {
+  obs::Span span("bgp.rib.build");
+  static obs::Counter builds("rp.bgp.rib.builds");
+  builds.add();
   Rib rib;
   rib.vantage_ = vantage;
   const RouteComputer computer(graph);
@@ -23,12 +28,19 @@ Rib Rib::build(const topology::AsGraph& graph, net::Asn vantage) {
             return computer.routes_to(nodes[i].asn).route_from(vantage);
           });
 
+  std::uint64_t inserted = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (!routes[i]) continue;
-    for (const auto& prefix : nodes[i].prefixes)
+    for (const auto& prefix : nodes[i].prefixes) {
       rib.trie_.insert(prefix, RibEntry{nodes[i].asn, *routes[i]});
+      ++inserted;
+    }
     rib.by_destination_.emplace(nodes[i].asn, *routes[i]);
   }
+  static obs::Counter computed("rp.bgp.routes.computed");
+  static obs::Counter prefixes("rp.bgp.prefixes.inserted");
+  computed.add(nodes.size());
+  prefixes.add(inserted);
   return rib;
 }
 

@@ -1,18 +1,24 @@
 #include "core/offload_study.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rp::core {
 
 OffloadStudy OffloadStudy::run(const Scenario& scenario,
                                const OffloadStudyConfig& config) {
+  obs::Span span("core.offload_study.run");
   OffloadStudy study;
   study.config_ = config;
 
   util::Rng traffic_rng = scenario.fork_rng(0x200);
-  study.matrix_ = std::make_unique<flow::TrafficMatrix>(
-      flow::TrafficMatrix::generate(scenario.graph(), scenario.vantage(),
-                                    config.traffic, traffic_rng));
-  study.rates_ =
-      std::make_unique<flow::RateModel>(*study.matrix_, config.rate_model);
+  {
+    obs::Span traffic_span("flow.traffic_matrix.generate");
+    study.matrix_ = std::make_unique<flow::TrafficMatrix>(
+        flow::TrafficMatrix::generate(scenario.graph(), scenario.vantage(),
+                                      config.traffic, traffic_rng));
+    study.rates_ =
+        std::make_unique<flow::RateModel>(*study.matrix_, config.rate_model);
+  }
   study.rib_ = std::make_unique<bgp::Rib>(
       bgp::Rib::build(scenario.graph(), scenario.vantage()));
   study.analyzer_ = std::make_unique<offload::OffloadAnalyzer>(

@@ -6,6 +6,8 @@
 
 #include "geo/cities.hpp"
 #include "net/subnet_allocator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rp::core {
 namespace {
@@ -35,6 +37,9 @@ double distance_km(const geo::City& a, const geo::City& b) {
 }  // namespace
 
 Scenario Scenario::build(const ScenarioConfig& config) {
+  obs::Span span("core.scenario.build");
+  static obs::Counter builds("rp.core.scenario.builds");
+  builds.add();
   Scenario scenario;
   scenario.config_ = config;
   util::Rng rng(config.seed);

@@ -10,12 +10,32 @@
 
 #include "core/scenario.hpp"
 #include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rp::core {
+
+namespace {
+obs::Counter& cache_counter(SnapshotCacheResult::Outcome outcome) {
+  static obs::Counter hits("rp.core.cache.hits");
+  static obs::Counter misses("rp.core.cache.misses");
+  static obs::Counter fallbacks("rp.core.cache.fallbacks");
+  switch (outcome) {
+    case SnapshotCacheResult::Outcome::kHit:
+      return hits;
+    case SnapshotCacheResult::Outcome::kFallback:
+      return fallbacks;
+    case SnapshotCacheResult::Outcome::kMiss:
+      break;
+  }
+  return misses;
+}
+}  // namespace
 
 Scenario Scenario::build_cached(const ScenarioConfig& config,
                                 const std::filesystem::path& cache_dir,
                                 SnapshotCacheResult* result) {
+  obs::Span span("core.scenario.build_cached");
   SnapshotCacheResult local;
   SnapshotCacheResult& out = result != nullptr ? *result : local;
   out = SnapshotCacheResult{};
@@ -28,6 +48,7 @@ Scenario Scenario::build_cached(const ScenarioConfig& config,
       if (io::config_digest(world.scenario.config()) ==
           io::config_digest(config)) {
         out.outcome = SnapshotCacheResult::Outcome::kHit;
+        cache_counter(out.outcome).add();
         return std::move(world.scenario);
       }
       // A digest collision in the file name (or a hand-renamed file): the
@@ -39,6 +60,7 @@ Scenario Scenario::build_cached(const ScenarioConfig& config,
     out.outcome = SnapshotCacheResult::Outcome::kFallback;
   }
 
+  cache_counter(out.outcome).add();
   Scenario scenario = build(config);
   // Cache-write failures (read-only dir, disk full) must not fail the build;
   // the next run just misses again.

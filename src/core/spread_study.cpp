@@ -1,11 +1,13 @@
 #include "core/spread_study.hpp"
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rp::core {
 
 SpreadStudy SpreadStudy::run(const Scenario& scenario,
                              const SpreadStudyConfig& config) {
+  obs::Span span("core.spread_study.run");
   SpreadStudy study;
   study.config_ = config;
   // Each per-IXP campaign owns its own simulator and a deterministically
@@ -20,10 +22,14 @@ SpreadStudy SpreadStudy::run(const Scenario& scenario,
         util::Rng campaign_rng = scenario.fork_rng(0x100 + id);
         return measure::run_ixp_campaign(ixp, config.campaign, campaign_rng);
       });
-  study.analyses_ = pool.parallel_transform(
-      study.raw_.size(), [&study, &config](std::size_t k) {
-        return measure::apply_filters(study.raw_[k], config.filters);
-      });
+  {
+    obs::Span filter_span("measure.apply_filters");
+    study.analyses_ = pool.parallel_transform(
+        study.raw_.size(), [&study, &config](std::size_t k) {
+          return measure::apply_filters(study.raw_[k], config.filters);
+        });
+  }
+  obs::Span report_span("measure.spread_report.build");
   study.report_ =
       measure::SpreadReport::build(study.analyses_, config.classifier);
   return study;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rp::io {
@@ -184,6 +185,8 @@ void write_bytes_atomic(std::span<const std::uint8_t> bytes,
     throw SnapshotError("cannot rename " + tmp.string() + " over " +
                         path.string() + ": " + ec.message());
   }
+  static obs::Counter written("rp.io.bytes_written");
+  written.add(bytes.size());
 }
 
 void ContainerWriter::write_file_atomic(
@@ -248,6 +251,8 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
               ": checksum mismatch (stored " + hex16(entry.checksum) +
               ", computed " + hex16(actual) + ") — file is corrupt");
       });
+  static obs::Counter verifies("rp.io.checksum.verifies");
+  verifies.add(reader.entries_.size());
   return reader;
 }
 
@@ -263,6 +268,8 @@ ContainerReader ContainerReader::from_file(const std::filesystem::path& path) {
   is.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   if (!is) throw SnapshotError("short read from " + path.string());
+  static obs::Counter read("rp.io.bytes_read");
+  read.add(bytes.size());
   return from_bytes(std::move(bytes));
 }
 

@@ -9,10 +9,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rp::io {
 namespace {
+
+// Shared by every per-section decode below; the per-thread shards keep the
+// two concurrent decode tasks from contending.
+obs::Histogram& section_decode_hist() {
+  static obs::Histogram hist("rp.io.section.decode_ns");
+  return hist;
+}
 
 // --- Shared field codecs -----------------------------------------------------
 
@@ -489,6 +498,7 @@ const char* section_name(std::uint32_t id) {
 
 std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
                                           const SaveOptions& options) {
+  obs::Span span("io.encode_scenario");
   const topology::AsGraph& graph = scenario.graph();
 
   // Force the cone memo before fanning out so its (mutex-guarded) build does
@@ -523,6 +533,8 @@ std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
       util::ThreadPool::global().parallel_transform(
           jobs.size(), [&jobs](std::size_t i) { return jobs[i].encode(); });
 
+  static obs::Counter encoded("rp.io.sections.encoded");
+  encoded.add(jobs.size());
   ContainerWriter writer;
   for (std::size_t i = 0; i < jobs.size(); ++i)
     writer.add_section(jobs[i].id, std::move(payloads[i]));
@@ -542,14 +554,19 @@ std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path) {
   if (!is) throw SnapshotError("cannot open " + path.string());
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
                                   std::istreambuf_iterator<char>());
+  static obs::Counter read("rp.io.bytes_read");
+  read.add(bytes.size());
   return bytes;
 }
 
 }  // namespace
 
 LoadedWorld decode_scenario(std::span<const std::uint8_t> bytes) {
+  obs::Span span("io.decode_scenario");
   ContainerReader container =
       ContainerReader::from_bytes({bytes.begin(), bytes.end()});
+  static obs::Counter decoded("rp.io.sections.decoded");
+  decoded.add(container.sections().size());
 
   for (std::uint32_t id : {kConfigSection, kNodesSection, kEdgesSection,
                            kEcosystemSection, kVantageSection})
@@ -567,6 +584,7 @@ LoadedWorld decode_scenario(std::span<const std::uint8_t> bytes) {
   ixp::IxpEcosystem ecosystem;
   util::ThreadPool::global().parallel_for(2, [&](std::size_t task) {
     if (task == 0) {
+      obs::ScopedTimer timer(section_decode_hist());
       std::vector<topology::AsNode> nodes =
           decode_nodes(container.section(kNodesSection));
       graph = decode_graph(container.section(kEdgesSection), std::move(nodes));
@@ -576,6 +594,7 @@ LoadedWorld decode_scenario(std::span<const std::uint8_t> bytes) {
         had_cones = true;
       }
     } else {
+      obs::ScopedTimer timer(section_decode_hist());
       ecosystem = decode_ecosystem(container.section(kEcosystemSection));
     }
   });
@@ -610,9 +629,11 @@ LoadedWorld decode_scenario(std::span<const std::uint8_t> bytes) {
       core::Scenario::from_parts(config, std::move(graph), std::move(ecosystem),
                                  vantage, std::move(measured_ixps)),
       std::nullopt, had_cones};
-  if (container.has(kRibSection))
+  if (container.has(kRibSection)) {
+    obs::ScopedTimer timer(section_decode_hist());
     world.rib =
         decode_rib(container.section(kRibSection), world.scenario.graph());
+  }
   return world;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace rp::measure {
 namespace {
 
@@ -163,6 +165,23 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
   }
 
   sim.run();
+
+  // Work counters, tallied post-hoc from the finished measurement so the
+  // simulator hot path stays untouched; the totals are a pure function of
+  // the campaign inputs and thus deterministic across thread counts.
+  if (obs::metrics_enabled()) {
+    static obs::Counter campaigns("rp.measure.campaigns");
+    static obs::Counter probes("rp.measure.probes.sent");
+    static obs::Counter probed("rp.measure.interfaces.probed");
+    std::uint64_t samples = 0;
+    for (const auto& obs : measurement.interfaces) {
+      for (const auto& [op, list] : obs.samples) samples += list.size();
+      samples += obs.route_server_samples.size();
+    }
+    campaigns.add();
+    probes.add(samples);
+    probed.add(measurement.interfaces.size());
+  }
   return measurement;
 }
 

@@ -62,24 +62,48 @@ bool parse_i64(std::string_view s, long long& out) {
   return true;
 }
 
-/// Parses the shared sample fields starting at parts[offset].
-bool parse_sample(const std::vector<std::string>& parts, std::size_t offset,
-                  PingSample& sample) {
-  if (parts.size() != offset + 5) return false;
-  long long sent = 0, rtt = 0, replied = 0, ttl = 0;
-  if (!parse_i64(parts[offset], sent) ||
-      !parse_i64(parts[offset + 1], replied) ||
-      !parse_i64(parts[offset + 2], rtt) ||
-      !parse_i64(parts[offset + 3], ttl))
-    return false;
+std::string quoted(const std::string& token) { return "'" + token + "'"; }
+
+/// Parses an integer field or throws naming the field and the bad token.
+long long require_i64(const std::string& token, const std::string& what,
+                      std::size_t line) {
+  long long value = 0;
+  if (!parse_i64(token, value))
+    throw DatasetParseError("bad " + what + " " + quoted(token), line);
+  return value;
+}
+
+/// Parses the shared sample fields starting at parts[offset]; throws
+/// DatasetParseError naming the offending field and token.
+PingSample parse_sample(const std::vector<std::string>& parts,
+                        std::size_t offset, const std::string& tag,
+                        std::size_t line) {
+  if (parts.size() != offset + 5)
+    throw DatasetParseError(
+        "malformed " + tag + " line: expected " +
+            std::to_string(offset + 5) + " fields, got " +
+            std::to_string(parts.size()),
+        line);
+  const long long sent = require_i64(parts[offset], "sent timestamp", line);
+  const long long replied = require_i64(parts[offset + 1], "replied flag",
+                                        line);
+  const long long rtt = require_i64(parts[offset + 2], "RTT", line);
+  const long long ttl = require_i64(parts[offset + 3], "reply TTL", line);
+  if (ttl < 0 || ttl > 255)
+    throw DatasetParseError(
+        "bad reply TTL " + quoted(parts[offset + 3]) + " (outside 0..255)",
+        line);
   const auto src = net::Ipv4Addr::parse(parts[offset + 4]);
-  if (!src || ttl < 0 || ttl > 255) return false;
+  if (!src)
+    throw DatasetParseError(
+        "bad reply source address " + quoted(parts[offset + 4]), line);
+  PingSample sample;
   sample.sent_at = util::SimTime::at(util::SimDuration::nanos(sent));
   sample.replied = replied != 0;
   sample.rtt = util::SimDuration::nanos(rtt);
   sample.reply_ttl = static_cast<std::uint8_t>(ttl);
   sample.reply_src = *src;
-  return true;
+  return sample;
 }
 
 }  // namespace
@@ -113,15 +137,7 @@ void write_dataset(const IxpMeasurement& measurement, std::ostream& os) {
   }
 }
 
-std::optional<IxpMeasurement> read_dataset(std::istream& is,
-                                           std::string* error) {
-  auto fail = [error](const std::string& message,
-                      std::size_t line) -> std::optional<IxpMeasurement> {
-    if (error != nullptr)
-      *error = "line " + std::to_string(line) + ": " + message;
-    return std::nullopt;
-  };
-
+IxpMeasurement read_dataset_strict(std::istream& is) {
   IxpMeasurement measurement;
   bool have_header = false;
   std::string line;
@@ -135,13 +151,18 @@ std::optional<IxpMeasurement> read_dataset(std::istream& is,
 
     if (tag == "H") {
       if (have_header)
-        return fail("duplicate header line (dataset holds one campaign)",
-                    line_number);
-      if (parts.size() != 5) return fail("malformed header", line_number);
-      long long ixp_id = 0, start = 0, length = 0;
-      if (!parse_i64(parts[1], ixp_id) || !parse_i64(parts[3], start) ||
-          !parse_i64(parts[4], length))
-        return fail("bad header numbers", line_number);
+        throw DatasetParseError(
+            "duplicate header line (dataset holds one campaign)", line_number);
+      if (parts.size() != 5)
+        throw DatasetParseError("malformed header: expected 5 fields, got " +
+                                    std::to_string(parts.size()),
+                                line_number);
+      const long long ixp_id =
+          require_i64(parts[1], "header numbers: IXP id", line_number);
+      const long long start = require_i64(
+          parts[3], "header numbers: campaign start", line_number);
+      const long long length = require_i64(
+          parts[4], "header numbers: campaign length", line_number);
       measurement.ixp_id = static_cast<ixp::IxpId>(ixp_id);
       measurement.ixp_acronym = parts[2];
       measurement.campaign_start =
@@ -150,24 +171,41 @@ std::optional<IxpMeasurement> read_dataset(std::istream& is,
       have_header = true;
       continue;
     }
-    if (!have_header) return fail("data before header", line_number);
+    if (!have_header)
+      throw DatasetParseError("data before header", line_number);
 
+    if (parts.size() < 2)
+      throw DatasetParseError("bad interface index (missing field)",
+                              line_number);
     long long index = 0;
-    if (parts.size() < 2 || !parse_i64(parts[1], index) || index < 0)
-      return fail("bad interface index", line_number);
+    if (!parse_i64(parts[1], index) || index < 0)
+      throw DatasetParseError("bad interface index " + quoted(parts[1]),
+                              line_number);
 
     if (tag == "I") {
-      if (parts.size() != 6) return fail("malformed I line", line_number);
+      if (parts.size() != 6)
+        throw DatasetParseError("malformed I line: expected 6 fields, got " +
+                                    std::to_string(parts.size()),
+                                line_number);
       if (static_cast<std::size_t>(index) != measurement.interfaces.size())
-        return fail("interface indices must be dense and ordered",
-                    line_number);
+        throw DatasetParseError(
+            "interface indices must be dense and ordered: got " +
+                quoted(parts[1]) + ", expected " +
+                std::to_string(measurement.interfaces.size()),
+            line_number);
       InterfaceObservation obs;
       const auto addr = net::Ipv4Addr::parse(parts[2]);
+      if (!addr)
+        throw DatasetParseError("bad interface address " + quoted(parts[2]),
+                                line_number);
+      const long long remote =
+          require_i64(parts[3], "remote flag", line_number);
       const auto kind = parse_kind(parts[4]);
-      long long remote = 0, one_way = 0;
-      if (!addr || !kind || !parse_i64(parts[3], remote) ||
-          !parse_i64(parts[5], one_way))
-        return fail("bad I fields", line_number);
+      if (!kind)
+        throw DatasetParseError("bad attachment kind " + quoted(parts[4]),
+                                line_number);
+      const long long one_way =
+          require_i64(parts[5], "circuit one-way delay", line_number);
       obs.addr = *addr;
       obs.ixp_id = measurement.ixp_id;
       obs.truth_remote = remote != 0;
@@ -178,41 +216,58 @@ std::optional<IxpMeasurement> read_dataset(std::istream& is,
     }
 
     if (static_cast<std::size_t>(index) >= measurement.interfaces.size())
-      return fail("sample references unknown interface", line_number);
+      throw DatasetParseError(
+          "sample references unknown interface " + quoted(parts[1]),
+          line_number);
     InterfaceObservation& obs = measurement.interfaces[index];
 
     if (tag == "R") {
-      if (parts.size() != 4) return fail("malformed R line", line_number);
-      long long when = 0, asn = 0;
-      if (!parse_i64(parts[2], when) || !parse_i64(parts[3], asn) || asn < 0)
-        return fail("bad R fields", line_number);
+      if (parts.size() != 4)
+        throw DatasetParseError("malformed R line: expected 4 fields, got " +
+                                    std::to_string(parts.size()),
+                                line_number);
+      const long long when =
+          require_i64(parts[2], "registry timestamp", line_number);
+      const long long asn = require_i64(parts[3], "registry ASN", line_number);
+      if (asn < 0)
+        throw DatasetParseError("bad registry ASN " + quoted(parts[3]),
+                                line_number);
       obs.registry_asn.emplace_back(
           util::SimTime::at(util::SimDuration::nanos(when)),
           net::Asn{static_cast<std::uint32_t>(asn)});
     } else if (tag == "S") {
-      if (parts.size() != 8) return fail("malformed S line", line_number);
+      if (parts.size() != 8)
+        throw DatasetParseError("malformed S line: expected 8 fields, got " +
+                                    std::to_string(parts.size()),
+                                line_number);
       const auto op = parts[2] == "pch"
                           ? ixp::LgOperator::kPch
                           : (parts[2] == "ripe"
                                  ? ixp::LgOperator::kRipeNcc
                                  : static_cast<ixp::LgOperator>(255));
       if (static_cast<int>(op) == 255)
-        return fail("unknown looking glass", line_number);
-      PingSample sample;
-      if (!parse_sample(parts, 3, sample))
-        return fail("bad S fields", line_number);
-      obs.samples[op].push_back(sample);
+        throw DatasetParseError("unknown looking glass " + quoted(parts[2]),
+                                line_number);
+      obs.samples[op].push_back(parse_sample(parts, 3, tag, line_number));
     } else if (tag == "Q") {
-      PingSample sample;
-      if (!parse_sample(parts, 2, sample))
-        return fail("bad Q fields", line_number);
-      obs.route_server_samples.push_back(sample);
+      obs.route_server_samples.push_back(
+          parse_sample(parts, 2, tag, line_number));
     } else {
-      return fail("unknown tag '" + tag + "'", line_number);
+      throw DatasetParseError("unknown tag " + quoted(tag), line_number);
     }
   }
-  if (!have_header) return fail("missing header", 0);
+  if (!have_header) throw DatasetParseError("missing header", 0);
   return measurement;
+}
+
+std::optional<IxpMeasurement> read_dataset(std::istream& is,
+                                           std::string* error) {
+  try {
+    return read_dataset_strict(is);
+  } catch (const DatasetParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
 }
 
 }  // namespace rp::measure

@@ -15,8 +15,10 @@
 // Lines starting with '#' are comments. Fields never contain commas.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "measure/sample.hpp"
@@ -26,8 +28,29 @@ namespace rp::measure {
 /// Writes the full raw dataset of one campaign.
 void write_dataset(const IxpMeasurement& measurement, std::ostream& os);
 
-/// Parses a dataset written by write_dataset. Returns nullopt (with a
-/// message in `error` when provided) on malformed input.
+/// Thrown by read_dataset_strict on malformed input. what() always carries
+/// the 1-based line number and, when a specific field is at fault, the
+/// offending token quoted — e.g. "line 4: bad interface index '-1'".
+class DatasetParseError : public std::runtime_error {
+ public:
+  DatasetParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  /// The 1-based line the parse failed on (0 for whole-file problems such
+  /// as a missing header).
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a dataset written by write_dataset; throws DatasetParseError on
+/// malformed input.
+IxpMeasurement read_dataset_strict(std::istream& is);
+
+/// Non-throwing wrapper over read_dataset_strict: returns nullopt (with the
+/// DatasetParseError message in `error` when provided) on malformed input.
 std::optional<IxpMeasurement> read_dataset(std::istream& is,
                                            std::string* error = nullptr);
 

@@ -4,8 +4,24 @@
 #include <limits>
 #include <set>
 
+#include "obs/metrics.hpp"
+
 namespace rp::measure {
 namespace {
+
+// One discard counter per filter rule, named after to_string(Filter) so the
+// metrics table reads like the paper's §3.2 filter cascade.
+obs::Counter& discard_counter(std::size_t filter_index) {
+  static obs::Counter counters[kFilterCount] = {
+      obs::Counter("rp.measure.discard.sample-size"),
+      obs::Counter("rp.measure.discard.TTL-switch"),
+      obs::Counter("rp.measure.discard.TTL-match"),
+      obs::Counter("rp.measure.discard.RTT-consistent"),
+      obs::Counter("rp.measure.discard.LG-consistent"),
+      obs::Counter("rp.measure.discard.ASN-change"),
+  };
+  return counters[filter_index];
+}
 
 bool ttl_accepted(std::uint8_t ttl, const FilterConfig& config) {
   return std::find(config.accepted_max_ttls.begin(),
@@ -186,6 +202,15 @@ IxpAnalysis apply_filters(const IxpMeasurement& measurement,
     if (analysis.discarded_by)
       ++out.discard_counts[static_cast<std::size_t>(*analysis.discarded_by)];
     out.interfaces.push_back(std::move(analysis));
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter analyzed("rp.measure.interfaces.analyzed");
+    std::uint64_t discarded = 0;
+    for (std::size_t f = 0; f < kFilterCount; ++f) {
+      discard_counter(f).add(out.discard_counts[f]);
+      discarded += out.discard_counts[f];
+    }
+    analyzed.add(out.interfaces.size() - discarded);
   }
   return out;
 }

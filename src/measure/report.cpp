@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace rp::measure {
@@ -122,6 +123,14 @@ SpreadReport SpreadReport::build(const std::vector<IxpAnalysis>& analyses,
     report.validation_.rs_compared_interfaces = rs_diffs_ms.size();
     report.validation_.rs_diff_mean_ms = summary->mean;
     report.validation_.rs_diff_variance_ms2 = summary->variance;
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter remote("rp.measure.interfaces.remote");
+    static obs::Counter local("rp.measure.interfaces.local");
+    std::uint64_t remote_total = 0;
+    for (const auto& row : report.rows_) remote_total += row.remote_interfaces;
+    remote.add(remote_total);
+    local.add(report.total_analyzed_ - remote_total);
   }
   return report;
 }

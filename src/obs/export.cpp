@@ -1,0 +1,89 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace rp::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "hist";
+  }
+  return "?";
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void render_metrics_table(std::ostream& os,
+                          const std::vector<MetricValue>& snapshot) {
+  util::TextTable table({"metric", "kind", "value", "mean", "min", "max"});
+  for (const MetricValue& m : snapshot) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        table.add_row({m.name, kind_name(m.kind), fmt_u64(m.count), "", "", ""});
+        break;
+      case MetricKind::kGauge:
+        table.add_row({m.name, kind_name(m.kind), util::fmt_double(m.value),
+                       "", "", ""});
+        break;
+      case MetricKind::kHistogram:
+        table.add_row({m.name, kind_name(m.kind), fmt_u64(m.count),
+                       util::fmt_double(m.mean(), 1), fmt_u64(m.min),
+                       fmt_u64(m.max)});
+        break;
+    }
+  }
+  table.render(os);
+}
+
+std::vector<json::Entry> metrics_json_entries(
+    const std::vector<MetricValue>& snapshot) {
+  std::vector<json::Entry> entries;
+  entries.reserve(snapshot.size());
+  for (const MetricValue& m : snapshot) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        entries.emplace_back(m.name, json::number(m.count));
+        break;
+      case MetricKind::kGauge:
+        entries.emplace_back(m.name, json::number(m.value));
+        break;
+      case MetricKind::kHistogram:
+        entries.emplace_back(m.name + ".count", json::number(m.count));
+        entries.emplace_back(m.name + ".sum", json::number(m.sum));
+        entries.emplace_back(m.name + ".mean", json::number(m.mean()));
+        entries.emplace_back(m.name + ".min", json::number(m.min));
+        entries.emplace_back(m.name + ".max", json::number(m.max));
+        break;
+    }
+  }
+  return entries;
+}
+
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricValue>& snapshot) {
+  json::write_flat_object(os, metrics_json_entries(snapshot));
+}
+
+bool dump_global_metrics(std::ostream& os, const std::string& json_path) {
+  const std::vector<MetricValue> snap = MetricsRegistry::global().snapshot();
+  render_metrics_table(os, snap);
+  if (json_path.empty()) return true;
+  std::ofstream file(json_path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  write_metrics_json(file, snap);
+  return static_cast<bool>(file);
+}
+
+}  // namespace rp::obs

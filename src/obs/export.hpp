@@ -1,0 +1,41 @@
+// Exporters over a MetricsRegistry snapshot: an aligned human-readable table
+// (rp::util::TextTable) for terminals, and a flat JSON object for CI and
+// bench trajectories. Both take an explicit snapshot so callers can render
+// the same instant twice (table to stdout, JSON to a file).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace rp::obs {
+
+/// Flattens a snapshot into (key, JSON value) pairs — the rows
+/// write_metrics_json emits, reusable by the bench trajectory files.
+/// Counters map name → total; gauges map name → value; histograms expand to
+/// `<name>.count`, `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`.
+std::vector<json::Entry> metrics_json_entries(
+    const std::vector<MetricValue>& snapshot);
+
+/// Renders the snapshot as an aligned table:
+///   metric                     | kind    | value | mean | min | max
+/// Counters show their total under `value`; histograms show sample count
+/// under `value` plus mean/min/max of the recorded values.
+void render_metrics_table(std::ostream& os,
+                          const std::vector<MetricValue>& snapshot);
+
+/// Writes the snapshot as a flat JSON object. Counters map name → total;
+/// gauges map name → value; histograms expand to `<name>.count`,
+/// `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricValue>& snapshot);
+
+/// Convenience: snapshot the global registry, render the table to `os`, and
+/// if `json_path` is non-empty also write the JSON file (errors reported on
+/// the returned false).
+bool dump_global_metrics(std::ostream& os, const std::string& json_path = "");
+
+}  // namespace rp::obs

@@ -1,0 +1,62 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rp::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  // %.17g round-trips doubles but litters output with noise digits; %.6g is
+  // plenty for metric values and keeps the files readable.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  std::string s(buf);
+  return s;
+}
+
+std::string number(std::uint64_t v) { return std::to_string(v); }
+
+void write_flat_object(std::ostream& os, const std::vector<Entry>& entries) {
+  os << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    os << "  \"" << escape(entries[i].first) << "\": " << entries[i].second
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+}  // namespace rp::obs::json

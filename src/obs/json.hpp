@@ -1,0 +1,33 @@
+// Minimal JSON emission helpers shared by the obs exporters and the bench
+// harnesses. No parsing, no DOM — just correct escaping and a flat
+// name→number object writer, which is all the CI trajectory files need.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rp::obs::json {
+
+/// Escapes a string for inclusion inside JSON double quotes (handles the
+/// two mandatory escapes plus control characters as \u00XX).
+std::string escape(std::string_view s);
+
+/// Formats a double as a JSON number (finite values only; non-finite values
+/// become 0 because JSON has no representation for them).
+std::string number(double v);
+
+/// Formats an unsigned integer as a JSON number, exactly.
+std::string number(std::uint64_t v);
+
+/// A (key, already-formatted JSON value) pair for write_flat_object.
+using Entry = std::pair<std::string, std::string>;
+
+/// Writes `{"k": v, ...}` with one key per line — stable, diffable output
+/// for BENCH_*.json and --metrics --json files.
+void write_flat_object(std::ostream& os, const std::vector<Entry>& entries);
+
+}  // namespace rp::obs::json

@@ -1,0 +1,178 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace rp::obs {
+
+namespace detail {
+bool g_trace_enabled = false;
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t ts_ns;
+  int tid;
+  char phase;  // 'B' or 'E'
+};
+
+// One thread's event buffer. Held by shared_ptr from both the session
+// registry and the owning thread's thread_local slot, so it outlives
+// whichever is torn down first (global thread-pool workers can outlive the
+// session, and the session can outlive short-lived threads).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+// Leaked on purpose: worker threads may record trace events during their own
+// thread_local destruction at process exit, after function-local statics in
+// the main thread would have been destroyed.
+struct Session {
+  std::mutex mutex;
+  std::string path;
+  std::uint64_t start_ns = 0;
+  std::uint64_t generation = 0;  // bumped by every start_trace
+  int next_tid = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Session& session() {
+  static Session* s = new Session();
+  return *s;
+}
+
+ThreadBuffer* this_thread_buffer() {
+  thread_local std::uint64_t local_generation = 0;
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  Session& s = session();
+  if (!local || local_generation != s.generation) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Re-check under the lock: stop_trace may have ended the session between
+    // the enabled check and here, in which case the event is simply dropped
+    // into an unregistered buffer.
+    fresh->tid = s.next_tid++;
+    s.buffers.push_back(fresh);
+    local = std::move(fresh);
+    local_generation = s.generation;
+  }
+  return local.get();
+}
+
+void record(const char* name, char phase) {
+  const std::uint64_t now = monotonic_ns();
+  ThreadBuffer* buf = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  buf->events.push_back(Event{name, now, buf->tid, phase});
+}
+
+void atexit_flush() { stop_trace(); }
+
+}  // namespace
+
+bool start_trace(const std::string& path) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (detail::g_trace_enabled) return false;
+  s.path = path;
+  s.buffers.clear();
+  s.next_tid = 1;
+  ++s.generation;
+  s.start_ns = monotonic_ns();
+  detail::g_trace_enabled = true;
+  return true;
+}
+
+std::size_t stop_trace() {
+  Session& s = session();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::string path;
+  std::uint64_t start_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!detail::g_trace_enabled) return 0;
+    // Flip the gate first: spans starting after this point record nothing,
+    // and in-flight appends race only against the per-buffer merge locks.
+    detail::g_trace_enabled = false;
+    buffers.swap(s.buffers);
+    path.swap(s.path);
+    start_ns = s.start_ns;
+  }
+
+  std::vector<Event> merged;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    merged.insert(merged.end(), buf->events.begin(), buf->events.end());
+  }
+  // Per-thread streams are already time-ordered; a stable sort by timestamp
+  // keeps B-before-E for zero-length spans within a thread.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return 0;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char ts[64];
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const Event& e = merged[i];
+    const std::uint64_t rel = e.ts_ns - start_ns;
+    // Chrome's ts unit is microseconds; keep nanosecond resolution.
+    std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                  static_cast<unsigned long long>(rel / 1000),
+                  static_cast<unsigned long long>(rel % 1000));
+    os << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\"rp\",\"ph\":\""
+       << e.phase << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << e.tid
+       << "}" << (i + 1 < merged.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+  return merged.size();
+}
+
+std::string maybe_start_trace_from_env() {
+  static std::mutex env_mutex;
+  std::lock_guard<std::mutex> lock(env_mutex);
+  static bool checked = false;
+  static std::string armed_path;
+  if (!checked) {
+    checked = true;
+    const char* env = std::getenv("RP_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      if (start_trace(env)) {
+        armed_path = env;
+        std::atexit(atexit_flush);
+      }
+    }
+  }
+  return armed_path;
+}
+
+namespace {
+// Arms RP_TRACE at load time so any binary can be traced without code
+// changes; the atexit hook flushes the file when the process ends.
+[[maybe_unused]] const bool g_env_trace_armed =
+    !maybe_start_trace_from_env().empty();
+}  // namespace
+
+void Span::begin(const char* name) {
+  name_ = name;
+  record(name, 'B');
+}
+
+void Span::end() { record(name_, 'E'); }
+
+}  // namespace rp::obs

@@ -1,0 +1,63 @@
+// rp::obs tracing — scoped phase spans exported as Chrome/Perfetto
+// trace_event JSON.
+//
+// A trace session is opened with start_trace(path) (or by setting
+// RP_TRACE=<file> in the environment, which arms tracing at first use and
+// flushes at process exit). While a session is active, obs::Span records a
+// begin event on construction and an end event on destruction, tagged with a
+// small stable thread id. Events accumulate in per-thread buffers (own mutex
+// each, no cross-thread contention); stop_trace() merges them, sorts by
+// timestamp, and writes the JSON file that chrome://tracing and
+// https://ui.perfetto.dev load directly.
+//
+// When no session is active a Span is a branch on a constant — safe to leave
+// in release hot paths at phase granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rp::obs {
+
+namespace detail {
+extern bool g_trace_enabled;
+}  // namespace detail
+
+/// True while a trace session is recording.
+inline bool trace_enabled() { return detail::g_trace_enabled; }
+
+/// Starts recording spans; the trace is written to `path` by stop_trace().
+/// Returns false (and records nothing) if a session is already active.
+bool start_trace(const std::string& path);
+
+/// Stops the active session and writes the trace file. Returns the number of
+/// events written, or 0 if no session was active. Safe to call twice.
+std::size_t stop_trace();
+
+/// If RP_TRACE=<file> is set and no session is active, starts a session
+/// writing there and registers an atexit flush. Runs automatically at load
+/// time (so any binary honours RP_TRACE); examples call it again — it is
+/// idempotent — to report the armed destination. Returns the armed path, or
+/// an empty string.
+std::string maybe_start_trace_from_env();
+
+/// RAII phase span. `name` must outlive the span (string literals do).
+class Span {
+ public:
+  explicit Span(const char* name) : name_(nullptr) {
+    if (trace_enabled()) begin(name);
+  }
+  ~Span() {
+    if (name_ != nullptr) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+  const char* name_;
+};
+
+}  // namespace rp::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rp::offload {
@@ -17,6 +19,7 @@ OffloadAnalyzer::OffloadAnalyzer(const topology::AsGraph& graph,
       vantage_(vantage),
       rib_(&rib),
       config_(std::move(config)) {
+  obs::Span span("offload.analyzer.construct");
   // --- Transit endpoints: remote networks routed via a transit provider ---
   for (const auto& contribution : matrix.ranked()) {
     const bgp::Route* route = rib_->route_to(contribution.asn);
@@ -95,6 +98,15 @@ OffloadAnalyzer::OffloadAnalyzer(const topology::AsGraph& graph,
             });
   if (selective.size() > 10) selective.resize(10);
   top10_selective_ = std::move(selective);
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter analyzers("rp.offload.analyzers");
+    static obs::Counter transit("rp.offload.endpoints.transit");
+    static obs::Counter peers("rp.offload.peers.eligible");
+    analyzers.add();
+    transit.add(endpoints_.size());
+    peers.add(eligible_.size());
+  }
 }
 
 double OffloadAnalyzer::peer_potential(net::Asn peer) const {
@@ -140,7 +152,13 @@ const std::vector<util::DynamicBitset>& OffloadAnalyzer::coverage_for(
     PeerGroup group) const {
   const auto slot = static_cast<std::size_t>(group);
   std::scoped_lock lock(coverage_mutex_);
-  if (!coverage_built_[slot]) {
+  if (coverage_built_[slot]) {
+    static obs::Counter reuses("rp.offload.coverage.reuses");
+    reuses.add();
+    return coverage_cache_[slot];
+  }
+  {
+    obs::Span span("offload.coverage.build");
     // IxpId is the index into ecosystem().ixps(), so the cache vector is
     // directly addressable by id. Masks are independent per IXP; fan out.
     const auto ixps = ecosystem_->ixps();
@@ -156,6 +174,8 @@ const std::vector<util::DynamicBitset>& OffloadAnalyzer::coverage_for(
           return mask;
         });
     coverage_built_[slot] = true;
+    static obs::Counter built("rp.offload.coverage.masks_built");
+    built.add(coverage_cache_[slot].size());
   }
   return coverage_cache_[slot];
 }
@@ -215,6 +235,11 @@ std::vector<GreedyStep> OffloadAnalyzer::greedy(
     bool traffic_mode) const {
   // The cached coverage masks make every step a pure scan: intersect each
   // unused IXP's mask with the remaining set and weigh the overlap.
+  obs::Span span("offload.greedy");
+  static obs::Counter runs("rp.offload.greedy.runs");
+  static obs::Counter step_count("rp.offload.greedy.steps");
+  static obs::Counter scans("rp.offload.greedy.scans");
+  runs.add();
   const std::vector<util::DynamicBitset>& coverage = coverage_for(group);
 
   util::DynamicBitset remaining(endpoints_.size());
@@ -245,6 +270,10 @@ std::vector<GreedyStep> OffloadAnalyzer::greedy(
           remaining, [&gain, &weights](std::size_t i) { gain += weights[i]; });
       gains[x] = gain;
     });
+    // Per-step granularity only: counting inside the bitset scans would put
+    // a branch in the innermost loop and violate the disabled-overhead
+    // budget.
+    scans.add(coverage.size());
     double best_gain = 0.0;
     std::size_t best_ixp = coverage.size();
     for (std::size_t x = 0; x < coverage.size(); ++x) {
@@ -277,6 +306,7 @@ std::vector<GreedyStep> OffloadAnalyzer::greedy(
     }
     steps.push_back(std::move(result));
   }
+  step_count.add(steps.size());
   return steps;
 }
 

@@ -61,18 +61,74 @@ bool& ThreadPool::worker_flag() {
   return flag;
 }
 
+// Deterministic work counters: the number of parallel_for calls and the
+// total index space are properties of the workload, not the schedule, so
+// they also count the inline paths.
+void ThreadPool::note_parallel_for(std::size_t n) {
+  static obs::Counter calls("rp.pool.parallel_for.calls");
+  static obs::Counter items("rp.pool.items");
+  calls.add(1);
+  items.add(n);
+}
+
+void ThreadPool::submit_and_wait(Batch* batch) {
+  if (obs::metrics_enabled()) batch->enqueue_ns = obs::monotonic_ns();
+  {
+    std::scoped_lock lock(queue_mutex_);
+    queue_.push_back(batch);
+  }
+  queue_cv_.notify_all();
+  std::unique_lock lock(batch->mutex);
+  batch->done.wait(lock, [batch] { return batch->pending == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::run_batch(Batch* batch) {
+  const bool metrics = obs::metrics_enabled();
+  std::uint64_t start_ns = 0;
+  if (metrics) {
+    start_ns = obs::monotonic_ns();
+    // How many workers entered batches, and how long batches sat queued —
+    // both depend on scheduling, hence the kScheduling tag.
+    static obs::Counter tasks("rp.pool.tasks", obs::Stability::kScheduling);
+    static obs::Histogram queue_wait("rp.pool.queue_wait_ns");
+    tasks.add(1);
+    if (batch->enqueue_ns != 0) queue_wait.record(start_ns - batch->enqueue_ns);
+  }
+  for (std::size_t i = batch->next.fetch_add(1); i < batch->n;
+       i = batch->next.fetch_add(1)) {
+    try {
+      batch->invoke(batch->ctx, i);
+    } catch (...) {
+      std::scoped_lock lock(batch->mutex);
+      if (!batch->error) batch->error = std::current_exception();
+    }
+  }
+  if (metrics) {
+    static obs::Counter busy("rp.pool.busy_ns", obs::Stability::kScheduling);
+    busy.add(obs::monotonic_ns() - start_ns);
+  }
+  // The notify must happen under the lock: once pending hits zero the
+  // caller may wake and destroy the stack-resident batch.
+  std::scoped_lock lock(batch->mutex);
+  if (--batch->pending == 0) batch->done.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   worker_flag() = true;
   for (;;) {
-    std::function<void()> task;
+    Batch* batch = nullptr;
     {
       std::unique_lock lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      batch = queue_.front();
+      // Keep the batch at the front until its full complement of workers has
+      // entered: every entrant must decrement pending exactly once or the
+      // submitting caller would wait forever.
+      if (++batch->entered >= batch->tasks) queue_.pop_front();
     }
-    task();
+    run_batch(batch);
   }
 }
 

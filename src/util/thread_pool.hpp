@@ -7,17 +7,27 @@
 // independent of scheduling order — the same inputs produce byte-identical
 // results at any thread count. Worker count comes from the RP_THREADS
 // environment variable, defaulting to std::thread::hardware_concurrency().
+//
+// Submission allocates nothing: a parallel_for call enqueues a single
+// pointer to its stack-resident Batch (loop body type-erased to a plain
+// function pointer + context), and each worker that picks the batch up
+// claims indices from a shared atomic cursor. The batch stays at the queue
+// front until the intended number of workers has entered it, so the caller
+// can rely on exactly that many decrements before its stack frame unwinds.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace rp::util {
 
@@ -53,38 +63,22 @@ class ThreadPool {
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
+    if (obs::metrics_enabled()) note_parallel_for(n);
     if (workers_.empty() || n == 1 || on_worker_thread()) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
     Batch batch;
     batch.n = n;
-    const std::size_t tasks = std::min<std::size_t>(workers_.size(), n);
-    batch.pending_tasks = tasks;
-    auto run_chunk = [&batch, &fn] {
-      for (std::size_t i = batch.next.fetch_add(1); i < batch.n;
-           i = batch.next.fetch_add(1)) {
-        try {
-          fn(i);
-        } catch (...) {
-          std::scoped_lock lock(batch.mutex);
-          if (!batch.error) batch.error = std::current_exception();
-        }
-      }
+    batch.tasks = std::min<std::size_t>(workers_.size(), n);
+    batch.pending = batch.tasks;
+    using Body = std::remove_reference_t<Fn>;
+    batch.ctx = const_cast<void*>(
+        static_cast<const void*>(std::addressof(fn)));
+    batch.invoke = [](void* ctx, std::size_t i) {
+      (*static_cast<Body*>(ctx))(i);
     };
-    {
-      std::scoped_lock lock(queue_mutex_);
-      for (std::size_t t = 0; t < tasks; ++t)
-        queue_.emplace_back([&batch, run_chunk] {
-          run_chunk();
-          std::scoped_lock lock(batch.mutex);
-          if (--batch.pending_tasks == 0) batch.done.notify_all();
-        });
-    }
-    queue_cv_.notify_all();
-    std::unique_lock lock(batch.mutex);
-    batch.done.wait(lock, [&batch] { return batch.pending_tasks == 0; });
-    if (batch.error) std::rethrow_exception(batch.error);
+    submit_and_wait(&batch);
   }
 
   /// Runs fn(i) for every i in [0, n) and collects the results, in index
@@ -99,10 +93,20 @@ class ThreadPool {
   }
 
  private:
+  /// One parallel_for in flight. Stack-allocated by the caller; the queue
+  /// holds only the pointer. `tasks` workers enter the batch (it is popped
+  /// when the last one does) and each decrements `pending` exactly once, so
+  /// the caller's wait completes only after every entrant is done touching
+  /// the batch.
   struct Batch {
-    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> next{0};  ///< Index-claim cursor.
     std::size_t n = 0;
-    std::size_t pending_tasks = 0;  ///< Guarded by mutex.
+    void (*invoke)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    std::size_t tasks = 0;          ///< Workers that will enter this batch.
+    std::size_t entered = 0;        ///< Guarded by queue_mutex_.
+    std::uint64_t enqueue_ns = 0;   ///< Set only when metrics are enabled.
+    std::size_t pending = 0;        ///< Guarded by mutex.
     std::exception_ptr error;       ///< Guarded by mutex.
     std::mutex mutex;
     std::condition_variable done;
@@ -110,11 +114,14 @@ class ThreadPool {
 
   static bool& worker_flag();
   static bool on_worker_thread() { return worker_flag(); }
+  static void note_parallel_for(std::size_t n);
+  void submit_and_wait(Batch* batch);
+  void run_batch(Batch* batch);
   void worker_loop();
 
   unsigned threads_ = 1;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Batch*> queue_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   bool stop_ = false;

@@ -184,6 +184,41 @@ TEST(DatasetIo, RejectsOverflowingIntegerFields) {
   }
 }
 
+TEST(DatasetIo, ParseErrorsCarryLineAndOffendingToken) {
+  const std::string input =
+      "H,0,X,0,100\nI,0,1.2.3.4,0,colo,0\nS,0,pch,1,1,bogus,64,1.2.3.4\n";
+  {
+    // The non-throwing wrapper surfaces the full message.
+    std::string error;
+    std::stringstream bad(input);
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+    EXPECT_NE(error.find("RTT"), std::string::npos) << error;
+    EXPECT_NE(error.find("'bogus'"), std::string::npos) << error;
+  }
+  {
+    // The strict reader carries the same information as a typed exception.
+    std::stringstream bad(input);
+    try {
+      read_dataset_strict(bad);
+      FAIL() << "expected DatasetParseError";
+    } catch (const DatasetParseError& e) {
+      EXPECT_EQ(e.line(), 3u);
+      EXPECT_NE(std::string(e.what()).find("'bogus'"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // A different failure class: unparsable attachment kind, quoted.
+    std::string error;
+    std::stringstream bad("H,0,X,0,100\nI,0,1.2.3.4,0,weird,0\n");
+    EXPECT_FALSE(read_dataset(bad, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("bad attachment kind 'weird'"), std::string::npos)
+        << error;
+  }
+}
+
 TEST(DatasetIo, CommentsAndBlankLinesIgnored) {
   std::stringstream buffer(
       "# comment\n\nH,7,TINY,0,1000\n# more\nI,0,10.0.0.1,1,remote,500\n");

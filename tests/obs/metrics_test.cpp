@@ -1,0 +1,190 @@
+// Unit tests of the rp::obs metrics registry: sharded counters, log2
+// histograms, gauges, registration semantics, and the enabled/disabled gate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace rp::obs {
+namespace {
+
+/// Enables metrics for one test and restores the disabled default on exit,
+/// so suites sharing the process never leak the flag into each other.
+struct MetricsOn {
+  MetricsOn() { set_metrics_enabled(true); }
+  ~MetricsOn() { set_metrics_enabled(false); }
+};
+
+const MetricValue* find(const std::vector<MetricValue>& snapshot,
+                        const std::string& name) {
+  for (const auto& m : snapshot)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+TEST(Metrics, CounterSumsExactlyAcrossThreads) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Counter counter("test.metrics.cross_thread");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.add(3);
+    });
+  for (auto& thread : threads) thread.join();
+  counter.add(5);
+  const auto* m =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.cross_thread");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_EQ(m->count, 8u * 1000u * 3u + 5u);
+}
+
+TEST(Metrics, DisabledUpdatesAreDropped) {
+  MetricsRegistry::global().reset();
+  ASSERT_FALSE(metrics_enabled());
+  Counter counter("test.metrics.disabled");
+  Histogram histogram("test.metrics.disabled_hist");
+  counter.add(7);
+  histogram.record(7);
+  { ScopedTimer timer(histogram); }
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(find(snap, "test.metrics.disabled")->count, 0u);
+  EXPECT_EQ(find(snap, "test.metrics.disabled_hist")->count, 0u);
+}
+
+TEST(Metrics, SameNameSharesOneMetric) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Counter a("test.metrics.shared");
+  Counter b("test.metrics.shared");
+  a.add(2);
+  b.add(3);
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(find(snap, "test.metrics.shared")->count, 5u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  Counter counter("test.metrics.kind_clash");
+  EXPECT_THROW(Histogram("test.metrics.kind_clash"), std::logic_error);
+}
+
+TEST(Metrics, HistogramBucketsAreLog2) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.log2");
+  histogram.record(0);    // bucket 0
+  histogram.record(1);    // bucket 1
+  histogram.record(2);    // bucket 2
+  histogram.record(3);    // bucket 2
+  histogram.record(900);  // bucket 10: [512, 1024)
+  const auto* m =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.log2");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 5u);
+  EXPECT_EQ(m->sum, 906u);
+  EXPECT_EQ(m->min, 0u);
+  EXPECT_EQ(m->max, 900u);
+  EXPECT_DOUBLE_EQ(m->mean(), 906.0 / 5.0);
+  EXPECT_EQ(m->buckets[0], 1u);
+  EXPECT_EQ(m->buckets[1], 1u);
+  EXPECT_EQ(m->buckets[2], 2u);
+  EXPECT_EQ(m->buckets[10], 1u);
+}
+
+TEST(Metrics, GaugeLastWriterWins) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Gauge gauge("test.metrics.gauge");
+  gauge.set(1.5);
+  gauge.set(42.25);
+  const auto* m =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.gauge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 42.25);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  MetricsOn on;
+  Counter counter("test.metrics.reset");
+  counter.add(9);
+  MetricsRegistry::global().reset();
+  EXPECT_EQ(find(MetricsRegistry::global().snapshot(), "test.metrics.reset")
+                ->count,
+            0u);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  Counter z("test.metrics.zz");
+  Counter a("test.metrics.aa");
+  const auto snap = MetricsRegistry::global().snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+}
+
+TEST(Metrics, DeterministicSnapshotExcludesSchedulingMetrics) {
+  Counter stable("test.metrics.stable", Stability::kDeterministic);
+  Counter wobbly("test.metrics.wobbly", Stability::kScheduling);
+  const auto det = MetricsRegistry::global().deterministic_snapshot();
+  EXPECT_NE(find(det, "test.metrics.stable"), nullptr);
+  EXPECT_EQ(find(det, "test.metrics.wobbly"), nullptr);
+}
+
+TEST(Metrics, ScopedTimerRecordsWhenEnabled) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.timer");
+  { ScopedTimer timer(histogram); }
+  const auto* m =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.timer");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 1u);
+}
+
+TEST(MetricsExport, JsonEntriesCoverEveryKind) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Counter counter("test.export.counter");
+  Gauge gauge("test.export.gauge");
+  Histogram histogram("test.export.hist");
+  counter.add(4);
+  gauge.set(2.5);
+  histogram.record(16);
+  const auto entries =
+      metrics_json_entries(MetricsRegistry::global().snapshot());
+  auto value_of = [&entries](const std::string& key) -> std::string {
+    for (const auto& [k, v] : entries)
+      if (k == key) return v;
+    return "(missing)";
+  };
+  EXPECT_EQ(value_of("test.export.counter"), "4");
+  EXPECT_EQ(value_of("test.export.gauge"), "2.5");
+  EXPECT_EQ(value_of("test.export.hist.count"), "1");
+  EXPECT_EQ(value_of("test.export.hist.sum"), "16");
+
+  // The flat writer produces one key per line between braces.
+  std::ostringstream os;
+  write_metrics_json(os, MetricsRegistry::global().snapshot());
+  const std::string text = os.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"test.export.counter\": 4"), std::string::npos);
+}
+
+TEST(MetricsExport, TableListsEveryMetric) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Counter counter("test.table.counter");
+  counter.add(11);
+  std::ostringstream os;
+  render_metrics_table(os, MetricsRegistry::global().snapshot());
+  EXPECT_NE(os.str().find("test.table.counter"), std::string::npos);
+  EXPECT_NE(os.str().find("11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rp::obs

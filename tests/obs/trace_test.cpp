@@ -1,0 +1,123 @@
+// Tests of the rp::obs trace session: span recording across threads, the
+// Chrome/Perfetto trace_event JSON shape, and session lifecycle rules.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("rp_trace_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->line()) +
+             ".json");
+    stop_trace();  // In case a prior test (or RP_TRACE) left one active.
+  }
+  void TearDown() override {
+    stop_trace();
+    std::filesystem::remove(path_);
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceTest, SpansOutsideSessionRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  { Span span("test.noop"); }
+  EXPECT_EQ(stop_trace(), 0u);
+}
+
+TEST_F(TraceTest, WritesBalancedWellFormedTrace) {
+  ASSERT_TRUE(start_trace(path_.string()));
+  EXPECT_TRUE(trace_enabled());
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner"); }
+    util::ThreadPool::global().parallel_for(4, [](std::size_t) {
+      Span worker("test.worker");
+    });
+  }
+  const std::size_t events = stop_trace();
+  EXPECT_FALSE(trace_enabled());
+  // outer + inner + 4 worker spans, each a begin/end pair.
+  EXPECT_EQ(events, 12u);
+
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 3), "]}\n");
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"B\""), 6u);
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"E\""), 6u);
+  EXPECT_EQ(count_occurrences(text, "\"name\":\"test.worker\""), 8u);
+  // Every event names the required trace_event fields.
+  EXPECT_EQ(count_occurrences(text, "\"ts\":"), events);
+  EXPECT_EQ(count_occurrences(text, "\"pid\":1"), events);
+  EXPECT_EQ(count_occurrences(text, "\"tid\":"), events);
+}
+
+TEST_F(TraceTest, TimestampsAreMonotonicallySorted) {
+  ASSERT_TRUE(start_trace(path_.string()));
+  for (int i = 0; i < 5; ++i) Span span("test.seq");
+  ASSERT_EQ(stop_trace(), 10u);
+
+  const std::string text = slurp(path_);
+  double last = -1.0;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    const double ts = std::stod(text.substr(pos));
+    EXPECT_GE(ts, last);
+    last = ts;
+  }
+}
+
+TEST_F(TraceTest, SecondStartWhileActiveIsRejected) {
+  ASSERT_TRUE(start_trace(path_.string()));
+  EXPECT_FALSE(start_trace((path_.string() + ".other")));
+  { Span span("test.single"); }
+  EXPECT_EQ(stop_trace(), 2u);
+  EXPECT_EQ(stop_trace(), 0u);  // Idempotent.
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".other"));
+}
+
+TEST_F(TraceTest, SessionsAreRestartable) {
+  ASSERT_TRUE(start_trace(path_.string()));
+  { Span span("test.first"); }
+  ASSERT_EQ(stop_trace(), 2u);
+
+  ASSERT_TRUE(start_trace(path_.string()));
+  { Span span("test.second"); }
+  ASSERT_EQ(stop_trace(), 2u);  // Only the new session's events.
+  const std::string text = slurp(path_);
+  EXPECT_EQ(count_occurrences(text, "test.second"), 2u);
+  EXPECT_EQ(count_occurrences(text, "test.first"), 0u);
+}
+
+}  // namespace
+}  // namespace rp::obs
