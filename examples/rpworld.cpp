@@ -31,7 +31,11 @@ int usage() {
                "       rpworld verify <file>\n"
                "       rpworld diff <a> <b>\n"
                "Global flags: --metrics (counter table on exit),"
-               " --trace FILE (Perfetto phase trace)\n");
+               " --trace FILE (Perfetto phase trace)\n"
+               "Exit codes (verify/diff classify failures):\n"
+               "  0 OK / identical    1 worlds differ     2 usage or other\n"
+               "  3 io error          4 corrupt           5 truncated\n"
+               "  6 future version    7 invariant violation\n");
   return 2;
 }
 
@@ -146,9 +150,10 @@ int cmd_info(const char* file) {
 }
 
 int cmd_verify(const char* file) {
-  if (const auto error = io::verify_snapshot(file)) {
-    std::printf("%s: FAILED: %s\n", file, error->c_str());
-    return 1;
+  if (const auto failure = io::verify_snapshot(file)) {
+    std::printf("%s: FAILED (%d): %s\n", file, failure->exit_code(),
+                failure->message.c_str());
+    return failure->exit_code();
   }
   std::printf("%s: OK (checksums, decode, graph invariants)\n", file);
   return 0;
@@ -202,9 +207,13 @@ int main(int argc, char** argv) {
     else if (cmd == "verify" && argc == 3) rc = cmd_verify(argv[2]);
     else if (cmd == "diff" && argc == 4) rc = cmd_diff(argv[2], argv[3]);
     else return usage();
+  } catch (const io::SnapshotError& e) {
+    // info/diff surface the same per-class exit codes as verify.
+    std::fprintf(stderr, "rpworld %s: %s\n", cmd.c_str(), e.what());
+    return e.exit_code();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rpworld %s: %s\n", cmd.c_str(), e.what());
-    return 1;
+    return 2;
   }
   examples::finish_obs(obs_opts);
   return rc;

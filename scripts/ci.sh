@@ -1,68 +1,227 @@
 #!/usr/bin/env bash
-# CI smoke gate: tier-1 verify (configure, build, ctest) plus the perf and
-# figure binaries under RP_BENCH_FAST=1 so a regression in the bench harnesses
-# is caught without paying paper-scale runtimes.
+# CI matrix runner over the CMake presets (see CMakePresets.json).
 #
-# Usage: scripts/ci.sh [build-dir]   (default: build)
+#   scripts/ci.sh              # release lane: tier-1 + every smoke
+#   scripts/ci.sh asan-ubsan   # ASan+UBSan lane: ctest + fault smoke
+#   scripts/ci.sh tsan         # TSan lane: ctest + RP_THREADS=8 reruns
+#   scripts/ci.sh all          # all three lanes, in that order
+#
+# Every lane configures and builds its own tree under build/<preset>, so the
+# lanes never contaminate each other. Smokes run the example binaries under
+# RP_BENCH_FAST=1 / --fast so a full matrix stays in fast-mode runtime.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-echo "=== configure ==="
-cmake -B "$BUILD_DIR" -S .
+# One EXIT trap for the whole script. Registering a second `trap ... EXIT`
+# silently replaces the first (an earlier revision leaked its snapshot dir
+# exactly that way), so temp dirs are collected here and removed once.
+TEMP_DIRS=()
+cleanup() { rm -rf ${TEMP_DIRS[@]+"${TEMP_DIRS[@]}"}; }
+trap cleanup EXIT
+tmpdir() {
+  local d
+  d="$(mktemp -d)"
+  TEMP_DIRS+=("$d")
+  echo "$d"
+}
 
-echo "=== build ==="
-cmake --build "$BUILD_DIR" -j
+# Asserts that `rpworld ...` exits with $1 (under set -e).
+expect_rc() {
+  local want="$1" rc=0
+  shift
+  "$@" > /dev/null 2>&1 || rc=$?
+  if [[ "$rc" != "$want" ]]; then
+    echo "FAIL: expected exit $want, got $rc: $*" >&2
+    return 1
+  fi
+}
 
-echo "=== tier-1 tests ==="
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+configure_and_build() {
+  local preset="$1"
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j
+}
 
-echo "=== snapshot smoke (RP_BENCH_FAST=1) ==="
-SNAP_DIR="$(mktemp -d)"
-trap 'rm -rf "$SNAP_DIR"' EXIT
-RPWORLD="$BUILD_DIR/examples/rpworld"
-"$RPWORLD" save --fast --cache-dir "$SNAP_DIR" --out "$SNAP_DIR/world.rpsnap"
-"$RPWORLD" info "$SNAP_DIR/world.rpsnap"
-"$RPWORLD" verify "$SNAP_DIR/world.rpsnap"
-# A rerun with the same config must load the cached snapshot, not rebuild.
-"$RPWORLD" save --fast --cache-dir "$SNAP_DIR" | tee "$SNAP_DIR/rerun.log"
-grep -q "cache hit" "$SNAP_DIR/rerun.log"
-# The explicit save and the cache entry must describe identical worlds.
-"$RPWORLD" diff "$SNAP_DIR/world.rpsnap" "$SNAP_DIR"/world-*.rpsnap
+run_ctest() {
+  local preset="$1"
+  echo "=== [$preset] tier-1 tests ==="
+  ctest --preset "$preset" -j
+}
 
-echo "=== obs smoke (rpstat metrics + trace) ==="
-OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$SNAP_DIR" "$OBS_DIR"' EXIT
-RP_SNAPSHOT_CACHE="$OBS_DIR/cache" "$BUILD_DIR/examples/rpstat" --fast \
-  --json "$OBS_DIR/metrics.json" --trace "$OBS_DIR/trace.json" \
-  > "$OBS_DIR/rpstat.log"
-# Both exports must be well-formed JSON...
-python3 -m json.tool "$OBS_DIR/metrics.json" > /dev/null
-python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
-# ...and the metrics must cover every instrumented layer.
-for metric in rp.core.scenario.builds rp.pool.parallel_for.calls \
-              rp.bgp.routes.computed rp.measure.probes.sent \
-              rp.offload.greedy.steps rp.io.bytes_written; do
-  grep -q "\"$metric\"" "$OBS_DIR/metrics.json"
-  grep -q "$metric" "$OBS_DIR/rpstat.log"
-done
+# rpworld end to end: save/info/verify/diff on a healthy snapshot, cache-hit
+# on rerun, and the documented per-class exit codes on damaged ones
+# (0 OK, 1 differ, 3 io, 4 corrupt, 5 truncated, 6 future version).
+snapshot_smoke() {
+  local build="$1"
+  echo "=== [$build] snapshot smoke ==="
+  local dir rpworld="build/$build/examples/rpworld"
+  dir="$(tmpdir)"
+  "$rpworld" save --fast --cache-dir "$dir" --out "$dir/world.rpsnap"
+  "$rpworld" info "$dir/world.rpsnap"
+  "$rpworld" verify "$dir/world.rpsnap"
+  # A rerun with the same config must load the cached snapshot, not rebuild.
+  "$rpworld" save --fast --cache-dir "$dir" | tee "$dir/rerun.log"
+  grep -q "cache hit" "$dir/rerun.log"
+  # The explicit save and the cache entry must describe identical worlds.
+  "$rpworld" diff "$dir/world.rpsnap" "$dir"/world-*.rpsnap
 
-echo "=== perf smoke (RP_BENCH_FAST=1) ==="
-export RP_BENCH_FAST=1
-export RP_BENCH_JSON_DIR="$OBS_DIR"
-for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload; do
-  echo "--- $bin ---"
-  "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
-done
-# The instrumented perf binaries must emit valid trajectory JSON.
-python3 -m json.tool "$OBS_DIR/BENCH_perf_io.json" > /dev/null
-python3 -m json.tool "$OBS_DIR/BENCH_perf_offload.json" > /dev/null
+  echo "--- rpworld exit-code classes ---"
+  # Corrupt: flip a byte mid-file.
+  python3 - "$dir/world.rpsnap" "$dir/corrupt.rpsnap" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[len(data) // 2] ^= 0x40
+open(sys.argv[2], 'wb').write(data)
+EOF
+  expect_rc 4 "$rpworld" verify "$dir/corrupt.rpsnap"
+  # Truncated: drop the tail.
+  python3 - "$dir/world.rpsnap" "$dir/trunc.rpsnap" <<'EOF'
+import sys
+data = open(sys.argv[1], 'rb').read()
+open(sys.argv[2], 'wb').write(data[: len(data) * 3 // 4])
+EOF
+  expect_rc 5 "$rpworld" verify "$dir/trunc.rpsnap"
+  # Future format version: bump the version field after the 8-byte magic.
+  python3 - "$dir/world.rpsnap" "$dir/future.rpsnap" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[8] += 1
+open(sys.argv[2], 'wb').write(data)
+EOF
+  expect_rc 6 "$rpworld" verify "$dir/future.rpsnap"
+  # Io: the file is not there.
+  expect_rc 3 "$rpworld" verify "$dir/missing.rpsnap"
+  # diff classifies a damaged operand the same way verify does...
+  expect_rc 5 "$rpworld" diff "$dir/world.rpsnap" "$dir/trunc.rpsnap"
+  expect_rc 6 "$rpworld" diff "$dir/world.rpsnap" "$dir/future.rpsnap"
+  # ...and a healthy pair still reports identical worlds.
+  expect_rc 0 "$rpworld" diff "$dir/world.rpsnap" "$dir/world.rpsnap"
+}
 
-echo "=== figure harness smoke (RP_BENCH_FAST=1) ==="
-for bin in table1_ixp_properties fig2_rtt_cdf fig9_remaining_transit; do
-  echo "--- $bin ---"
-  "$BUILD_DIR/bench/$bin" > /dev/null
-done
+obs_smoke() {
+  local build="$1"
+  echo "=== [$build] obs smoke (rpstat metrics + trace) ==="
+  local dir
+  dir="$(tmpdir)"
+  RP_SNAPSHOT_CACHE="$dir/cache" "build/$build/examples/rpstat" --fast \
+    --json "$dir/metrics.json" --trace "$dir/trace.json" \
+    > "$dir/rpstat.log"
+  # Both exports must be well-formed JSON...
+  python3 -m json.tool "$dir/metrics.json" > /dev/null
+  python3 -m json.tool "$dir/trace.json" > /dev/null
+  # ...and the metrics must cover every instrumented layer.
+  local metric
+  for metric in rp.core.scenario.builds rp.pool.parallel_for.calls \
+                rp.bgp.routes.computed rp.measure.probes.sent \
+                rp.offload.greedy.steps rp.io.bytes_written; do
+    grep -q "\"$metric\"" "$dir/metrics.json"
+    grep -q "$metric" "$dir/rpstat.log"
+  done
+}
 
-echo "ci.sh: all gates passed"
+# Graceful degradation end to end: with the first snapshot read injected to
+# fail, the pipeline must still succeed — the cache falls back to a clean
+# rebuild, the absorbed failure shows up in rp.io.fallbacks / rp.fault.*,
+# and the rewritten cache entry verifies clean.
+fault_smoke() {
+  local build="$1"
+  echo "=== [$build] fault smoke (RP_FAULT=io.read:nth=1) ==="
+  local dir
+  dir="$(tmpdir)"
+  # Warm the cache so the armed run exercises the load-then-fallback path.
+  RP_SNAPSHOT_CACHE="$dir/cache" "build/$build/examples/rpstat" --fast \
+    > /dev/null
+  RP_FAULT=io.read:nth=1 RP_SNAPSHOT_CACHE="$dir/cache" \
+    "build/$build/examples/rpstat" --fast --json "$dir/metrics.json" \
+    > "$dir/rpstat.log"
+  python3 - "$dir/metrics.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+for name in ("rp.io.fallbacks", "rp.fault.fires", "rp.fault.fires.io.read"):
+    assert metrics.get(name, 0) >= 1, (name, metrics)
+EOF
+  # The fallback rewrote the cache entry cleanly.
+  "build/$build/examples/rpworld" verify "$dir/cache/"world-*.rpsnap
+}
+
+perf_smoke() {
+  local build="$1"
+  echo "=== [$build] perf smoke (RP_BENCH_FAST=1) ==="
+  local dir bin
+  dir="$(tmpdir)"
+  for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload; do
+    echo "--- $bin ---"
+    RP_BENCH_FAST=1 RP_BENCH_JSON_DIR="$dir" \
+      "build/$build/bench/$bin" --benchmark_min_time=0.01
+  done
+  # The instrumented perf binaries must emit valid trajectory JSON.
+  python3 -m json.tool "$dir/BENCH_perf_io.json" > /dev/null
+  python3 -m json.tool "$dir/BENCH_perf_offload.json" > /dev/null
+}
+
+figure_smoke() {
+  local build="$1"
+  echo "=== [$build] figure harness smoke (RP_BENCH_FAST=1) ==="
+  local bin
+  for bin in table1_ixp_properties fig2_rtt_cdf fig9_remaining_transit; do
+    echo "--- $bin ---"
+    RP_BENCH_FAST=1 "build/$build/bench/$bin" > /dev/null
+  done
+}
+
+# The concurrency-sensitive suites again at a fixed high thread count, so the
+# TSan lane actually exercises contended pool/metrics/fault paths (the default
+# pool sizes itself to the machine and may be serial on small runners).
+tsan_thread_stress() {
+  local build="$1"
+  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault) ==="
+  local suite
+  for suite in test_obs test_util test_fault; do
+    echo "--- $suite ---"
+    RP_THREADS=8 "build/$build/tests/$suite" --gtest_brief=1
+  done
+}
+
+run_lane() {
+  local preset="$1"
+  configure_and_build "$preset"
+  run_ctest "$preset"
+  case "$preset" in
+    release)
+      snapshot_smoke "$preset"
+      obs_smoke "$preset"
+      fault_smoke "$preset"
+      perf_smoke "$preset"
+      figure_smoke "$preset"
+      ;;
+    asan-ubsan)
+      fault_smoke "$preset"
+      ;;
+    tsan)
+      fault_smoke "$preset"
+      tsan_thread_stress "$preset"
+      ;;
+  esac
+  echo "ci.sh: lane '$preset' passed"
+}
+
+LANE="${1:-release}"
+case "$LANE" in
+  release|asan-ubsan|tsan)
+    run_lane "$LANE"
+    ;;
+  all)
+    for preset in release asan-ubsan tsan; do
+      run_lane "$preset"
+    done
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [release|asan-ubsan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci.sh: all requested lanes passed"

@@ -3,12 +3,17 @@
 // The world is fully determined by its config (including the seed), so the
 // cache key is a digest of the canonical config encoding and a hit can be
 // trusted byte-for-byte once the container checksums pass. Any rejection —
-// corrupt file, truncation, future format version, or a digest that does not
-// match the requested config after decode — falls back to a clean rebuild and
-// recaches atomically, so a bad snapshot can delay a run but never corrupt it.
+// corrupt file, truncation, future format version, injected fault, or a
+// digest that does not match the requested config after decode — falls back
+// to a clean rebuild and recaches atomically, so a bad snapshot can delay a
+// run but never corrupt it. Fallbacks are visible as rp.io.fallbacks (and
+// rp.core.cache.fallbacks); the fault sites cache.load / cache.store inject
+// failure at the cache boundary itself, on top of whatever the io.* sites do
+// deeper down.
 #include <exception>
 
 #include "core/scenario.hpp"
+#include "fault/fault.hpp"
 #include "io/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +41,8 @@ Scenario Scenario::build_cached(const ScenarioConfig& config,
                                 const std::filesystem::path& cache_dir,
                                 SnapshotCacheResult* result) {
   obs::Span span("core.scenario.build_cached");
+  static fault::Site load_site(fault::kSiteCacheLoad);
+  static fault::Site store_site(fault::kSiteCacheStore);
   SnapshotCacheResult local;
   SnapshotCacheResult& out = result != nullptr ? *result : local;
   out = SnapshotCacheResult{};
@@ -44,6 +51,7 @@ Scenario Scenario::build_cached(const ScenarioConfig& config,
   std::error_code ec;
   if (std::filesystem::exists(out.path, ec)) {
     try {
+      load_site.maybe_throw();
       io::LoadedWorld world = io::load_scenario(out.path);
       if (io::config_digest(world.scenario.config()) ==
           io::config_digest(config)) {
@@ -58,13 +66,18 @@ Scenario Scenario::build_cached(const ScenarioConfig& config,
       out.message = e.what();
     }
     out.outcome = SnapshotCacheResult::Outcome::kFallback;
+    // The io-layer degradation counter CI asserts on: a snapshot that failed
+    // to load was absorbed by a clean rebuild, not propagated.
+    static obs::Counter io_fallbacks("rp.io.fallbacks");
+    io_fallbacks.add();
   }
 
   cache_counter(out.outcome).add();
   Scenario scenario = build(config);
-  // Cache-write failures (read-only dir, disk full) must not fail the build;
-  // the next run just misses again.
+  // Cache-write failures (read-only dir, disk full, injected fault) must not
+  // fail the build; the next run just misses again.
   try {
+    store_site.maybe_throw();
     std::filesystem::create_directories(cache_dir);
     io::save_scenario(scenario, out.path);
   } catch (const std::exception& e) {

@@ -1,0 +1,321 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace rp::fault {
+
+InjectedFault::InjectedFault(const std::string& site, std::uint64_t call)
+    : std::runtime_error("injected fault at site '" + site + "' (call #" +
+                         std::to_string(call) + ")"),
+      site_(site),
+      call_(call) {}
+
+namespace detail {
+
+std::atomic<bool> g_any_armed{false};
+
+// One registered site. The spec is written only under the registry mutex
+// while no calls are in flight (arming mid-run is unsupported, like flipping
+// rp::obs mid-pipeline); the counters are touched from arbitrary threads.
+struct SiteState {
+  static constexpr std::size_t kNoMetric = ~std::size_t{0};
+
+  std::string name;
+  std::atomic<bool> armed{false};
+  Spec spec;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fires{0};
+  /// rp.fault.fires.<name>, registered lazily on the first fire so sites
+  /// never consume counter slots unless injection is actually used.
+  std::atomic<std::size_t> metric_id{kNoMetric};
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // Sites live forever (they are referenced from function-local statics);
+  // node-stable map so SiteState* never moves.
+  std::map<std::string, std::unique_ptr<SiteState>> sites;
+  // Specs armed before their site registered, attached on registration.
+  std::map<std::string, Spec> pending;
+
+  static Registry& global() {
+    static Registry* instance = new Registry();  // leaked, like obs
+    return *instance;
+  }
+};
+
+void refresh_any_armed_locked(Registry& reg) {
+  bool any = !reg.pending.empty();
+  for (const auto& [name, site] : reg.sites)
+    any = any || site->armed.load(std::memory_order_relaxed);
+  g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+// splitmix64: the per-call hash behind p= specs and payload corruption.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void note_fire(SiteState* state) {
+  state->fires.fetch_add(1, std::memory_order_relaxed);
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter total("rp.fault.fires");
+  total.add();
+  std::size_t id = state->metric_id.load(std::memory_order_acquire);
+  if (id == SiteState::kNoMetric) {
+    id = obs::MetricsRegistry::global().register_metric(
+        "rp.fault.fires." + state->name, obs::MetricKind::kCounter,
+        obs::Stability::kDeterministic);
+    state->metric_id.store(id, std::memory_order_release);
+  }
+  obs::MetricsRegistry::global().counter_add(id, 1);
+}
+
+void arm_one_locked(Registry& reg, const std::string& site_name,
+                    const Spec& spec) {
+  if (auto it = reg.sites.find(site_name); it != reg.sites.end()) {
+    SiteState* state = it->second.get();
+    state->spec = spec;
+    state->calls.store(0, std::memory_order_relaxed);
+    state->fires.store(0, std::memory_order_relaxed);
+    state->armed.store(true, std::memory_order_release);
+  } else {
+    reg.pending[site_name] = spec;
+  }
+}
+
+}  // namespace
+
+SiteState* register_site(const char* name) {
+  arm_from_env();
+  Registry& reg = Registry::global();
+  std::scoped_lock lock(reg.mutex);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end()) {
+    auto state = std::make_unique<SiteState>();
+    state->name = name;
+    it = reg.sites.emplace(name, std::move(state)).first;
+  }
+  if (auto pending = reg.pending.find(name); pending != reg.pending.end()) {
+    it->second->spec = pending->second;
+    it->second->calls.store(0, std::memory_order_relaxed);
+    it->second->fires.store(0, std::memory_order_relaxed);
+    it->second->armed.store(true, std::memory_order_release);
+    reg.pending.erase(pending);
+  }
+  return it->second.get();
+}
+
+std::optional<Action> site_fire(SiteState* state) {
+  if (!state->armed.load(std::memory_order_acquire)) return std::nullopt;
+  const std::uint64_t call =
+      state->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Spec& spec = state->spec;
+  bool hit = false;
+  switch (spec.trigger) {
+    case Trigger::kNth:
+      hit = call == spec.n;
+      break;
+    case Trigger::kEvery:
+      hit = call % spec.n == 0;
+      break;
+    case Trigger::kProbability:
+      // Threshold compare in 64-bit hash space: a pure function of
+      // (seed, call index), so the firing pattern replays exactly.
+      hit = static_cast<double>(mix64(spec.seed ^ call)) <
+            spec.probability * 18446744073709551616.0;  // 2^64
+      break;
+  }
+  if (!hit) return std::nullopt;
+  note_fire(state);
+  return spec.action;
+}
+
+void throw_injected(SiteState* state) {
+  throw InjectedFault(state->name,
+                      state->calls.load(std::memory_order_relaxed));
+}
+
+void corrupt_payload(SiteState* state, Action action,
+                     std::vector<std::uint8_t>& bytes) {
+  if (action == Action::kThrow || bytes.empty()) throw_injected(state);
+  const std::uint64_t call = state->calls.load(std::memory_order_relaxed);
+  if (action == Action::kBitFlip) {
+    const std::uint64_t bit = mix64(call) % (bytes.size() * 8);
+    bytes[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    return;
+  }
+  // kTruncate: keep a deterministic proper prefix.
+  if (bytes.size() == 1) {
+    bytes.clear();
+    return;
+  }
+  const std::size_t keep =
+      1 + static_cast<std::size_t>(mix64(call ^ 0x7fULL) % (bytes.size() - 1));
+  bytes.resize(keep);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::Registry;
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  if (text.empty())
+    throw std::invalid_argument("fault spec: empty " + std::string(what));
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("fault spec: bad " + std::string(what) +
+                                  " '" + std::string(text) + "'");
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10)
+      throw std::invalid_argument("fault spec: " + std::string(what) +
+                                  " overflows: '" + std::string(text) + "'");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+double parse_probability(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("fault spec: empty p=");
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(std::string(text), &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || !(p >= 0.0) || !(p <= 1.0))
+    throw std::invalid_argument("fault spec: probability '" +
+                                std::string(text) + "' not in [0, 1]");
+  return p;
+}
+
+}  // namespace
+
+Spec parse_spec(std::string_view text) {
+  Spec spec;
+  // Split off the "+action" suffix first.
+  if (const std::size_t plus = text.rfind('+'); plus != std::string_view::npos) {
+    const std::string_view action = text.substr(plus + 1);
+    if (action == "throw") spec.action = Action::kThrow;
+    else if (action == "flip") spec.action = Action::kBitFlip;
+    else if (action == "truncate") spec.action = Action::kTruncate;
+    else
+      throw std::invalid_argument("fault spec: unknown action '" +
+                                  std::string(action) +
+                                  "' (throw|flip|truncate)");
+    text = text.substr(0, plus);
+  }
+  if (text.rfind("nth=", 0) == 0) {
+    spec.trigger = Trigger::kNth;
+    spec.n = parse_u64(text.substr(4), "nth count");
+    if (spec.n == 0)
+      throw std::invalid_argument("fault spec: nth= must be >= 1");
+  } else if (text.rfind("every=", 0) == 0) {
+    spec.trigger = Trigger::kEvery;
+    spec.n = parse_u64(text.substr(6), "every stride");
+    if (spec.n == 0)
+      throw std::invalid_argument("fault spec: every= must be >= 1");
+  } else if (text.rfind("p=", 0) == 0) {
+    spec.trigger = Trigger::kProbability;
+    const std::string_view rest = text.substr(2);
+    const std::size_t at = rest.find("@seed=");
+    if (at == std::string_view::npos)
+      throw std::invalid_argument(
+          "fault spec: p= requires an explicit @seed= (deterministic replay)");
+    spec.probability = parse_probability(rest.substr(0, at));
+    spec.seed = parse_u64(rest.substr(at + 6), "seed");
+  } else {
+    throw std::invalid_argument("fault spec: unknown trigger '" +
+                                std::string(text) + "' (nth=|every=|p=)");
+  }
+  return spec;
+}
+
+void arm(const std::string& directives) {
+  Registry& reg = Registry::global();
+  // Parse everything before arming anything: a bad directive arms nothing.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  std::size_t start = 0;
+  while (start <= directives.size()) {
+    std::size_t end = directives.find(',', start);
+    if (end == std::string::npos) end = directives.size();
+    const std::string_view item(directives.data() + start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      throw std::invalid_argument("fault directive '" + std::string(item) +
+                                  "' is not <site>:<spec>");
+    parsed.emplace_back(std::string(item.substr(0, colon)),
+                        parse_spec(item.substr(colon + 1)));
+  }
+  std::scoped_lock lock(reg.mutex);
+  for (const auto& [site, spec] : parsed)
+    detail::arm_one_locked(reg, site, spec);
+  detail::refresh_any_armed_locked(reg);
+}
+
+void disarm_all() {
+  Registry& reg = Registry::global();
+  std::scoped_lock lock(reg.mutex);
+  reg.pending.clear();
+  for (auto& [name, site] : reg.sites) {
+    site->armed.store(false, std::memory_order_release);
+    site->calls.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+  }
+  detail::refresh_any_armed_locked(reg);
+}
+
+void arm_from_env() {
+  static const bool once = [] {
+    if (const char* env = std::getenv("RP_FAULT");
+        env != nullptr && env[0] != '\0') {
+      try {
+        arm(env);
+      } catch (const std::exception& e) {
+        // A typo'd RP_FAULT must not silently run fault-free: the whole
+        // point of the variable is to make this run fail somewhere.
+        std::fprintf(stderr, "RP_FAULT: %s\n", e.what());
+        std::abort();
+      }
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+std::vector<SiteStatus> site_status() {
+  Registry& reg = Registry::global();
+  std::scoped_lock lock(reg.mutex);
+  std::vector<SiteStatus> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, site] : reg.sites) {
+    SiteStatus status;
+    status.name = name;
+    status.armed = site->armed.load(std::memory_order_relaxed);
+    status.calls = site->calls.load(std::memory_order_relaxed);
+    status.fires = site->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace rp::fault

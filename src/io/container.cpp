@@ -5,6 +5,7 @@
 #include <fstream>
 #include <limits>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -73,8 +74,9 @@ void ByteWriter::str(std::string_view s) {
 // --- ByteReader --------------------------------------------------------------
 
 void ByteReader::underrun() const {
-  throw SnapshotError("snapshot " + context_ +
-                      ": truncated (read past end of section)");
+  throw SnapshotError(
+      "snapshot " + context_ + ": truncated (read past end of section)",
+      SnapshotErrorClass::kTruncated);
 }
 
 std::uint8_t ByteReader::u8() {
@@ -167,26 +169,56 @@ std::vector<std::uint8_t> ContainerWriter::serialize() const {
 
 void write_bytes_atomic(std::span<const std::uint8_t> bytes,
                         const std::filesystem::path& path) {
+  // io.write decides up front: a corruption action writes a complete-but-
+  // corrupt image (the read side must catch it via checksums), while a throw
+  // action simulates a crash after half the bytes hit the temp file — the
+  // rename must never happen and the temp file must not linger.
+  static fault::Site site(fault::kSiteIoWrite);
+  std::span<const std::uint8_t> to_write = bytes;
+  std::vector<std::uint8_t> corrupted;
+  bool injected_crash = false;
+  if (auto action = site.fire()) {
+    if (*action == fault::Action::kThrow) {
+      injected_crash = true;
+    } else {
+      corrupted.assign(bytes.begin(), bytes.end());
+      site.apply(*action, corrupted);
+      to_write = corrupted;
+    }
+  }
+
   std::filesystem::path tmp = path;
   tmp += ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os)
-      throw SnapshotError("cannot open " + tmp.string() + " for writing");
-    os.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) throw SnapshotError("short write to " + tmp.string());
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp);
-    throw SnapshotError("cannot rename " + tmp.string() + " over " +
-                        path.string() + ": " + ec.message());
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os)
+        throw SnapshotError("cannot open " + tmp.string() + " for writing",
+                            SnapshotErrorClass::kIo);
+      const std::size_t head =
+          injected_crash ? to_write.size() / 2 : to_write.size();
+      os.write(reinterpret_cast<const char*>(to_write.data()),
+               static_cast<std::streamsize>(head));
+      os.flush();
+      if (!os)
+        throw SnapshotError("short write to " + tmp.string(),
+                            SnapshotErrorClass::kIo);
+    }
+    if (injected_crash) site.raise();
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+      throw SnapshotError("cannot rename " + tmp.string() + " over " +
+                              path.string() + ": " + ec.message(),
+                          SnapshotErrorClass::kIo);
+  } catch (...) {
+    // Whatever failed, never leave a partial temp file next to the target.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
   }
   static obs::Counter written("rp.io.bytes_written");
-  written.add(bytes.size());
+  written.add(to_write.size());
 }
 
 void ContainerWriter::write_file_atomic(
@@ -202,7 +234,8 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
   const auto& data = reader.bytes_;
   if (data.size() < kHeaderBytes)
     throw SnapshotError("snapshot header: file too small (" +
-                        std::to_string(data.size()) + " bytes)");
+                            std::to_string(data.size()) + " bytes)",
+                        SnapshotErrorClass::kTruncated);
   for (std::size_t i = 0; i < kMagic.size(); ++i)
     if (data[i] != kMagic[i])
       throw SnapshotError("snapshot header: bad magic (not a snapshot file)");
@@ -212,10 +245,13 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
   if (reader.version_ > kFormatVersion)
     throw SnapshotError(
         "snapshot header: format version " + std::to_string(reader.version_) +
-        " is newer than supported version " + std::to_string(kFormatVersion));
+            " is newer than supported version " +
+            std::to_string(kFormatVersion),
+        SnapshotErrorClass::kVersion);
   const std::uint32_t count = header.u32_fixed();
   if (data.size() < kHeaderBytes + kEntryBytes * std::uint64_t{count})
-    throw SnapshotError("snapshot header: section table truncated");
+    throw SnapshotError("snapshot header: section table truncated",
+                        SnapshotErrorClass::kTruncated);
   ByteReader table(
       whole.subspan(kHeaderBytes, kEntryBytes * std::size_t{count}),
       "section table");
@@ -229,7 +265,8 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
     entry.checksum = table.u64_fixed();
     if (entry.offset > data.size() || entry.size > data.size() - entry.offset)
       throw SnapshotError("snapshot section " + std::to_string(entry.id) +
-                          ": payload extends past end of file (truncated?)");
+                              ": payload extends past end of file (truncated?)",
+                          SnapshotErrorClass::kTruncated);
     for (const auto& prior : reader.entries_)
       if (prior.id == entry.id)
         throw SnapshotError("snapshot section table: duplicate section id " +
@@ -238,9 +275,14 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
   }
 
   // Verify every checksum up front (in parallel) so no decoder ever touches
-  // corrupt bytes. parallel_for rethrows the first failure.
+  // corrupt bytes. parallel_for rethrows the first failure. The io.verify
+  // fault site fires per section and always throws (the payload span is
+  // read-only here), which doubles as coverage for an exception escaping a
+  // pool task mid-verification.
+  static fault::Site verify_site(fault::kSiteIoVerify);
   util::ThreadPool::global().parallel_for(
       reader.entries_.size(), [&reader](std::size_t i) {
+        verify_site.maybe_throw();
         const SectionEntry& entry = reader.entries_[i];
         const auto payload = std::span(reader.bytes_)
                                  .subspan(entry.offset, entry.size);
@@ -258,16 +300,24 @@ ContainerReader ContainerReader::from_bytes(std::vector<std::uint8_t> bytes) {
 
 ContainerReader ContainerReader::from_file(const std::filesystem::path& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw SnapshotError("cannot open " + path.string());
+  if (!is)
+    throw SnapshotError("cannot open " + path.string(),
+                        SnapshotErrorClass::kIo);
   std::vector<std::uint8_t> bytes;
   is.seekg(0, std::ios::end);
   const auto size = is.tellg();
-  if (size < 0) throw SnapshotError("cannot stat " + path.string());
+  if (size < 0)
+    throw SnapshotError("cannot stat " + path.string(),
+                        SnapshotErrorClass::kIo);
   bytes.resize(static_cast<std::size_t>(size));
   is.seekg(0);
   is.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
-  if (!is) throw SnapshotError("short read from " + path.string());
+  if (!is)
+    throw SnapshotError("short read from " + path.string(),
+                        SnapshotErrorClass::kIo);
+  static fault::Site read_site(fault::kSiteIoRead);
+  read_site.maybe_corrupt(bytes);
   static obs::Counter read("rp.io.bytes_read");
   read.add(bytes.size());
   return from_bytes(std::move(bytes));

@@ -25,11 +25,41 @@
 
 namespace rp::io {
 
+/// The failure classes a snapshot operation can report. The enumerator
+/// values are the documented process exit codes of `rpworld verify` /
+/// `rpworld diff`, so tools and CI can branch on *why* a snapshot was
+/// rejected without parsing messages:
+///   3  kIo         cannot open / short read / cannot rename
+///   4  kCorrupt    bad magic, checksum mismatch, malformed or inconsistent
+///                  payload (bit flips land here)
+///   5  kTruncated  file or section shorter than its declared size
+///   6  kVersion    format version newer than this build supports
+///   7  kInvariant  decoded world fails graph structural validation
+/// (0 = OK, 1 = worlds differ in `diff`, 2 = usage / unclassified error.)
+enum class SnapshotErrorClass : int {
+  kIo = 3,
+  kCorrupt = 4,
+  kTruncated = 5,
+  kVersion = 6,
+  kInvariant = 7,
+};
+
 /// Raised for every malformed-snapshot condition: bad magic, future format
 /// version, truncated table or payload, checksum mismatch, decode underrun.
+/// Carries the failure class so callers can map it to a distinct exit code.
 class SnapshotError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit SnapshotError(
+      const std::string& what,
+      SnapshotErrorClass error_class = SnapshotErrorClass::kCorrupt)
+      : std::runtime_error(what), class_(error_class) {}
+
+  SnapshotErrorClass error_class() const { return class_; }
+  /// The documented rpworld exit code for this failure class.
+  int exit_code() const { return static_cast<int>(class_); }
+
+ private:
+  SnapshotErrorClass class_;
 };
 
 /// Current container format version. Readers reject files with a greater

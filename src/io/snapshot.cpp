@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -551,9 +552,15 @@ namespace {
 
 std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw SnapshotError("cannot open " + path.string());
+  if (!is)
+    throw SnapshotError("cannot open " + path.string(),
+                        SnapshotErrorClass::kIo);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
                                   std::istreambuf_iterator<char>());
+  // The same logical site as ContainerReader::from_file — every snapshot
+  // byte stream entering the process passes one io.read checkpoint.
+  static fault::Site read_site(fault::kSiteIoRead);
+  read_site.maybe_corrupt(bytes);
   static obs::Counter read("rp.io.bytes_read");
   read.add(bytes.size());
   return bytes;
@@ -691,13 +698,17 @@ SnapshotInfo snapshot_info(const std::filesystem::path& path) {
   return info;
 }
 
-std::optional<std::string> verify_snapshot(const std::filesystem::path& path) {
+std::optional<VerifyFailure> verify_snapshot(
+    const std::filesystem::path& path) {
   try {
     LoadedWorld world = load_scenario(path);
     if (auto violation = world.scenario.graph().validate())
-      return "graph invariant violated: " + *violation;
+      return VerifyFailure{"graph invariant violated: " + *violation,
+                           SnapshotErrorClass::kInvariant};
+  } catch (const SnapshotError& e) {
+    return VerifyFailure{e.what(), e.error_class()};
   } catch (const std::exception& e) {
-    return std::string(e.what());
+    return VerifyFailure{e.what(), SnapshotErrorClass::kIo};
   }
   return std::nullopt;
 }

@@ -118,9 +118,18 @@ struct SnapshotInfo {
 /// loadable snapshot). Throws SnapshotError like load_scenario.
 SnapshotInfo snapshot_info(const std::filesystem::path& path);
 
+/// Why verification rejected a snapshot: the message plus the failure class
+/// (whose enumerator value is the documented rpworld exit code).
+struct VerifyFailure {
+  std::string message;
+  SnapshotErrorClass error_class = SnapshotErrorClass::kCorrupt;
+
+  int exit_code() const { return static_cast<int>(error_class); }
+};
+
 /// Deep verification: load the snapshot and run the graph's structural
-/// validation on top of the checksum/decode checks. Returns an error
-/// message, or nullopt when the snapshot is sound.
-std::optional<std::string> verify_snapshot(const std::filesystem::path& path);
+/// validation on top of the checksum/decode checks. Returns the classified
+/// failure, or nullopt when the snapshot is sound.
+std::optional<VerifyFailure> verify_snapshot(const std::filesystem::path& path);
 
 }  // namespace rp::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace rp::measure {
@@ -12,6 +13,26 @@ struct QuerySlot {
   std::size_t interface_index;
   ixp::LgOperator op;
 };
+
+// campaign.probe fires per scheduled ping. A fired probe is dropped — the
+// sample is simply never taken, the loss a real campaign sees when an LG
+// query times out — and the §3 filters absorb the thinner data downstream.
+fault::Site& probe_site() {
+  static fault::Site site(fault::kSiteCampaignProbe);
+  return site;
+}
+
+obs::Counter& probes_dropped() {
+  static obs::Counter dropped("rp.measure.probes.dropped");
+  return dropped;
+}
+
+/// True when this probe should be injected away (counting the drop).
+bool drop_probe() {
+  if (!probe_site().fire()) return false;
+  probes_dropped().add();
+  return true;
+}
 
 }  // namespace
 
@@ -96,6 +117,7 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
         const auto ping_at = at + config.intra_query_gap * p;
         sim.schedule(ping_at, [&measurement, &sim, lg_host, target, obs_index,
                                op = q.op, timeout = config.ping_timeout] {
+          if (drop_probe()) return;
           const util::SimTime sent = sim.now();
           lg_host->ping(target, timeout,
                         [&measurement, obs_index, op,
@@ -145,6 +167,7 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
           const auto ping_at = at + config.intra_query_gap * p;
           sim.schedule(ping_at, [&measurement, &sim, rs, target, obs_index,
                                  timeout = config.ping_timeout] {
+            if (drop_probe()) return;
             const util::SimTime sent = sim.now();
             rs->ping(target, timeout,
                      [&measurement, obs_index,

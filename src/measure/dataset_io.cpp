@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/strings.hpp"
 
 namespace rp::measure {
@@ -138,6 +139,9 @@ void write_dataset(const IxpMeasurement& measurement, std::ostream& os) {
 }
 
 IxpMeasurement read_dataset_strict(std::istream& is) {
+  // Fires per data line (after comment/blank skipping), so nth=N targets the
+  // Nth record deterministically regardless of surrounding noise lines.
+  static fault::Site parse_site(fault::kSiteDatasetParse);
   IxpMeasurement measurement;
   bool have_header = false;
   std::string line;
@@ -145,6 +149,7 @@ IxpMeasurement read_dataset_strict(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_number;
     if (line.empty() || line.front() == '#') continue;
+    parse_site.maybe_throw();
     const auto parts = util::split(line, ',');
     if (parts.empty()) continue;
     const std::string& tag = parts[0];
@@ -265,6 +270,11 @@ std::optional<IxpMeasurement> read_dataset(std::istream& is,
   try {
     return read_dataset_strict(is);
   } catch (const DatasetParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  } catch (const fault::InjectedFault& e) {
+    // An injected parse failure degrades exactly like a malformed dataset:
+    // the caller sees "no measurement" plus a message, never an escape.
     if (error != nullptr) *error = e.what();
     return std::nullopt;
   }

@@ -13,10 +13,12 @@
 namespace rp::obs {
 
 namespace detail {
-bool g_metrics_enabled = false;
+std::atomic<bool> g_metrics_enabled{false};
 }  // namespace detail
 
-void set_metrics_enabled(bool on) { detail::g_metrics_enabled = on; }
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
 
 bool metrics_env_requested() {
   const char* env = std::getenv("RP_METRICS");

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -42,12 +43,17 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 enum class Stability : std::uint8_t { kDeterministic, kScheduling };
 
 namespace detail {
-extern bool g_metrics_enabled;
+// Relaxed atomic rather than a plain bool so a toggle concurrent with pool
+// workers is a benign (and TSan-clean) race; the relaxed load compiles to
+// the same single branch on the hot path.
+extern std::atomic<bool> g_metrics_enabled;
 }  // namespace detail
 
 /// True when metric updates are being recorded. The hot-path gate: every
 /// Counter::add / Histogram::record begins with this branch.
-inline bool metrics_enabled() { return detail::g_metrics_enabled; }
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
 
 /// Flips recording on or off. Not meant to race with running pipelines; call
 /// it before the work starts (examples do this while parsing flags).

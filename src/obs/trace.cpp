@@ -15,7 +15,7 @@
 namespace rp::obs {
 
 namespace detail {
-bool g_trace_enabled = false;
+std::atomic<bool> g_trace_enabled{false};
 }  // namespace detail
 
 namespace {
@@ -86,13 +86,13 @@ void atexit_flush() { stop_trace(); }
 bool start_trace(const std::string& path) {
   Session& s = session();
   std::lock_guard<std::mutex> lock(s.mutex);
-  if (detail::g_trace_enabled) return false;
+  if (trace_enabled()) return false;
   s.path = path;
   s.buffers.clear();
   s.next_tid = 1;
   ++s.generation;
   s.start_ns = monotonic_ns();
-  detail::g_trace_enabled = true;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
   return true;
 }
 
@@ -103,10 +103,10 @@ std::size_t stop_trace() {
   std::uint64_t start_ns = 0;
   {
     std::lock_guard<std::mutex> lock(s.mutex);
-    if (!detail::g_trace_enabled) return 0;
+    if (!trace_enabled()) return 0;
     // Flip the gate first: spans starting after this point record nothing,
     // and in-flight appends race only against the per-buffer merge locks.
-    detail::g_trace_enabled = false;
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
     buffers.swap(s.buffers);
     path.swap(s.path);
     start_ns = s.start_ns;

@@ -14,17 +14,22 @@
 // in release hot paths at phase granularity.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace rp::obs {
 
 namespace detail {
-extern bool g_trace_enabled;
+// Relaxed atomic for the same reason as g_metrics_enabled: spans on pool
+// workers read it while the main thread starts/stops sessions.
+extern std::atomic<bool> g_trace_enabled;
 }  // namespace detail
 
 /// True while a trace session is recording.
-inline bool trace_enabled() { return detail::g_trace_enabled; }
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
 
 /// Starts recording spans; the trace is written to `path` by stop_trace().
 /// Returns false (and records nothing) if a session is already active.

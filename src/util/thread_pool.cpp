@@ -4,11 +4,22 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
+
 namespace rp::util {
 namespace {
 
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;
+
+// The pool.task injection site: fires per claimed index on a worker, inside
+// the same try block as the task body, so an injected fault takes exactly
+// the path a throwing task takes — recorded on the batch, rethrown to the
+// submitting caller, never a deadlock or a leaked batch.
+rp::fault::Site& pool_task_site() {
+  static rp::fault::Site site(rp::fault::kSitePoolTask);
+  return site;
+}
 
 }  // namespace
 
@@ -61,6 +72,8 @@ bool& ThreadPool::worker_flag() {
   return flag;
 }
 
+fault::Site& ThreadPool::task_site() { return pool_task_site(); }
+
 // Deterministic work counters: the number of parallel_for calls and the
 // total index space are properties of the workload, not the schedule, so
 // they also count the inline paths.
@@ -98,6 +111,7 @@ void ThreadPool::run_batch(Batch* batch) {
   for (std::size_t i = batch->next.fetch_add(1); i < batch->n;
        i = batch->next.fetch_add(1)) {
     try {
+      pool_task_site().maybe_throw();
       batch->invoke(batch->ctx, i);
     } catch (...) {
       std::scoped_lock lock(batch->mutex);

@@ -27,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace rp::util {
@@ -65,6 +66,18 @@ class ThreadPool {
     if (n == 0) return;
     if (obs::metrics_enabled()) note_parallel_for(n);
     if (workers_.empty() || n == 1 || on_worker_thread()) {
+      // The pool.task site fires on the inline path too, so RP_THREADS=1
+      // injects the same faults a worker run does (the throw just propagates
+      // directly instead of via the batch's error slot). The disarmed check
+      // is hoisted out of the loop: inline loops can be tight argmax scans,
+      // so the disarmed cost is one branch per call, not per index.
+      if (fault::injection_enabled()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          task_site().maybe_throw();
+          fn(i);
+        }
+        return;
+      }
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -114,6 +127,7 @@ class ThreadPool {
 
   static bool& worker_flag();
   static bool on_worker_thread() { return worker_flag(); }
+  static fault::Site& task_site();
   static void note_parallel_for(std::size_t n);
   void submit_and_wait(Batch* batch);
   void run_batch(Batch* batch);

@@ -20,9 +20,9 @@ net::Asn as(std::uint32_t n) { return net::Asn{n}; }
 /// A small reference topology:
 ///
 ///        1 ===== 2          (tier-1 peering)
-///       / \       \
+///       / \       \_
 ///      3   4       5        (transit: 1->3, 1->4, 2->5)
-///     /     \     / \
+///     /     \     / \_
 ///    6       7   8   9      (transit: 3->6, 4->7, 5->8, 5->9)
 ///    plus peering 4 -- 5 and 6 -- 7.
 AsGraph reference_graph() {
@@ -206,8 +206,9 @@ TEST(RouteComputer, PathLengthsConsistentWithPaths) {
       if (!route) continue;
       EXPECT_EQ(route->path_length(),
                 routes.path_length_from(src.asn));
-      if (!route->as_path.empty())
+      if (!route->as_path.empty()) {
         EXPECT_EQ(route->as_path.back(), dst.asn);
+      }
     }
   }
 }

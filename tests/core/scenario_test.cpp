@@ -76,8 +76,9 @@ TEST(Scenario, MeasuredIxpsHaveLookingGlasses) {
     EXPECT_FALSE(ixp.looking_glasses().empty()) << ixp.acronym();
     // The big three host both LG operators (LG-consistent filter fodder).
     if (ixp.acronym() == "AMS-IX" || ixp.acronym() == "DE-CIX" ||
-        ixp.acronym() == "LINX")
+        ixp.acronym() == "LINX") {
       EXPECT_EQ(ixp.looking_glasses().size(), 2u) << ixp.acronym();
+    }
   }
 }
 

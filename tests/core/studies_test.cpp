@@ -85,8 +85,9 @@ TEST(SpreadStudy, FiltersDiscardASmallConservativeShare) {
 
 TEST(SpreadStudy, RemoteFreeIxpsComeOutClean) {
   for (const auto& row : shared_spread().report().rows()) {
-    if (row.acronym == "DIX-IE" || row.acronym == "CABASE")
+    if (row.acronym == "DIX-IE" || row.acronym == "CABASE") {
       EXPECT_EQ(row.remote_interfaces, 0u) << row.acronym;
+    }
   }
 }
 
@@ -235,8 +236,9 @@ TEST(ViabilityStudy, SweepCoversViabilityBoundary) {
     EXPECT_EQ(point.viable, point.optimal_m >= 1.0 - 1e-12);
   // Where viable, adding remote peering lowers the cost.
   for (const auto& point : sweep)
-    if (point.viable)
+    if (point.viable) {
       EXPECT_LE(point.cost_with_remote, point.cost_without_remote + 1e-12);
+    }
   EXPECT_THROW(viability.sweep_decay(1.0, 0.5, 10), std::invalid_argument);
 }
 

@@ -1,0 +1,363 @@
+// Drives every compiled-in injection site through the real pipeline and
+// asserts the documented degradation: the scenario cache rebuilds cleanly,
+// snapshot writes stay atomic, the thread pool neither deadlocks nor leaks,
+// dataset parsing reports instead of escaping, campaigns lose probes but
+// still report — and every absorbed fault shows up in the metrics.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "geo/cities.hpp"
+#include "io/snapshot.hpp"
+#include "measure/campaign.hpp"
+#include "measure/dataset_io.hpp"
+#include "net/subnet_allocator.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::fault {
+namespace {
+
+core::ScenarioConfig tiny_config() {
+  core::ScenarioConfig config;
+  config.seed = 31;
+  config.euroix = false;
+  config.membership_scale = 0.05;
+  config.topology.tier2_count = 15;
+  config.topology.access_count = 60;
+  config.topology.content_count = 15;
+  config.topology.cdn_count = 5;
+  config.topology.nren_count = 4;
+  config.topology.enterprise_count = 30;
+  return config;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const auto& metric : obs::MetricsRegistry::global().snapshot())
+    if (metric.name == name) return metric.count;
+  return 0;
+}
+
+/// Files (non-recursively) in `dir`, for asserting no temp-file litter.
+std::vector<std::string> files_in(const std::filesystem::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+    names.push_back(entry.path().filename().string());
+  return names;
+}
+
+class FaultSitesTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    disarm_all();
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           ("rpfault_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    snap_ = dir_ / "world.rpsnap";
+    io::save_scenario(world(), snap_);
+  }
+  void TearDown() override {
+    disarm_all();
+    obs::set_metrics_enabled(false);
+    std::filesystem::remove_all(dir_);
+  }
+
+  static const core::Scenario& world() {
+    static const core::Scenario scenario = core::Scenario::build(tiny_config());
+    return scenario;
+  }
+
+  std::filesystem::path dir_;
+  std::filesystem::path snap_;
+};
+
+// --- io.read -----------------------------------------------------------------
+
+TEST_F(FaultSitesTest, IoReadThrowEscapesLoadAsInjectedFault) {
+  arm("io.read:nth=1");
+  EXPECT_THROW(io::load_scenario(snap_), InjectedFault);
+  disarm_all();
+  EXPECT_NO_THROW(io::load_scenario(snap_));
+}
+
+TEST_F(FaultSitesTest, IoReadBitFlipIsCaughtByChecksums) {
+  arm("io.read:nth=1+flip");
+  try {
+    io::load_scenario(snap_);
+    FAIL() << "expected SnapshotError";
+  } catch (const io::SnapshotError& e) {
+    // A single flipped bit lands in a checksum mismatch (or, if it hits the
+    // header/table, a malformed-container error) — never a decoded world.
+    EXPECT_NE(e.error_class(), io::SnapshotErrorClass::kIo);
+  }
+}
+
+TEST_F(FaultSitesTest, IoReadTruncationClassifiesAsTruncated) {
+  arm("io.read:nth=1+truncate");
+  try {
+    io::load_scenario(snap_);
+    FAIL() << "expected SnapshotError";
+  } catch (const io::SnapshotError& e) {
+    EXPECT_EQ(e.error_class(), io::SnapshotErrorClass::kTruncated);
+  }
+}
+
+// --- io.write ----------------------------------------------------------------
+
+TEST_F(FaultSitesTest, IoWriteCrashLeavesOldSnapshotAndNoTemp) {
+  std::uintmax_t old_size = std::filesystem::file_size(snap_);
+  arm("io.write:nth=1");
+  EXPECT_THROW(io::save_scenario(world(), snap_), InjectedFault);
+  // The old snapshot survives byte-for-byte reachable, and the half-written
+  // temp file is gone.
+  EXPECT_EQ(std::filesystem::file_size(snap_), old_size);
+  EXPECT_NO_THROW(io::load_scenario(snap_));
+  for (const auto& name : files_in(dir_))
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+}
+
+TEST_F(FaultSitesTest, IoWriteCorruptionIsCompleteButDetected) {
+  arm("io.write:nth=1+flip");
+  EXPECT_NO_THROW(io::save_scenario(world(), snap_));
+  disarm_all();
+  // The write completed (atomically), but the payload carries a flipped bit
+  // the read side must reject.
+  EXPECT_THROW(io::load_scenario(snap_), io::SnapshotError);
+  EXPECT_NO_THROW(io::save_scenario(world(), snap_));
+  EXPECT_NO_THROW(io::load_scenario(snap_));
+}
+
+// --- io.verify ---------------------------------------------------------------
+
+TEST_F(FaultSitesTest, IoVerifyFaultEscapesThePoolWithoutDeadlock) {
+  arm("io.verify:nth=1");
+  // The checksum pass runs on the global pool; the injected throw must be
+  // rethrown to the caller (not wedge a worker) and the pool must stay
+  // usable afterwards.
+  EXPECT_THROW(io::load_scenario(snap_), InjectedFault);
+  disarm_all();
+  EXPECT_NO_THROW(io::load_scenario(snap_));
+}
+
+// --- cache.load / cache.store ------------------------------------------------
+
+TEST_F(FaultSitesTest, CacheLoadFaultFallsBackToCleanRebuild) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  const std::filesystem::path cache_dir = dir_ / "cache";
+
+  core::SnapshotCacheResult result;
+  core::Scenario first =
+      core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  ASSERT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kMiss);
+
+  arm("cache.load:nth=1");
+  core::Scenario rebuilt =
+      core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  disarm_all();
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kFallback);
+  EXPECT_NE(result.message.find("injected fault"), std::string::npos);
+  EXPECT_EQ(rebuilt.graph().as_count(), first.graph().as_count());
+  EXPECT_GE(counter_value("rp.io.fallbacks"), 1u);
+  EXPECT_GE(counter_value("rp.fault.fires.cache.load"), 1u);
+
+  // The fallback recached atomically: the next run is a clean hit.
+  core::Scenario hit =
+      core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kHit);
+  EXPECT_EQ(hit.graph().as_count(), first.graph().as_count());
+}
+
+TEST_F(FaultSitesTest, CorruptCacheEntryIsRebuiltCleanViaIoRead) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  const std::filesystem::path cache_dir = dir_ / "cache";
+
+  core::SnapshotCacheResult result;
+  core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  ASSERT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kMiss);
+
+  // This is the ci.sh fault smoke, in-process: the cache entry's bytes are
+  // corrupted on read, the cache falls back, rebuilds, and rewrites a clean
+  // entry — and rp.io.fallbacks records the absorbed failure.
+  arm("io.read:nth=1+flip");
+  core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  disarm_all();
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kFallback);
+  EXPECT_GE(counter_value("rp.io.fallbacks"), 1u);
+
+  EXPECT_FALSE(io::verify_snapshot(result.path).has_value());
+  core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kHit);
+}
+
+TEST_F(FaultSitesTest, CacheStoreFaultStillDeliversTheWorld) {
+  const std::filesystem::path cache_dir = dir_ / "cache";
+  arm("cache.store:nth=1");
+  core::SnapshotCacheResult result;
+  core::Scenario scenario =
+      core::Scenario::build_cached(tiny_config(), cache_dir, &result);
+  disarm_all();
+  // The build succeeded; only the cache write was lost.
+  EXPECT_EQ(scenario.graph().as_count(), world().graph().as_count());
+  EXPECT_EQ(result.outcome, core::SnapshotCacheResult::Outcome::kMiss);
+  EXPECT_NE(result.message.find("injected fault"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(result.path));
+}
+
+// --- pool.task ---------------------------------------------------------------
+
+TEST_F(FaultSitesTest, PoolSurvivesInjectedTaskFault) {
+  util::ThreadPool pool(4);
+  arm("pool.task:nth=1");
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64, [&ran](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      }),
+      InjectedFault);
+  // Exactly one index was injected away; every other index still ran, the
+  // batch drained, and the pool is immediately reusable.
+  EXPECT_EQ(ran.load(), 63);
+  std::atomic<int> after{0};
+  EXPECT_NO_THROW(pool.parallel_for(32, [&after](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  }));
+  EXPECT_EQ(after.load(), 32);
+}
+
+TEST_F(FaultSitesTest, InlinePoolInjectsTheSameSite) {
+  // A 1-thread pool runs loops inline on the caller — the pool.task site
+  // must still fire there, so RP_THREADS=1 runs inject like worker runs.
+  util::ThreadPool pool(1);
+  arm("pool.task:nth=5");
+  int ran = 0;
+  EXPECT_THROW(pool.parallel_for(10, [&ran](std::size_t) { ++ran; }),
+               InjectedFault);
+  EXPECT_EQ(ran, 4);
+  EXPECT_NO_THROW(pool.parallel_for(10, [&ran](std::size_t) { ++ran; }));
+  EXPECT_EQ(ran, 14);
+}
+
+TEST_F(FaultSitesTest, PoolDeliversEveryKthFault) {
+  util::ThreadPool pool(2);
+  arm("pool.task:every=10");
+  int failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    try {
+      pool.parallel_for(10, [](std::size_t) {});
+    } catch (const InjectedFault&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 3);
+}
+
+// --- dataset.parse -----------------------------------------------------------
+
+TEST_F(FaultSitesTest, DatasetParseFaultIsReportedNotEscaped) {
+  const std::string dataset =
+      "# comment\n"
+      "H,0,MINI,0,86400000000000\n"
+      "I,0,198.18.0.10,0,colo,0\n"
+      "R,0,0,64500\n";
+  {
+    std::istringstream is(dataset);
+    EXPECT_TRUE(measure::read_dataset(is).has_value());
+  }
+  // nth counts data lines (comments skipped): 2 targets the I record.
+  arm("dataset.parse:nth=2");
+  {
+    std::istringstream is(dataset);
+    EXPECT_THROW(measure::read_dataset_strict(is), InjectedFault);
+  }
+  arm("dataset.parse:nth=2");
+  {
+    std::istringstream is(dataset);
+    std::string error;
+    EXPECT_FALSE(measure::read_dataset(is, &error).has_value());
+    EXPECT_NE(error.find("injected fault"), std::string::npos);
+    EXPECT_NE(error.find("dataset.parse"), std::string::npos);
+  }
+}
+
+// --- campaign.probe ----------------------------------------------------------
+
+const geo::City& city(const char* name) {
+  return geo::CityRegistry::world().at(name);
+}
+
+ixp::Ixp mini_ixp() {
+  ixp::Ixp ixp{0, "MINI", "Mini Exchange", city("Amsterdam"), 0.5,
+               net::Ipv4Prefix::make(net::Ipv4Addr(198, 18, 0, 0), 24)};
+  net::HostAllocator addrs{ixp.peering_lan()};
+  ixp.add_looking_glass(ixp::LookingGlass::pch(addrs.allocate()));
+  std::uint32_t serial = 1;
+  for (std::uint32_t member = 0; member < 6; ++member) {
+    ixp::MemberInterface iface;
+    iface.asn = net::Asn{64500 + member};
+    iface.addr = addrs.allocate();
+    iface.mac = net::MacAddr::from_id(serial++);
+    iface.kind = ixp::AttachmentKind::kDirectColo;
+    iface.equipment_city = city("Amsterdam");
+    ixp.add_interface(iface);
+  }
+  return ixp;
+}
+
+std::size_t total_samples(const measure::IxpMeasurement& measurement) {
+  std::size_t samples = 0;
+  for (const auto& obs : measurement.interfaces) {
+    for (const auto& [op, list] : obs.samples) samples += list.size();
+    samples += obs.route_server_samples.size();
+  }
+  return samples;
+}
+
+measure::IxpMeasurement run_mini_campaign() {
+  measure::CampaignConfig config;
+  config.length = util::SimDuration::days(2);
+  config.queries_per_pch_lg = 4;
+  config.queries_per_ripe_lg = 3;
+  config.faults = measure::FaultPlanConfig{};
+  config.faults.blackhole_rate = 0.0;
+  config.faults.absent_rate = 0.0;
+  config.faults.ttl_switch_rate = 0.0;
+  util::Rng rng(2014);
+  const ixp::Ixp ixp = mini_ixp();
+  return measure::run_ixp_campaign(ixp, config, rng);
+}
+
+TEST_F(FaultSitesTest, CampaignDropsInjectedProbesButStillReports) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  const std::size_t clean = total_samples(run_mini_campaign());
+  ASSERT_GT(clean, 0u);
+
+  arm("campaign.probe:every=2");
+  const measure::IxpMeasurement degraded = run_mini_campaign();
+  const std::size_t kept = total_samples(degraded);
+  EXPECT_LT(kept, clean);
+  EXPECT_GT(kept, 0u);
+  EXPECT_GE(counter_value("rp.measure.probes.dropped"), clean - kept);
+  EXPECT_GE(counter_value("rp.fault.fires.campaign.probe"), 1u);
+
+  // Same spec, fresh arm: the drop pattern replays and the degraded
+  // measurement is deterministic.
+  arm("campaign.probe:every=2");
+  EXPECT_EQ(total_samples(run_mini_campaign()), kept);
+}
+
+}  // namespace
+}  // namespace rp::fault

@@ -24,7 +24,9 @@ TEST_P(CityPairProperty, DistanceIsAMetric) {
   const double ba = great_circle_distance_m(b.position, a.position);
   EXPECT_DOUBLE_EQ(ab, ba);                     // Symmetry.
   EXPECT_GE(ab, 0.0);                           // Non-negativity.
-  if (a.name == b.name) EXPECT_DOUBLE_EQ(ab, 0.0);
+  if (a.name == b.name) {
+    EXPECT_DOUBLE_EQ(ab, 0.0);
+  }
   // Bounded by half the circumference.
   EXPECT_LE(ab, 20'100'000.0);
   // Triangle inequality through a third city.

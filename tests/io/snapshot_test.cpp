@@ -289,6 +289,54 @@ TEST_F(SnapshotFileTest, FutureVersionIsRejected) {
   }
 }
 
+TEST_F(SnapshotFileTest, VerifyClassifiesFailuresWithDistinctExitCodes) {
+  // Healthy file: no failure, exit code 0 by construction.
+  EXPECT_FALSE(verify_snapshot(path_).has_value());
+
+  // Corrupt payload -> kCorrupt (rpworld exit 4).
+  {
+    auto bytes = read_file();
+    bytes[bytes.size() / 2] ^= 0x40;
+    write_file(bytes);
+    const auto failure = verify_snapshot(path_);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->error_class, SnapshotErrorClass::kCorrupt);
+    EXPECT_EQ(failure->exit_code(), 4);
+  }
+
+  // Truncated file -> kTruncated (exit 5).
+  {
+    save_scenario(small_world(), path_);
+    auto bytes = read_file();
+    bytes.resize(bytes.size() * 3 / 4);
+    write_file(bytes);
+    const auto failure = verify_snapshot(path_);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->error_class, SnapshotErrorClass::kTruncated);
+    EXPECT_EQ(failure->exit_code(), 5);
+  }
+
+  // Future format version -> kVersion (exit 6).
+  {
+    save_scenario(small_world(), path_);
+    auto bytes = read_file();
+    bytes[8] += 1;
+    write_file(bytes);
+    const auto failure = verify_snapshot(path_);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->error_class, SnapshotErrorClass::kVersion);
+    EXPECT_EQ(failure->exit_code(), 6);
+  }
+
+  // Unreadable path -> kIo (exit 3).
+  {
+    const auto failure = verify_snapshot(dir_ / "does_not_exist.rpsnap");
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->error_class, SnapshotErrorClass::kIo);
+    EXPECT_EQ(failure->exit_code(), 3);
+  }
+}
+
 TEST_F(SnapshotFileTest, BuildCachedHitsMissesAndFallsBack) {
   const core::ScenarioConfig config = small_config();
   const std::filesystem::path cache_dir = dir_ / "cache";

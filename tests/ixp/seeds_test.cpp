@@ -50,7 +50,9 @@ TEST(Table1Seeds, RemoteFreeIxpsMatchPaper) {
 
 TEST(Table1Seeds, DixIeHasUnknownPeakTraffic) {
   for (const auto& seed : table1_seeds())
-    if (seed.acronym == "DIX-IE") EXPECT_LT(seed.peak_traffic_tbps, 0.0);
+    if (seed.acronym == "DIX-IE") {
+      EXPECT_LT(seed.peak_traffic_tbps, 0.0);
+    }
 }
 
 TEST(EuroixSeeds, Has65IxpsSupersetOfTable1) {

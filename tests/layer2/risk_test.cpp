@@ -93,8 +93,9 @@ TEST(MultihomingRisk, IndependentRemotePartiallyCoversTransitFailure) {
   EXPECT_EQ(report.worst_case_organization, "AS1");
   // Provider or IXP failures fall back to transit: full survival.
   for (const auto& failure : report.failures) {
-    if (failure.organization != "AS1")
+    if (failure.organization != "AS1") {
       EXPECT_DOUBLE_EQ(failure.surviving_traffic_fraction, 1.0);
+    }
   }
 }
 

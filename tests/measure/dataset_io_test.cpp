@@ -97,8 +97,9 @@ TEST(DatasetIo, ReanalysisOfLoadedDatasetMatchesOriginal) {
   ASSERT_EQ(a.interfaces.size(), b.interfaces.size());
   for (std::size_t i = 0; i < a.interfaces.size(); ++i) {
     EXPECT_EQ(a.interfaces[i].discarded_by, b.interfaces[i].discarded_by);
-    if (a.interfaces[i].analyzed())
+    if (a.interfaces[i].analyzed()) {
       EXPECT_EQ(a.interfaces[i].min_rtt, b.interfaces[i].min_rtt);
+    }
   }
 }
 

@@ -38,8 +38,8 @@ TEST(Metrics, CounterSumsExactlyAcrossThreads) {
     });
   for (auto& thread : threads) thread.join();
   counter.add(5);
-  const auto* m =
-      find(MetricsRegistry::global().snapshot(), "test.metrics.cross_thread");
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.cross_thread");
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->kind, MetricKind::kCounter);
   EXPECT_EQ(m->count, 8u * 1000u * 3u + 5u);
@@ -83,8 +83,8 @@ TEST(Metrics, HistogramBucketsAreLog2) {
   histogram.record(2);    // bucket 2
   histogram.record(3);    // bucket 2
   histogram.record(900);  // bucket 10: [512, 1024)
-  const auto* m =
-      find(MetricsRegistry::global().snapshot(), "test.metrics.log2");
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.log2");
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->count, 5u);
   EXPECT_EQ(m->sum, 906u);
@@ -103,8 +103,8 @@ TEST(Metrics, GaugeLastWriterWins) {
   Gauge gauge("test.metrics.gauge");
   gauge.set(1.5);
   gauge.set(42.25);
-  const auto* m =
-      find(MetricsRegistry::global().snapshot(), "test.metrics.gauge");
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.gauge");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->value, 42.25);
 }
@@ -114,9 +114,8 @@ TEST(Metrics, ResetZeroesEverything) {
   Counter counter("test.metrics.reset");
   counter.add(9);
   MetricsRegistry::global().reset();
-  EXPECT_EQ(find(MetricsRegistry::global().snapshot(), "test.metrics.reset")
-                ->count,
-            0u);
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(find(snap, "test.metrics.reset")->count, 0u);
 }
 
 TEST(Metrics, SnapshotIsSortedByName) {
@@ -140,8 +139,8 @@ TEST(Metrics, ScopedTimerRecordsWhenEnabled) {
   MetricsRegistry::global().reset();
   Histogram histogram("test.metrics.timer");
   { ScopedTimer timer(histogram); }
-  const auto* m =
-      find(MetricsRegistry::global().snapshot(), "test.metrics.timer");
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.timer");
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->count, 1u);
 }

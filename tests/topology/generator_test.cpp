@@ -156,8 +156,9 @@ TEST(Generator, Tier1sAreRestrictive) {
   util::Rng rng(12);
   const AsGraph g = generate_topology(small_config(), rng);
   for (const auto& node : g.nodes())
-    if (node.cls == AsClass::kTier1)
+    if (node.cls == AsClass::kTier1) {
       EXPECT_EQ(node.policy, PeeringPolicy::kRestrictive);
+    }
 }
 
 TEST(Generator, RequiresATier1) {
