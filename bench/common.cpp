@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/config_fields.hpp"
 #include "io/snapshot.hpp"
 
 namespace rp::bench {
@@ -17,15 +18,7 @@ core::ScenarioConfig scenario_config() {
   core::ScenarioConfig config;
   config.seed = 2014;  // The paper's year; any seed reproduces bit-for-bit.
   config.euroix = true;
-  if (fast_mode()) {
-    config.membership_scale = 0.10;
-    config.topology.tier2_count = 30;
-    config.topology.access_count = 150;
-    config.topology.content_count = 40;
-    config.topology.cdn_count = 8;
-    config.topology.nren_count = 6;
-    config.topology.enterprise_count = 80;
-  }
+  if (fast_mode()) core::apply_fast_mode(config);
   return config;
 }
 

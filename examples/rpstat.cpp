@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/config_fields.hpp"
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
 #include "core/spread_study.hpp"
@@ -75,15 +76,7 @@ int main(int argc, char** argv) {
   config.topology.cdn_count = 10;
   config.topology.nren_count = 8;
   config.topology.enterprise_count = 150;
-  if (fast) {
-    config.membership_scale = std::min(scale, 0.10);
-    config.topology.tier2_count = 30;
-    config.topology.access_count = 150;
-    config.topology.content_count = 40;
-    config.topology.cdn_count = 8;
-    config.topology.nren_count = 6;
-    config.topology.enterprise_count = 80;
-  }
+  if (fast) core::apply_fast_mode(config);
 
   core::SnapshotCacheResult cache;
   const core::Scenario scenario =

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "core/config_fields.hpp"
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
 #include "io/snapshot.hpp"
@@ -47,15 +48,7 @@ core::ScenarioConfig make_config(bool fast, bool table1, std::uint64_t seed,
   config.seed = seed;
   config.euroix = !table1;
   config.membership_scale = scale;
-  if (fast) {
-    config.membership_scale = std::min(scale, 0.10);
-    config.topology.tier2_count = 30;
-    config.topology.access_count = 150;
-    config.topology.content_count = 40;
-    config.topology.cdn_count = 8;
-    config.topology.nren_count = 6;
-    config.topology.enterprise_count = 80;
-  }
+  if (fast) core::apply_fast_mode(config);
   return config;
 }
 

@@ -37,6 +37,41 @@ expect_rc() {
   fi
 }
 
+# Every RP_* environment variable the binaries read. The sed strips the
+# getenv("...") wrapper around each match.
+env_vars_read() {
+  grep -rhoE 'getenv\("RP_[A-Z_]+"\)' src examples bench |
+    sed -e 's/getenv("//' -e 's/")//' | sort -u
+}
+
+# Fails unless every env var from env_vars_read has a row in the given
+# README's environment-variable reference table (rows look like `| \`RP_X\` |`).
+doc_lint_against() {
+  local readme="$1" var bad=0
+  for var in $(env_vars_read); do
+    if ! grep -qE "^\| +\`$var\`" "$readme"; then
+      echo "doc-lint: $var is read by the code but has no row in $readme" >&2
+      bad=1
+    fi
+  done
+  return "$bad"
+}
+
+doc_lint() {
+  echo "=== doc lint (RP_* env reads vs README reference table) ==="
+  doc_lint_against README.md
+  # Self-test: the lint must demonstrably fail when a documented row is
+  # removed, otherwise a broken grep would fake a green check forever.
+  local scratch
+  scratch="$(tmpdir)"
+  grep -v '`RP_FAULT`' README.md > "$scratch/README-broken.md"
+  if doc_lint_against "$scratch/README-broken.md" 2> /dev/null; then
+    echo "FAIL: doc lint did not flag a missing RP_FAULT row" >&2
+    return 1
+  fi
+  echo "doc lint passed (self-test: a removed row fails the lint)"
+}
+
 configure_and_build() {
   local preset="$1"
   echo "=== [$preset] configure ==="
@@ -172,6 +207,42 @@ figure_smoke() {
   done
 }
 
+# rpsweep end to end: the 24-run grid (6 econ.b x 4 econ.h on one fast
+# world) runs uninterrupted at RP_THREADS=1, then again at RP_THREADS=8 with
+# a fault injected at the 9th run, is resumed, and the two results tables
+# compared byte for byte — the resume + determinism contract of DESIGN.md §12.
+sweep_smoke() {
+  local build="$1"
+  echo "=== [$build] sweep smoke (rpsweep run/kill/resume byte-identity) ==="
+  local dir rpsweep="build/$build/examples/rpsweep"
+  dir="$(tmpdir)"
+  cat > "$dir/grid.spec" <<'EOF'
+name ci-grid
+group 4
+steps 20
+fast 1
+base seed 11
+axis econ.b lin:0.2:1.2:6
+axis econ.h 0.002 0.006 0.01 0.016
+EOF
+  "$rpsweep" plan "$dir/grid.spec" --dir "$dir/a" > "$dir/plan.log"
+  grep -q "24 runs" "$dir/plan.log"
+  # Reference: single-threaded, uninterrupted.
+  RP_THREADS=1 RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpsweep" run "$dir/grid.spec" --dir "$dir/a" > /dev/null
+  # The same grid at 8 threads, killed mid-sweep at the 9th run...
+  expect_rc 1 env RP_THREADS=8 RP_FAULT=sweep.run:nth=9 \
+    RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpsweep" run "$dir/grid.spec" --dir "$dir/b"
+  # ...resumes from the surviving completion records...
+  RP_THREADS=8 RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpsweep" resume --dir "$dir/b" > "$dir/resume.log"
+  grep -q "skipped via completion records" "$dir/resume.log"
+  # ...to byte-identical results.
+  cmp "$dir/a/results.csv" "$dir/b/results.csv"
+  cmp "$dir/a/results.json" "$dir/b/results.json"
+}
+
 # The concurrency-sensitive suites again at a fixed high thread count, so the
 # TSan lane actually exercises contended pool/metrics/fault paths (the default
 # pool sizes itself to the machine and may be serial on small runners).
@@ -194,6 +265,7 @@ run_lane() {
       snapshot_smoke "$preset"
       obs_smoke "$preset"
       fault_smoke "$preset"
+      sweep_smoke "$preset"
       perf_smoke "$preset"
       figure_smoke "$preset"
       ;;
@@ -209,6 +281,9 @@ run_lane() {
 }
 
 LANE="${1:-release}"
+# The doc lint needs no build; run it up front so every lane invocation
+# checks the docs before spending minutes compiling.
+doc_lint
 case "$LANE" in
   release|asan-ubsan|tsan)
     run_lane "$LANE"

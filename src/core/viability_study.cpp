@@ -40,15 +40,17 @@ ViabilityStudy ViabilityStudy::from_decay(double decay,
 
 std::vector<ViabilityStudy::SweepPoint> ViabilityStudy::sweep_decay(
     double lo, double hi, std::size_t points) const {
-  if (points < 2 || !(lo < hi) || lo < 0.0)
+  // Degenerate ranges are meaningful: lo == hi evaluates a single decay
+  // (any points >= 1), and points == 1 needs lo == hi to be well-defined.
+  if (points == 0 || lo < 0.0 || lo > hi || (points < 2 && lo < hi))
     throw std::invalid_argument("ViabilityStudy::sweep_decay: bad range");
   std::vector<SweepPoint> out;
   out.reserve(points);
+  const double denominator =
+      points > 1 ? static_cast<double>(points - 1) : 1.0;
   for (std::size_t i = 0; i < points; ++i) {
     econ::CostParameters params = model_.params();
-    params.decay =
-        lo + (hi - lo) * static_cast<double>(i) /
-                 static_cast<double>(points - 1);
+    params.decay = lo + (hi - lo) * static_cast<double>(i) / denominator;
     const econ::CostModel model(params);
     SweepPoint point;
     point.decay = params.decay;

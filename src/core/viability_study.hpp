@@ -38,7 +38,11 @@ class ViabilityStudy {
   bool remote_viable() const { return model_.remote_viable(); }
 
   /// Sweeps decay b and reports, per value, whether remote peering is viable
-  /// and the optimal (ñ, m̃) — the viability-region series.
+  /// and the optimal (ñ, m̃) — the viability-region series. Degenerate
+  /// ranges are allowed: lo == hi repeats the single decay `points` times,
+  /// and points == 1 (with lo == hi) evaluates exactly one point. Throws
+  /// std::invalid_argument when points == 0, lo > hi, lo < 0, or a single
+  /// point spans a non-empty range.
   struct SweepPoint {
     double decay = 0.0;
     bool viable = false;

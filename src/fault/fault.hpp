@@ -196,7 +196,7 @@ std::vector<SiteStatus> site_status();
 
 /// The canonical site names compiled into the pipeline (for docs and the
 /// tests that drive every site): io.read, io.write, io.verify, cache.load,
-/// cache.store, pool.task, dataset.parse, campaign.probe.
+/// cache.store, pool.task, dataset.parse, campaign.probe, sweep.run.
 inline constexpr const char* kSiteIoRead = "io.read";
 inline constexpr const char* kSiteIoWrite = "io.write";
 inline constexpr const char* kSiteIoVerify = "io.verify";
@@ -205,5 +205,6 @@ inline constexpr const char* kSiteCacheStore = "cache.store";
 inline constexpr const char* kSitePoolTask = "pool.task";
 inline constexpr const char* kSiteDatasetParse = "dataset.parse";
 inline constexpr const char* kSiteCampaignProbe = "campaign.probe";
+inline constexpr const char* kSiteSweepRun = "sweep.run";
 
 }  // namespace rp::fault

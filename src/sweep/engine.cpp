@@ -1,0 +1,409 @@
+#include "sweep/engine.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/viability_study.hpp"
+#include "fault/fault.hpp"
+#include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::sweep {
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", v);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Atomic file write: stage into a sibling temp file, then rename. A killed
+/// sweep never leaves a partial record or results table visible.
+void atomic_write(const std::filesystem::path& path,
+                  const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) throw std::runtime_error("cannot write " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::string record_header(const std::string& digest, std::size_t index) {
+  return "rpsweep-record v1 " + digest + " " + std::to_string(index);
+}
+
+/// Reads a completion record; nullopt when missing, malformed, or written
+/// by a different spec (a stale record must look incomplete, not poison the
+/// table).
+struct RecordPayload {
+  std::string csv;
+  std::string json;
+};
+std::optional<RecordPayload> read_record(const std::filesystem::path& path,
+                                         const std::string& digest,
+                                         std::size_t index) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header, csv, json;
+  if (!std::getline(in, header) || !std::getline(in, csv) ||
+      !std::getline(in, json))
+    return std::nullopt;
+  if (header != record_header(digest, index) || csv.empty() || json.empty())
+    return std::nullopt;
+  return RecordPayload{std::move(csv), std::move(json)};
+}
+
+/// RP_SWEEP_JOBS: width of the sweep's own pool (clamped to [1, 512]);
+/// 0 / unset / unparsable falls through to ThreadPool::global().
+unsigned sweep_jobs_from_env() {
+  const char* raw = std::getenv("RP_SWEEP_JOBS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0) return 0;
+  return static_cast<unsigned>(value > 512 ? 512 : value);
+}
+
+}  // namespace
+
+WorldArtifacts world_artifacts(const core::OffloadStudy& study,
+                               offload::PeerGroup group, std::size_t steps) {
+  WorldArtifacts artifacts;
+  const auto& analyzer = study.analyzer();
+  artifacts.initial_bps =
+      analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps();
+  artifacts.curve = analyzer.greedy_by_traffic(group, steps);
+  return artifacts;
+}
+
+RunResult evaluate_run(const SweepSpec& spec, const SweepRun& run,
+                       const WorldArtifacts& artifacts) {
+  const MaterializedRun mat = materialize_run(spec, run);
+  RunResult result;
+  result.index = run.index;
+  result.world_digest = artifacts.world_digest;
+  result.transit_bps = artifacts.initial_bps;
+  result.greedy_picked = artifacts.curve.size();
+  if (!artifacts.curve.empty() && artifacts.initial_bps > 0.0)
+    result.offload_fraction =
+        (artifacts.initial_bps - artifacts.curve.back().remaining) /
+        artifacts.initial_bps;
+
+  // The decay b: pinned by an econ.b base/axis, otherwise fitted from this
+  // world's greedy curve (a flat curve keeps the spec's default b — the
+  // result is still deterministic, just not world-informed).
+  double decay = mat.prices.decay;
+  if (!mat.decay_pinned) {
+    try {
+      decay = core::ViabilityStudy::from_greedy_curve(
+                  artifacts.curve, artifacts.initial_bps, mat.prices)
+                  .fitted_decay();
+    } catch (const std::invalid_argument&) {
+      // Curve never offloads (or the world is empty): keep the default b.
+    }
+  }
+  try {
+    const core::ViabilityStudy study =
+        core::ViabilityStudy::from_decay(decay, mat.prices);
+    const econ::CostModel& model = study.model();
+    result.fitted_decay = decay;
+    result.optimal_n = study.optimal_direct_n();
+    result.optimal_m = study.optimal_remote_m();
+    result.optimal_direct_fraction = study.optimal_direct_fraction();
+    result.viability_ratio = model.viability_ratio();
+    result.critical_decay = model.critical_decay();
+    result.viable = study.remote_viable();
+    result.cost_without_remote = model.cost_without_remote(result.optimal_n);
+    result.cost_with_remote =
+        model.total_cost(result.optimal_n, result.optimal_m);
+  } catch (const std::invalid_argument&) {
+    // Grid corners may cross ineqs. 7-8 (e.g. an econ.h axis reaching g).
+    // Record the violation instead of aborting a thousand-run sweep.
+    result.status = "invalid-params";
+  }
+  return result;
+}
+
+std::string results_csv_header(const SweepSpec& spec) {
+  std::string header = "run";
+  for (const auto& axis : spec.axes) header += "," + axis.field;
+  header +=
+      ",world,status,transit_bps,offload_fraction,greedy_picked,"
+      "fitted_decay,optimal_n,optimal_m,optimal_direct_fraction,"
+      "viability_ratio,critical_decay,viable,cost_without_remote,"
+      "cost_with_remote";
+  return header;
+}
+
+std::string results_csv_row(const SweepSpec& spec, const SweepRun& run,
+                            const RunResult& result) {
+  std::string row = std::to_string(run.index);
+  for (std::size_t a = 0; a < spec.axes.size(); ++a)
+    row += "," + run.values[a];
+  row += "," + result.world_digest;
+  row += "," + result.status;
+  row += "," + format_double(result.transit_bps);
+  row += "," + format_double(result.offload_fraction);
+  row += "," + std::to_string(result.greedy_picked);
+  row += "," + format_double(result.fitted_decay);
+  row += "," + format_double(result.optimal_n);
+  row += "," + format_double(result.optimal_m);
+  row += "," + format_double(result.optimal_direct_fraction);
+  row += "," + format_double(result.viability_ratio);
+  row += "," + format_double(result.critical_decay);
+  row += result.viable ? ",1" : ",0";
+  row += "," + format_double(result.cost_without_remote);
+  row += "," + format_double(result.cost_with_remote);
+  return row;
+}
+
+std::string results_json_row(const SweepSpec& spec, const SweepRun& run,
+                             const RunResult& result) {
+  std::ostringstream out;
+  out << "{\"run\":" << run.index << ",\"axes\":{";
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    if (a != 0) out << ",";
+    out << "\"" << json_escape(spec.axes[a].field) << "\":\""
+        << json_escape(run.values[a]) << "\"";
+  }
+  out << "},\"world\":\"" << json_escape(result.world_digest) << "\""
+      << ",\"status\":\"" << json_escape(result.status) << "\""
+      << ",\"transit_bps\":" << format_double(result.transit_bps)
+      << ",\"offload_fraction\":" << format_double(result.offload_fraction)
+      << ",\"greedy_picked\":" << result.greedy_picked
+      << ",\"fitted_decay\":" << format_double(result.fitted_decay)
+      << ",\"optimal_n\":" << format_double(result.optimal_n)
+      << ",\"optimal_m\":" << format_double(result.optimal_m)
+      << ",\"optimal_direct_fraction\":"
+      << format_double(result.optimal_direct_fraction)
+      << ",\"viability_ratio\":" << format_double(result.viability_ratio)
+      << ",\"critical_decay\":" << format_double(result.critical_decay)
+      << ",\"viable\":" << (result.viable ? "true" : "false")
+      << ",\"cost_without_remote\":"
+      << format_double(result.cost_without_remote)
+      << ",\"cost_with_remote\":" << format_double(result.cost_with_remote)
+      << "}";
+  return out.str();
+}
+
+std::filesystem::path SweepPaths::record(std::size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "run-%06zu.rec", index);
+  return runs_dir() / name;
+}
+
+void write_manifest(const SweepSpec& spec, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream out;
+  out << "rpsweep-manifest v1\n"
+      << "digest " << spec_digest_hex(spec) << "\n"
+      << "runs " << spec.run_count() << "\n"
+      << "spec\n"
+      << canonical_spec_text(spec);
+  atomic_write(SweepPaths(dir).manifest(), out.str());
+}
+
+SweepSpec read_manifest(const std::filesystem::path& dir) {
+  const std::filesystem::path path = SweepPaths(dir).manifest();
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("no sweep manifest at " + path.string() +
+                             " (run `rpsweep plan` or `rpsweep run` first)");
+  std::string line;
+  if (!std::getline(in, line) || line != "rpsweep-manifest v1")
+    throw std::runtime_error("unsupported manifest header in " +
+                             path.string());
+  std::string digest;
+  if (!std::getline(in, line) || line.rfind("digest ", 0) != 0)
+    throw std::runtime_error("manifest missing digest line: " +
+                             path.string());
+  digest = line.substr(7);
+  std::size_t runs = 0;
+  if (!std::getline(in, line) || line.rfind("runs ", 0) != 0)
+    throw std::runtime_error("manifest missing runs line: " + path.string());
+  runs = std::strtoull(line.substr(5).c_str(), nullptr, 10);
+  if (!std::getline(in, line) || line != "spec")
+    throw std::runtime_error("manifest missing spec block: " + path.string());
+  std::ostringstream spec_text;
+  spec_text << in.rdbuf();
+  const SweepSpec spec = parse_sweep_spec(spec_text.str());
+  if (spec_digest_hex(spec) != digest)
+    throw std::runtime_error("manifest digest mismatch in " + path.string() +
+                             " (hand-edited spec block?)");
+  if (spec.run_count() != runs)
+    throw std::runtime_error("manifest run count mismatch in " +
+                             path.string());
+  return spec;
+}
+
+ExecuteOutcome execute_sweep(const SweepSpec& spec,
+                             const std::filesystem::path& dir,
+                             const EngineOptions& options) {
+  obs::Span span("sweep.execute");
+  static obs::Counter runs_executed("rp.sweep.runs.executed");
+  static obs::Counter runs_skipped("rp.sweep.runs.skipped");
+  static obs::Counter worlds_built_counter("rp.sweep.worlds.built");
+  static obs::Gauge runs_total("rp.sweep.runs.total");
+  static fault::Site run_site(fault::kSiteSweepRun);
+
+  const SweepPaths paths(dir);
+  std::filesystem::create_directories(paths.runs_dir());
+  const std::filesystem::path cache_dir =
+      options.cache_dir.empty() ? io::default_cache_dir() : options.cache_dir;
+  const std::string digest = spec_digest_hex(spec);
+  const std::vector<SweepRun> runs = expand_runs(spec);
+  runs_total.set(static_cast<double>(runs.size()));
+
+  // Shard by world: runs differing only in econ.* fields share a scenario
+  // config, so the group realizes the world (and its offload study + greedy
+  // curve) exactly once. Group order follows first appearance, but the
+  // output does not depend on it — records are keyed by run index.
+  struct Group {
+    core::ScenarioConfig config;
+    std::string world_digest;
+    std::vector<std::size_t> run_ids;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> group_index;
+  for (const auto& run : runs) {
+    const MaterializedRun mat = materialize_run(spec, run);
+    std::string world = io::config_digest_hex(mat.config);
+    const auto [it, inserted] =
+        group_index.try_emplace(std::move(world), groups.size());
+    if (inserted)
+      groups.push_back(Group{mat.config, io::config_digest_hex(mat.config), {}});
+    groups[it->second].run_ids.push_back(run.index);
+  }
+
+  ExecuteOutcome outcome;
+  outcome.total = runs.size();
+  std::vector<char> done(runs.size(), 0);
+  for (const auto& run : runs)
+    done[run.index] =
+        read_record(paths.record(run.index), digest, run.index).has_value()
+            ? 1
+            : 0;
+  for (const char d : done) outcome.skipped += d != 0 ? 1 : 0;
+  runs_skipped.add(outcome.skipped);
+
+  util::ThreadPool* pool = &util::ThreadPool::global();
+  std::optional<util::ThreadPool> own_pool;
+  if (const unsigned jobs = sweep_jobs_from_env(); jobs > 0) {
+    own_pool.emplace(jobs);
+    pool = &*own_pool;
+  }
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> worlds_built{0};
+  pool->parallel_for(groups.size(), [&](std::size_t gi) {
+    const Group& group = groups[gi];
+    bool pending = false;
+    for (const std::size_t id : group.run_ids) pending |= done[id] == 0;
+    if (!pending) return;
+
+    obs::Span world_span("sweep.world");
+    const core::Scenario scenario =
+        core::Scenario::build_cached(group.config, cache_dir);
+    core::OffloadStudyConfig study_config;
+    study_config.rate_model.span =
+        util::SimDuration::days(static_cast<std::int64_t>(spec.days));
+    const core::OffloadStudy study =
+        core::OffloadStudy::run(scenario, study_config);
+    WorldArtifacts artifacts = world_artifacts(
+        study, static_cast<offload::PeerGroup>(spec.group), spec.steps);
+    artifacts.world_digest = group.world_digest;
+    worlds_built.fetch_add(1, std::memory_order_relaxed);
+    worlds_built_counter.add();
+
+    for (const std::size_t id : group.run_ids) {
+      if (done[id] != 0) continue;
+      obs::Span run_span("sweep.run");
+      // The kill switch the resume tests arm: RP_FAULT=sweep.run:nth=K
+      // aborts the sweep exactly K completed-or-attempted runs in, after
+      // the records of earlier runs are already on disk.
+      run_site.maybe_throw();
+      const RunResult result = evaluate_run(spec, runs[id], artifacts);
+      const std::string content =
+          record_header(digest, id) + "\n" +
+          results_csv_row(spec, runs[id], result) + "\n" +
+          results_json_row(spec, runs[id], result) + "\n";
+      atomic_write(paths.record(id), content);
+      executed.fetch_add(1, std::memory_order_relaxed);
+      runs_executed.add();
+    }
+  });
+
+  outcome.executed = executed.load();
+  outcome.worlds_built = worlds_built.load();
+  return outcome;
+}
+
+std::size_t completed_runs(const SweepSpec& spec,
+                           const std::filesystem::path& dir) {
+  const SweepPaths paths(dir);
+  const std::string digest = spec_digest_hex(spec);
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < spec.run_count(); ++i)
+    completed += read_record(paths.record(i), digest, i).has_value() ? 1 : 0;
+  return completed;
+}
+
+std::size_t summarize_sweep(const SweepSpec& spec,
+                            const std::filesystem::path& dir) {
+  obs::Span span("sweep.summarize");
+  static obs::Counter summaries("rp.sweep.summaries");
+  const SweepPaths paths(dir);
+  const std::string digest = spec_digest_hex(spec);
+  const std::size_t total = spec.run_count();
+
+  std::string csv = "#rpsweep-results v" +
+                    std::to_string(kResultsSchemaVersion) + " name=" +
+                    spec.name + " spec=" + digest + " runs=" +
+                    std::to_string(total) + "\n" +
+                    results_csv_header(spec) + "\n";
+  std::string json = "{\"schema\":\"rpsweep-results-v" +
+                     std::to_string(kResultsSchemaVersion) + "\",\"name\":\"" +
+                     json_escape(spec.name) + "\",\"spec\":\"" + digest +
+                     "\",\"rows\":[";
+  std::size_t recorded = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto record = read_record(paths.record(i), digest, i);
+    if (!record)
+      throw std::runtime_error(
+          "sweep incomplete: run " + std::to_string(i) +
+          " has no completion record (" + std::to_string(recorded) + " of " +
+          std::to_string(total) + " recorded) — `rpsweep resume` finishes it");
+    csv += record->csv + "\n";
+    if (i != 0) json += ",";
+    json += record->json;
+    ++recorded;
+  }
+  json += "]}\n";
+  atomic_write(paths.results_csv(), csv);
+  atomic_write(paths.results_json(), json);
+  summaries.add();
+  return recorded;
+}
+
+}  // namespace rp::sweep

@@ -1,0 +1,149 @@
+// rp::sweep engine: expand a SweepSpec, execute the runs across the thread
+// pool, and collect a stable, schema-versioned results table.
+//
+// Layout of a sweep directory:
+//
+//   <dir>/manifest.txt        "rpsweep-manifest v1" + spec digest + run
+//                             count + the canonical spec block (the manifest
+//                             alone is enough to resume — no spec file
+//                             needed)
+//   <dir>/runs/run-<i>.rec    one completion record per finished run:
+//                             header line (schema, spec digest, index),
+//                             the run's CSV row, the run's JSON row
+//   <dir>/results.csv         header + rows in run-index order
+//   <dir>/results.json        the same rows as a JSON document
+//
+// Execution shards over *worlds*, not runs: runs that share every
+// scenario-config field (differing only in econ.* axes) map to one world
+// group, so the group builds its Scenario once — through
+// core::Scenario::build_cached, so repeated sweeps hit the .rpsnap cache —
+// runs its OffloadStudy and greedy curve once, and then evaluates each
+// priced run from those shared artifacts. Groups run in parallel on
+// rp::util::ThreadPool (RP_SWEEP_JOBS caps the sweep's own pool width
+// independently of RP_THREADS).
+//
+// Resume and determinism: a completion record is written atomically (temp +
+// rename) the moment its run finishes, and execute() skips any run whose
+// record already exists and carries the current spec digest — so a sweep
+// killed mid-flight (including via the RP_FAULT site "sweep.run") resumes
+// with only the missing runs. Every row is a pure function of (spec, run
+// index): summarize() concatenates record payloads in index order, which
+// makes results.csv byte-identical at any RP_THREADS, interrupted or not.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/offload_study.hpp"
+#include "offload/peer_groups.hpp"
+#include "sweep/spec.hpp"
+
+namespace rp::sweep {
+
+/// Results-table schema version (bumped when columns change meaning).
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// The per-run §4/§5 outcome.
+struct RunResult {
+  std::size_t index = 0;
+  /// Snapshot-cache key of the run's world (shared across a world group).
+  std::string world_digest;
+  /// "ok", or "invalid-params" when the run's prices violate ineqs. 7-8
+  /// (grids may legitimately cross the structural assumptions; such runs
+  /// are recorded, not fatal).
+  std::string status = "ok";
+  double transit_bps = 0.0;        ///< Initial transit weight (in + out).
+  double offload_fraction = 0.0;   ///< Fraction removed by the full curve.
+  std::size_t greedy_picked = 0;   ///< IXPs the greedy expansion selected.
+  double fitted_decay = 0.0;       ///< b (fitted, or pinned via econ.b).
+  double optimal_n = 0.0;          ///< Eq. 11 ñ.
+  double optimal_m = 0.0;          ///< Eq. 13 m̃.
+  double optimal_direct_fraction = 0.0;  ///< d̃ at the eq. 11 optimum.
+  double viability_ratio = 0.0;    ///< g(p−v)/(h(p−u)).
+  double critical_decay = 0.0;     ///< b* = ln(ratio).
+  bool viable = false;             ///< Eq. 14 verdict.
+  double cost_without_remote = 0.0;
+  double cost_with_remote = 0.0;
+};
+
+/// The per-world inputs shared by every run of a world group.
+struct WorldArtifacts {
+  std::string world_digest;
+  double initial_bps = 0.0;
+  std::vector<offload::GreedyStep> curve;
+};
+
+/// Derives the shared artifacts from a finished §4 study.
+WorldArtifacts world_artifacts(const core::OffloadStudy& study,
+                               offload::PeerGroup group, std::size_t steps);
+
+/// Evaluates one run against its world's artifacts. Pure: the same
+/// (spec, run, artifacts) always yields the same result.
+RunResult evaluate_run(const SweepSpec& spec, const SweepRun& run,
+                       const WorldArtifacts& artifacts);
+
+/// The results-table header for a spec: run, one column per axis, then the
+/// fixed result columns.
+std::string results_csv_header(const SweepSpec& spec);
+
+/// One CSV row (no trailing newline). Doubles print as %.10g, so rows are
+/// byte-stable.
+std::string results_csv_row(const SweepSpec& spec, const SweepRun& run,
+                            const RunResult& result);
+
+/// The same row as a JSON object (axis values as strings, results typed).
+std::string results_json_row(const SweepSpec& spec, const SweepRun& run,
+                             const RunResult& result);
+
+/// Paths inside a sweep directory.
+struct SweepPaths {
+  explicit SweepPaths(std::filesystem::path dir) : dir(std::move(dir)) {}
+  std::filesystem::path dir;
+  std::filesystem::path manifest() const { return dir / "manifest.txt"; }
+  std::filesystem::path runs_dir() const { return dir / "runs"; }
+  std::filesystem::path record(std::size_t index) const;
+  std::filesystem::path results_csv() const { return dir / "results.csv"; }
+  std::filesystem::path results_json() const { return dir / "results.json"; }
+};
+
+/// Writes <dir>/manifest.txt atomically (creating <dir>).
+void write_manifest(const SweepSpec& spec, const std::filesystem::path& dir);
+
+/// Reads the manifest back into a spec. Throws std::runtime_error when the
+/// manifest is missing/malformed or its digest does not match its own spec
+/// block (a hand-edited manifest must not silently redefine a sweep).
+SweepSpec read_manifest(const std::filesystem::path& dir);
+
+struct ExecuteOutcome {
+  std::size_t total = 0;     ///< Runs in the grid.
+  std::size_t executed = 0;  ///< Runs evaluated and recorded this call.
+  std::size_t skipped = 0;   ///< Runs with a valid prior record.
+  std::size_t worlds_built = 0;  ///< World groups that had to be realized.
+};
+
+struct EngineOptions {
+  /// Scenario snapshot cache; empty uses io::default_cache_dir().
+  std::filesystem::path cache_dir;
+};
+
+/// Executes every run lacking a valid completion record. Propagates the
+/// first run failure (including an injected "sweep.run" fault) after the
+/// in-flight batch settles; records written before the failure survive, so
+/// a rerun resumes. Counts land in rp.sweep.* when metrics are enabled.
+ExecuteOutcome execute_sweep(const SweepSpec& spec,
+                             const std::filesystem::path& dir,
+                             const EngineOptions& options = {});
+
+/// Runs with a valid completion record for this spec.
+std::size_t completed_runs(const SweepSpec& spec,
+                           const std::filesystem::path& dir);
+
+/// Collates the records into results.csv / results.json (atomically).
+/// Throws std::runtime_error naming the first missing run when the sweep is
+/// incomplete. Returns the number of rows written.
+std::size_t summarize_sweep(const SweepSpec& spec,
+                            const std::filesystem::path& dir);
+
+}  // namespace rp::sweep

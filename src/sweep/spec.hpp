@@ -1,0 +1,128 @@
+// rp::sweep specs: a declarative grid over worlds and prices.
+//
+// A sweep spec names a set of axes — each axis a config field crossed with a
+// value list — plus base overrides and study knobs. Expansion is the plain
+// cartesian product in spec order with the last axis varying fastest, so a
+// grid always enumerates to the same run list: run index i is a pure
+// function of the spec, which is what makes manifests, resume records, and
+// results tables comparable across machines and thread counts.
+//
+// Two field namespaces are sweepable:
+//   * scenario-config fields, addressed by the dotted names of
+//     core::scenario_config_fields() ("seed", "topology.access_count", ...);
+//     changing any of them changes the world (and its snapshot cache key);
+//   * econ fields, addressed by the paper's symbols prefixed with "econ."
+//     ("econ.p" transit price, "econ.g", "econ.u", "econ.h", "econ.v",
+//     "econ.b" decay); they reprice the §5 model on an already-built world.
+//
+// Spec text is line-based:
+//
+//   # comment
+//   name  <slug>                  output directory stem (default "sweep")
+//   group <1..4>                  peer group for the greedy curve (default 4)
+//   steps <N>                     greedy max steps (default 30)
+//   days  <N>                     rate-model span in days (default 14)
+//   fast  <0|1>                   apply core::apply_fast_mode first
+//   base  <field> <value>         pin a field for every run
+//   axis  <field> <v1> <v2> ...   explicit value list
+//   axis  <field> lin:<lo>:<hi>:<n>   n evenly spaced values in [lo, hi]
+//
+// Values are validated and canonicalized at parse time (parse, then format
+// back), so a spec written as "0.10" and one written as "0.1" expand to
+// byte-identical manifests and results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "econ/cost_model.hpp"
+
+namespace rp::sweep {
+
+/// One sweepable econ::CostParameters field ("econ.p" ... "econ.b").
+struct EconField {
+  std::string_view name;         ///< Prefixed name, e.g. "econ.h".
+  std::string_view description;  ///< One line, for `rpsweep fields` and docs.
+  double econ::CostParameters::*member;
+};
+
+/// Every econ field, sorted by name.
+std::span<const EconField> econ_fields();
+
+/// Looks an econ field up by its prefixed name; nullptr when unknown.
+const EconField* find_econ_field(std::string_view name);
+
+/// True when `name` addresses either namespace (scenario config or econ).
+bool is_sweepable_field(std::string_view name);
+
+/// Canonicalizes a value token for `name` (parse + format back). Throws
+/// std::invalid_argument naming the field when the value does not parse.
+std::string canonical_field_value(std::string_view name,
+                                  std::string_view value);
+
+/// One axis of the grid.
+struct SweepAxis {
+  std::string field;
+  std::vector<std::string> values;  ///< Canonicalized, non-empty.
+};
+
+/// A parsed sweep specification.
+struct SweepSpec {
+  std::string name = "sweep";
+  int group = 4;               ///< offload::PeerGroup, 1..4.
+  std::size_t steps = 30;      ///< Greedy expansion max steps.
+  std::size_t days = 14;       ///< Rate-model span, days.
+  bool fast = false;           ///< Apply core::apply_fast_mode to the base.
+  /// Pinned fields, applied in spec order after fast mode (so a base line
+  /// overrides the fast-mode shrink).
+  std::vector<std::pair<std::string, std::string>> base;
+  std::vector<SweepAxis> axes;
+
+  /// Total runs: the product of the axis sizes (1 when there are no axes).
+  std::size_t run_count() const;
+};
+
+/// Parses spec text. Throws std::invalid_argument with the 1-based line
+/// number and the offending token on any violation (unknown key or field,
+/// duplicate axis, bad value, empty axis).
+SweepSpec parse_sweep_spec(std::string_view text);
+
+/// Reads and parses a spec file. Throws std::runtime_error when the file
+/// cannot be read, std::invalid_argument on parse errors.
+SweepSpec load_sweep_spec(const std::string& path);
+
+/// The canonical text form of a spec: regenerating it from the parsed
+/// struct normalizes whitespace, comments, and value spelling. Manifest
+/// files embed this block and digest it.
+std::string canonical_spec_text(const SweepSpec& spec);
+
+/// FNV-1a-64 digest of canonical_spec_text, as 16 hex digits — the identity
+/// a results table and every per-run record carry.
+std::string spec_digest_hex(const SweepSpec& spec);
+
+/// One expanded run: `values[a]` is the value of `spec.axes[a]`.
+struct SweepRun {
+  std::size_t index = 0;
+  std::vector<std::string> values;
+};
+
+/// Expands the full deterministic run list (index order, last axis fastest).
+std::vector<SweepRun> expand_runs(const SweepSpec& spec);
+
+/// A run materialized into study inputs.
+struct MaterializedRun {
+  core::ScenarioConfig config;
+  econ::CostParameters prices;
+  /// True when econ.b was pinned by a base line or an axis: the §5 study
+  /// then uses the explicit decay instead of fitting it from the curve.
+  bool decay_pinned = false;
+};
+
+/// Applies defaults, fast mode, base lines, then the run's axis values.
+MaterializedRun materialize_run(const SweepSpec& spec, const SweepRun& run);
+
+}  // namespace rp::sweep

@@ -242,6 +242,44 @@ TEST(ViabilityStudy, SweepCoversViabilityBoundary) {
   EXPECT_THROW(viability.sweep_decay(1.0, 0.5, 10), std::invalid_argument);
 }
 
+TEST(ViabilityStudy, SweepDecayDegenerateRanges) {
+  const auto viability =
+      ViabilityStudy::from_decay(0.3, econ::CostParameters{});
+  // lo == hi: every point evaluates the same decay.
+  const auto flat = viability.sweep_decay(0.4, 0.4, 5);
+  ASSERT_EQ(flat.size(), 5u);
+  for (const auto& point : flat) {
+    EXPECT_DOUBLE_EQ(point.decay, 0.4);
+    EXPECT_EQ(point.viable, flat.front().viable);
+    EXPECT_DOUBLE_EQ(point.optimal_m, flat.front().optimal_m);
+  }
+  // points == 1 with lo == hi: exactly one evaluation.
+  const auto single = viability.sweep_decay(0.7, 0.7, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single.front().decay, 0.7);
+  // points == 1 across a non-empty range is ill-defined.
+  EXPECT_THROW(viability.sweep_decay(0.1, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW(viability.sweep_decay(0.1, 0.9, 0), std::invalid_argument);
+  EXPECT_THROW(viability.sweep_decay(-0.1, 0.5, 4), std::invalid_argument);
+}
+
+TEST(ViabilityStudy, SweepDecayNonViableWholeRange) {
+  // With h close enough to g the viability ratio g(p-v)/(h(p-u)) drops
+  // below 1, so no decay value makes remote peering pay: m~ = 0 across the
+  // whole range and the remote tier never changes the cost.
+  econ::CostParameters prices;
+  prices.remote_fixed = 0.015;  // h/g = 0.75.
+  const auto viability = ViabilityStudy::from_decay(0.3, prices);
+  EXPECT_LT(viability.model().viability_ratio(), 1.0);
+  const auto sweep = viability.sweep_decay(0.05, 2.0, 8);
+  ASSERT_EQ(sweep.size(), 8u);
+  for (const auto& point : sweep) {
+    EXPECT_FALSE(point.viable);
+    EXPECT_DOUBLE_EQ(point.optimal_m, 0.0);
+    EXPECT_DOUBLE_EQ(point.cost_with_remote, point.cost_without_remote);
+  }
+}
+
 TEST(ViabilityStudy, FromGreedyRejectsBadInput) {
   EXPECT_THROW(ViabilityStudy::from_greedy_curve({}, 0.0,
                                                  econ::CostParameters{}),

@@ -35,6 +35,47 @@ TEST(CostParameters, ValidatesStructuralAssumptions) {
   EXPECT_THROW(CostModel{bad}, std::invalid_argument);
 }
 
+TEST(CostParameters, ValidateNamesTheViolatedConstraint) {
+  auto bad = sane();
+  bad.remote_fixed = 0.05;  // h >= g.
+  EXPECT_EQ(*bad.validate(),
+            "ineq. 7 violated: remote fixed cost h must be below direct g");
+  bad = sane();
+  bad.remote_fixed = bad.direct_fixed;  // Equality also violates ineq. 7.
+  EXPECT_EQ(*bad.validate(),
+            "ineq. 7 violated: remote fixed cost h must be below direct g");
+  bad = sane();
+  bad.remote_unit = 0.1;  // v <= u.
+  EXPECT_EQ(*bad.validate(),
+            "ineq. 8 violated: direct unit cost u must be below remote v");
+  bad = sane();
+  bad.remote_unit = 1.2;  // v >= p.
+  EXPECT_EQ(*bad.validate(),
+            "ineq. 8 violated: remote unit cost v must be below transit p");
+  bad = sane();
+  bad.decay = -0.1;
+  EXPECT_EQ(*bad.validate(),
+            "parameters must be positive (decay and unit costs may be zero)");
+  bad = sane();
+  bad.direct_fixed = 0.0;
+  EXPECT_EQ(*bad.validate(),
+            "parameters must be positive (decay and unit costs may be zero)");
+}
+
+TEST(CostModel, ConstructorPrefixesTheValidateMessage) {
+  auto bad = sane();
+  bad.remote_fixed = 0.05;
+  try {
+    CostModel model(bad);
+    FAIL() << "CostModel accepted ineq. 7 violation";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(
+        error.what(),
+        "CostModel: ineq. 7 violated: remote fixed cost h must be below "
+        "direct g");
+  }
+}
+
 TEST(CostModel, TransitFractionIsEq3) {
   const CostModel model(sane());
   EXPECT_DOUBLE_EQ(model.transit_fraction(0.0), 1.0);
