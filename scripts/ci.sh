@@ -195,6 +195,23 @@ perf_smoke() {
   # The instrumented perf binaries must emit valid trajectory JSON.
   python3 -m json.tool "$dir/BENCH_perf_io.json" > /dev/null
   python3 -m json.tool "$dir/BENCH_perf_offload.json" > /dev/null
+  # The event-engine trajectory must carry the head-to-head throughput keys:
+  # an events_per_sec rate for both engines in every phase, and the sharded
+  # all-IXP campaign's wall-time + scale counters.
+  python3 - "$dir/BENCH_perf_sim.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for phase in ("EventSchedule", "EventRun", "EventSteadyState"):
+    for engine in ("Slab", "Baseline"):
+        key = f"BM_{phase}{engine}/100000.events_per_sec"
+        assert bench.get(key, 0) > 0, (key, sorted(bench))
+for key in ("BM_SmallIxpCampaign.events_per_sec",
+            "BM_AllIxpCampaign/1/iterations:1.events_per_sec",
+            "BM_AllIxpCampaign/1/iterations:1.campaign_wall_s",
+            "BM_AllIxpCampaign/1/iterations:1.ixps",
+            "BM_AllIxpCampaign/1/iterations:1.interfaces"):
+    assert bench.get(key, 0) > 0, (key, sorted(bench))
+EOF
 }
 
 figure_smoke() {
@@ -248,12 +265,17 @@ EOF
 # pool sizes itself to the machine and may be serial on small runners).
 tsan_thread_stress() {
   local build="$1"
-  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault) ==="
+  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, campaigns) ==="
   local suite
   for suite in test_obs test_util test_fault; do
     echo "--- $suite ---"
     RP_THREADS=8 "build/$build/tests/$suite" --gtest_brief=1
   done
+  # The sharded campaign fan-out again with real contention: 8 workers over
+  # 8 shards must still produce byte-identical measurements.
+  echo "--- test_measure (sharded campaigns) ---"
+  RP_THREADS=8 RP_SIM_SHARDS=8 "build/$build/tests/test_measure" \
+    --gtest_brief=1
 }
 
 run_lane() {

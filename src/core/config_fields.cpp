@@ -74,6 +74,8 @@ constexpr ConfigField kFields[] = {
      RP_FIELD_DOUBLE(appetite_alpha)},
     {"euroix", "1: 65-IXP Euro-IX universe; 0: Table 1's 22 IXPs",
      RP_FIELD_BOOL(euroix)},
+    {"measure_all_ixps", "1: looking glass (and campaign) at every IXP",
+     RP_FIELD_BOOL(measure_all_ixps)},
     {"member_pool_size", "distinct networks that peer publicly anywhere",
      RP_FIELD_DOUBLE(member_pool_size)},
     {"membership_scale", "scale factor on all IXP member counts",

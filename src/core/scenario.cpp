@@ -159,14 +159,48 @@ Scenario Scenario::build(const ScenarioConfig& config) {
 
   // --- IXPs, memberships, attachments ---------------------------------------
   // Peering LANs come from 198.18.0.0/15 (outside every AS address pool).
+  // Stress-scale configs (membership_scale >> 1, used by campaign benches)
+  // can outgrow that /15; the overflow falls into 100.64.0.0/10, which the
+  // topology generator also never touches. Default-scale worlds never reach
+  // the overflow pool, so their addressing stays byte-identical.
   net::SubnetAllocator lan_pool(
       net::Ipv4Prefix::make(net::Ipv4Addr{198, 18, 0, 0}, 15));
+  net::SubnetAllocator lan_overflow(
+      net::Ipv4Prefix::make(net::Ipv4Addr{100, 64, 0, 0}, 10));
+  auto allocate_lan = [&lan_pool, &lan_overflow](unsigned length) {
+    try {
+      return lan_pool.allocate(length);
+    } catch (const std::length_error&) {
+      return lan_overflow.allocate(length);
+    }
+  };
   util::Rng member_rng = rng.fork(3);
   std::uint32_t mac_serial = 1;
 
   for (const auto& seed : seeds) {
     const geo::City& city = cities.at(seed.city);
-    const net::Ipv4Prefix lan = lan_pool.allocate(22);
+
+    // LAN sizing: /22 (the historic fixed size) unless the roster or the
+    // probe target needs more. The estimate upper-bounds the interfaces the
+    // IXP can end up with (roster draw never exceeds target_members; the
+    // study probe target is independent of the draw) plus looking glasses
+    // and forced vantage/tier-1 memberships. Every default-scale IXP fits a
+    // /22, so default worlds (and their snapshot digests) are unchanged.
+    const auto sizing_members = static_cast<std::size_t>(std::max(
+        3.0, std::round(seed.member_count * config.membership_scale)));
+    std::size_t sizing_need = sizing_members;
+    if (seed.in_measurement_study)
+      sizing_need = std::max(
+          sizing_need,
+          static_cast<std::size_t>(std::round(seed.analyzed_interfaces *
+                                              config.probe_headroom *
+                                              config.membership_scale)));
+    sizing_need += 80;
+    unsigned lan_length = 22;
+    while (lan_length > 16 &&
+           (std::size_t{1} << (32 - lan_length)) - 2 < sizing_need)
+      --lan_length;
+    const net::Ipv4Prefix lan = allocate_lan(lan_length);
     const ixp::IxpId id = ecosystem.add_ixp(
         seed.acronym, seed.full_name, city, seed.peak_traffic_tbps, lan);
     ixp::Ixp& ixp = ecosystem.ixp(id);
@@ -178,6 +212,12 @@ Scenario Scenario::build(const ScenarioConfig& config) {
         ixp.add_looking_glass(ixp::LookingGlass::pch(host_addrs.allocate()));
       if (seed.has_ripe_lg)
         ixp.add_looking_glass(ixp::LookingGlass::ripe(host_addrs.allocate()));
+      scenario.measured_ixps_.push_back(id);
+    } else if (config.measure_all_ixps) {
+      // All-IXP campaign mode: exchanges outside the §3 study get a PCH-style
+      // LG so the whole universe is probe-able (the what-if of measuring
+      // every Euro-IX exchange, used by campaign-scale benches and tests).
+      ixp.add_looking_glass(ixp::LookingGlass::pch(host_addrs.allocate()));
       scenario.measured_ixps_.push_back(id);
     }
 

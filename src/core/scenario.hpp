@@ -26,6 +26,10 @@ struct ScenarioConfig {
   topology::GeneratorConfig topology;
   /// Use the 65-IXP Euro-IX universe; false restricts to Table 1's 22 IXPs.
   bool euroix = true;
+  /// Put a looking glass at every IXP (not just the §3 study's) so an
+  /// all-IXP campaign can probe the whole universe. Off in the paper
+  /// reproduction; campaign-scale benches and shard tests switch it on.
+  bool measure_all_ixps = false;
   /// Probed interfaces per measurement-study IXP relative to Table 1's
   /// analyzed column (headroom absorbs the interfaces the filters discard).
   double probe_headroom = 1.06;

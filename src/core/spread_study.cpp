@@ -11,17 +11,18 @@ SpreadStudy SpreadStudy::run(const Scenario& scenario,
   SpreadStudy study;
   study.config_ = config;
   // Each per-IXP campaign owns its own simulator and a deterministically
-  // forked RNG, so the fan-out is pure per index: the report is
-  // byte-identical at any RP_THREADS setting.
+  // forked RNG (keyed on the IXP id alone), so the fan-out is pure per
+  // index: the report is byte-identical at any RP_THREADS / RP_SIM_SHARDS.
   const std::vector<ixp::IxpId>& measured = scenario.measured_ixps();
-  util::ThreadPool& pool = util::ThreadPool::global();
-  study.raw_ = pool.parallel_transform(
-      measured.size(), [&scenario, &config, &measured](std::size_t k) {
-        const ixp::IxpId id = measured[k];
-        const ixp::Ixp& ixp = scenario.ecosystem().ixp(id);
-        util::Rng campaign_rng = scenario.fork_rng(0x100 + id);
-        return measure::run_ixp_campaign(ixp, config.campaign, campaign_rng);
+  std::vector<const ixp::Ixp*> ixps;
+  ixps.reserve(measured.size());
+  for (const ixp::IxpId id : measured)
+    ixps.push_back(&scenario.ecosystem().ixp(id));
+  study.raw_ = measure::CampaignRunner::run(
+      ixps, config.campaign, [&scenario](const ixp::Ixp& ixp) {
+        return scenario.fork_rng(0x100 + ixp.id());
       });
+  util::ThreadPool& pool = util::ThreadPool::global();
   {
     obs::Span filter_span("measure.apply_filters");
     study.analyses_ = pool.parallel_transform(

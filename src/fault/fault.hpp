@@ -4,7 +4,8 @@
 // gracefully under failure: snapshot read/write and checksum verification
 // (src/io), the scenario cache (src/core/scenario_cache.cpp), thread-pool
 // task execution (src/util/thread_pool), dataset parsing and campaign probe
-// execution (src/measure). A site costs one predictable branch when the
+// execution (src/measure), and event scheduling in the discrete-event
+// engine (src/sim/simulator). A site costs one predictable branch when the
 // framework is disarmed — the same discipline as rp::obs — so the sites can
 // stay in release builds and the greedy benchmark does not move.
 //
@@ -196,7 +197,10 @@ std::vector<SiteStatus> site_status();
 
 /// The canonical site names compiled into the pipeline (for docs and the
 /// tests that drive every site): io.read, io.write, io.verify, cache.load,
-/// cache.store, pool.task, dataset.parse, campaign.probe, sweep.run.
+/// cache.store, pool.task, dataset.parse, campaign.probe, sweep.run,
+/// sim.event. Most sites treat every action as a throw; sim.event instead
+/// drops the scheduled event on a throw action and delays it by 250 ms on a
+/// flip/truncate action (a simulator must degrade, not unwind, mid-run).
 inline constexpr const char* kSiteIoRead = "io.read";
 inline constexpr const char* kSiteIoWrite = "io.write";
 inline constexpr const char* kSiteIoVerify = "io.verify";
@@ -206,5 +210,6 @@ inline constexpr const char* kSitePoolTask = "pool.task";
 inline constexpr const char* kSiteDatasetParse = "dataset.parse";
 inline constexpr const char* kSiteCampaignProbe = "campaign.probe";
 inline constexpr const char* kSiteSweepRun = "sweep.run";
+inline constexpr const char* kSiteSimEvent = "sim.event";
 
 }  // namespace rp::fault

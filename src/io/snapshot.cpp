@@ -108,6 +108,9 @@ std::vector<std::uint8_t> encode_config(const core::ScenarioConfig& config) {
   out.f64(config.ip_transport_share);
   out.varint(config.vantage_cdn_peerings);
   out.varint(config.seed);
+  // Trailing optional field: written only when set, so every pre-existing
+  // config keeps its digest (and cached snapshot) unchanged.
+  if (config.measure_all_ixps) out.u8(1);
   return std::move(out).take();
 }
 
@@ -138,6 +141,7 @@ core::ScenarioConfig decode_config(std::span<const std::uint8_t> payload) {
   config.ip_transport_share = in.f64();
   config.vantage_cdn_peerings = static_cast<std::size_t>(in.varint());
   config.seed = in.varint();
+  if (!in.at_end()) config.measure_all_ixps = in.u8() != 0;
   in.expect_end();
   return config;
 }

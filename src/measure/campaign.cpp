@@ -1,10 +1,14 @@
 #include "measure/campaign.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rp::measure {
 namespace {
@@ -187,7 +191,7 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
     }
   }
 
-  sim.run();
+  measurement.events_executed = sim.run();
 
   // Work counters, tallied post-hoc from the finished measurement so the
   // simulator hot path stays untouched; the totals are a pure function of
@@ -196,6 +200,12 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
     static obs::Counter campaigns("rp.measure.campaigns");
     static obs::Counter probes("rp.measure.probes.sent");
     static obs::Counter probed("rp.measure.interfaces.probed");
+    // Per-campaign event volume. Each campaign records exactly one value
+    // that is a pure function of its inputs, so the bucket totals stay
+    // deterministic at any RP_THREADS / RP_SIM_SHARDS.
+    static obs::Histogram campaign_events("rp.sim.campaign.events",
+                                          obs::Stability::kDeterministic);
+    campaign_events.record(measurement.events_executed);
     std::uint64_t samples = 0;
     for (const auto& obs : measurement.interfaces) {
       for (const auto& [op, list] : obs.samples) samples += list.size();
@@ -206,6 +216,44 @@ IxpMeasurement run_ixp_campaign(const ixp::Ixp& ixp,
     probed.add(measurement.interfaces.size());
   }
   return measurement;
+}
+
+std::size_t CampaignRunner::configured_shards() {
+  const char* raw = std::getenv("RP_SIM_SHARDS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  std::size_t value = 0;
+  const char* end = raw;
+  while (*end != '\0') ++end;
+  const auto [ptr, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc{} || ptr != end) return 0;
+  return std::max<std::size_t>(value, 1);
+}
+
+std::vector<IxpMeasurement> CampaignRunner::run(
+    const std::vector<const ixp::Ixp*>& ixps, const CampaignConfig& config,
+    const RngFactory& rng_for, std::size_t shards) {
+  const std::size_t n = ixps.size();
+  std::vector<IxpMeasurement> out(n);
+  if (n == 0) return out;
+
+  if (shards == 0) shards = configured_shards();
+  if (shards == 0) shards = n;  // One shard per IXP: maximum parallelism.
+  shards = std::min(shards, n);
+
+  // Contiguous block split: shard s owns [s*n/shards, (s+1)*n/shards). The
+  // split affects only which worker runs which campaign — every campaign's
+  // RNG comes from rng_for(ixp) alone, so the results are identical for any
+  // shard count and merge back in submission order.
+  util::ThreadPool::global().parallel_for(shards, [&](std::size_t s) {
+    obs::Span span("campaign.shard");
+    const std::size_t begin = s * n / shards;
+    const std::size_t end = (s + 1) * n / shards;
+    for (std::size_t i = begin; i < end; ++i) {
+      util::Rng rng = rng_for(*ixps[i]);
+      out[i] = run_ixp_campaign(*ixps[i], config, rng);
+    }
+  });
+  return out;
 }
 
 }  // namespace rp::measure

@@ -74,6 +74,12 @@ struct IxpMeasurement {
   util::SimTime campaign_start;
   util::SimDuration campaign_length;
   std::vector<InterfaceObservation> interfaces;
+
+  /// Discrete events the campaign's simulator executed — a pure function of
+  /// (ixp, config, rng), so it is identical at any thread/shard count. Not
+  /// part of the serialized dataset; the perf trajectory and the shard
+  /// determinism tests read it.
+  std::uint64_t events_executed = 0;
 };
 
 }  // namespace rp::measure

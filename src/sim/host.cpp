@@ -50,8 +50,10 @@ void Host::handle_arp(const ArpMessage& arp) {
     reply.payload = ArpMessage{ArpMessage::Op::kReply, config_.mac, config_.ip,
                                arp.sender_mac, arp.sender_ip};
     // Tiny control-plane turnaround.
-    sim_->schedule_in(util::SimDuration::micros(20),
-                      [this, reply] { transmit(0, reply); });
+    auto send = [this, reply] { transmit(0, reply); };
+    static_assert(Simulator::stored_inline<decltype(send)>(),
+                  "ARP turnaround must stay slab-resident");
+    sim_->schedule_in(util::SimDuration::micros(20), std::move(send));
     return;
   }
 
@@ -124,7 +126,10 @@ void Host::answer_echo(const Ipv4Packet& request) {
   frame.src = config_.mac;
   frame.dst = requester_mac->second;
   frame.payload = reply;
-  sim_->schedule_in(delay, [this, frame] { transmit(0, frame); });
+  auto send = [this, frame] { transmit(0, frame); };
+  static_assert(Simulator::stored_inline<decltype(send)>(),
+                "echo-reply emission must stay slab-resident");
+  sim_->schedule_in(delay, std::move(send));
 }
 
 void Host::ping(net::Ipv4Addr target, util::SimDuration timeout,

@@ -20,7 +20,9 @@
 #include "io/snapshot.hpp"
 #include "measure/campaign.hpp"
 #include "measure/dataset_io.hpp"
+#include "measure/filters.hpp"
 #include "net/subnet_allocator.hpp"
+#include "sim/simulator.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -356,6 +358,96 @@ TEST_F(FaultSitesTest, CampaignDropsInjectedProbesButStillReports) {
   // Same spec, fresh arm: the drop pattern replays and the degraded
   // measurement is deterministic.
   arm("campaign.probe:every=2");
+  EXPECT_EQ(total_samples(run_mini_campaign()), kept);
+}
+
+// --- sim.event ---------------------------------------------------------------
+
+TEST_F(FaultSitesTest, SimEventDropSkipsTheScheduledEvent) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  sim::Simulator simulator;
+  std::vector<int> ran;
+  arm("sim.event:nth=2");
+  for (int i = 1; i <= 3; ++i)
+    simulator.schedule(
+        util::SimTime::at(util::SimDuration::micros(i)),
+        [&ran, i] { ran.push_back(i); });
+  disarm_all();
+  // The second schedule() call was injected away: the event never entered
+  // the queue, but its neighbours are untouched.
+  EXPECT_EQ(simulator.pending(), 2u);
+  EXPECT_EQ(simulator.run(), 2u);
+  EXPECT_EQ(ran, (std::vector<int>{1, 3}));
+  EXPECT_GE(counter_value("rp.sim.events.dropped"), 1u);
+  EXPECT_GE(counter_value("rp.fault.fires.sim.event"), 1u);
+}
+
+TEST_F(FaultSitesTest, SimEventDelayPostponesByAQuarterSecond) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  sim::Simulator simulator;
+  std::int64_t ran_at = -1;
+  arm("sim.event:nth=1+flip");
+  simulator.schedule(util::SimTime::at(util::SimDuration::millis(1)),
+                     [&ran_at, &simulator] {
+                       ran_at = simulator.now().count_nanos();
+                     });
+  disarm_all();
+  EXPECT_EQ(simulator.run(), 1u);
+  // Corruption actions degenerate to a 250 ms delay here: the event still
+  // runs, late enough to be an RTT outlier but inside the probe timeout.
+  EXPECT_EQ(ran_at,
+            (util::SimDuration::millis(1) + util::SimDuration::millis(250))
+                .count_nanos());
+  EXPECT_GE(counter_value("rp.sim.events.delayed"), 1u);
+}
+
+TEST_F(FaultSitesTest, CampaignAbsorbsDroppedSimEvents) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  const std::size_t clean = total_samples(run_mini_campaign());
+  ASSERT_GT(clean, 0u);
+
+  // Dropping ~1% of *all* engine events (link deliveries, switch forwards,
+  // probe slots alike) thins the dataset but must never wedge the campaign.
+  arm("sim.event:every=97");
+  const measure::IxpMeasurement degraded = run_mini_campaign();
+  const std::size_t kept = total_samples(degraded);
+  EXPECT_LT(kept, clean);
+  EXPECT_GT(kept, 0u);
+  EXPECT_GE(counter_value("rp.sim.events.dropped"), 1u);
+
+  // The thinner dataset still flows through the §3 filter pipeline.
+  const auto analysis = measure::apply_filters(degraded, measure::FilterConfig{});
+  EXPECT_EQ(analysis.interfaces.size(), degraded.interfaces.size());
+
+  // Fresh arm, same spec: the drop pattern replays byte-identically.
+  arm("sim.event:every=97");
+  EXPECT_EQ(total_samples(run_mini_campaign()), kept);
+}
+
+TEST_F(FaultSitesTest, CampaignAbsorbsDelayedSimEvents) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  const std::size_t clean = total_samples(run_mini_campaign());
+  ASSERT_GT(clean, 0u);
+
+  // Delays keep events alive — every sample either arrives (possibly as an
+  // outlier the minimum-RTT discipline ignores) or times out cleanly.
+  arm("sim.event:every=97+flip");
+  const measure::IxpMeasurement degraded = run_mini_campaign();
+  const std::size_t kept = total_samples(degraded);
+  EXPECT_GT(kept, 0u);
+  EXPECT_LE(kept, clean);
+  EXPECT_GE(counter_value("rp.sim.events.delayed"), 1u);
+  EXPECT_NO_THROW(measure::apply_filters(degraded, measure::FilterConfig{}));
+
+  arm("sim.event:every=97+flip");
   EXPECT_EQ(total_samples(run_mini_campaign()), kept);
 }
 
