@@ -1,0 +1,230 @@
+// rpq — query client for rpserve-daemon.
+//
+// Usage:
+//   rpq [--host H] [--port N] [--fast] [--set field=value]... <command> ...
+//
+// Commands:
+//   ping [TOKEN]                     round-trip check (token echoed)
+//   world-info                       resident-world summary + cache outcome
+//   offload-curve [--group N] [--steps N]
+//   viability [--decay B] [--prices p,g,u,h,v]
+//                                    fitted decay by default; --decay pins it
+//   spread                           §3 measurement-study report
+//   what-if-econ --variant p,g,u,h,v [--prices p,g,u,h,v]
+//   what-if-peering --add IXP[,IXP...] [--reached IXP[,IXP...]] [--group N]
+//   badframe                         send a deliberately malformed frame
+//                                    (expects the daemon to hang up; exit 0)
+//   shutdown                         ask the daemon to exit
+//
+// --fast and --set pick the world: they resolve to a ScenarioConfig exactly
+// like the daemon does, so equal flags land on the same warm world.
+//
+// Output: one "key = value" line per response field, in protocol order.
+//
+// Exit codes: 0 ok, 1 daemon returned an error, 2 usage, 3 cannot connect /
+// socket error, 4 protocol violation in the response, 5 daemon busy.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port N] [--fast] [--set field=value]...\n"
+      "       <ping|world-info|offload-curve|viability|spread|what-if-econ|"
+      "what-if-peering|badframe|shutdown> [options]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_prices(const std::string& text, rp::serve::EconPrices& prices) {
+  return std::sscanf(text.c_str(), "%lf,%lf,%lf,%lf,%lf", &prices.p,
+                     &prices.g, &prices.u, &prices.h, &prices.v) == 5;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) parts.push_back(text.substr(start));
+      break;
+    }
+    if (comma > start) parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (const char* env = std::getenv("RP_SERVE_PORT"))
+    port = static_cast<std::uint16_t>(std::atoi(env));
+
+  rp::serve::Request request;
+  std::string command;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs an argument\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = value();
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--fast") {
+      request.world.fast = true;
+    } else if (arg == "--set") {
+      const std::string assignment = value();
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "%s: --set wants field=value, got '%s'\n",
+                     argv[0], assignment.c_str());
+        return 2;
+      }
+      request.world.fields.emplace_back(assignment.substr(0, eq),
+                                        assignment.substr(eq + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      command = arg;
+      ++i;
+      break;
+    }
+  }
+  if (command.empty()) return usage(argv[0]);
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "%s: no port (use --port or set RP_SERVE_PORT)\n", argv[0]);
+    return 2;
+  }
+
+  bool badframe = false;
+  if (command == "ping") {
+    request.type = rp::serve::RequestType::kPing;
+    request.token = "rpq";
+    if (i < argc && argv[i][0] != '-') request.token = argv[i++];
+  } else if (command == "world-info") {
+    request.type = rp::serve::RequestType::kWorldInfo;
+  } else if (command == "offload-curve") {
+    request.type = rp::serve::RequestType::kOffloadCurve;
+  } else if (command == "viability") {
+    request.type = rp::serve::RequestType::kViability;
+  } else if (command == "spread") {
+    request.type = rp::serve::RequestType::kSpread;
+  } else if (command == "what-if-econ") {
+    request.type = rp::serve::RequestType::kWhatIf;
+    request.whatif_mode = 1;
+  } else if (command == "what-if-peering") {
+    request.type = rp::serve::RequestType::kWhatIf;
+    request.whatif_mode = 2;
+  } else if (command == "badframe") {
+    badframe = true;
+  } else if (command == "shutdown") {
+    request.type = rp::serve::RequestType::kShutdown;
+  } else {
+    std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
+                 command.c_str());
+    return 2;
+  }
+
+  bool have_variant = false;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs an argument\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--group") {
+      request.group = static_cast<std::uint8_t>(std::atoi(value()));
+    } else if (arg == "--steps") {
+      request.max_steps = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--decay") {
+      request.fitted_decay = false;
+      request.decay = std::atof(value());
+    } else if (arg == "--prices") {
+      if (!parse_prices(value(), request.prices)) {
+        std::fprintf(stderr, "%s: --prices wants p,g,u,h,v\n", argv[0]);
+        return 2;
+      }
+    } else if (arg == "--variant") {
+      if (!parse_prices(value(), request.variant)) {
+        std::fprintf(stderr, "%s: --variant wants p,g,u,h,v\n", argv[0]);
+        return 2;
+      }
+      have_variant = true;
+    } else if (arg == "--reached") {
+      request.reached_ixps = split_commas(value());
+    } else if (arg == "--add") {
+      request.added_ixps = split_commas(value());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (request.type == rp::serve::RequestType::kWhatIf &&
+      request.whatif_mode == 1 && !have_variant) {
+    std::fprintf(stderr, "%s: what-if-econ needs --variant p,g,u,h,v\n",
+                 argv[0]);
+    return 2;
+  }
+
+  try {
+    rp::serve::Client client = rp::serve::Client::connect(host, port);
+    if (badframe) {
+      // A length prefix promising far more than kMaxFramePayload: the daemon
+      // must kill this connection (recv sees EOF) and keep running.
+      const std::uint8_t poison[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                     0xff, 0xff, 0xff, 0xff, 0x7f};
+      client.send_bytes(poison);
+      try {
+        client.read_payload();
+        std::fprintf(stderr, "badframe: daemon answered a malformed frame\n");
+        return 4;
+      } catch (const rp::serve::ClientError&) {
+        std::printf("badframe = connection closed (as it should be)\n");
+        return 0;
+      }
+    }
+    const rp::serve::Response response = client.call(request);
+    switch (response.status) {
+      case rp::serve::Status::kOk:
+        for (const auto& [key, val] : response.fields)
+          std::printf("%s = %s\n", key.c_str(), val.c_str());
+        return 0;
+      case rp::serve::Status::kError:
+        std::fprintf(stderr, "error: %s\n", response.message.c_str());
+        return 1;
+      case rp::serve::Status::kBusy:
+        std::fprintf(stderr, "busy: %s\n", response.message.c_str());
+        return 5;
+    }
+    return 4;
+  } catch (const rp::serve::ClientError& e) {
+    std::fprintf(stderr, "rpq: %s\n", e.what());
+    return static_cast<int>(e.error_class());
+  }
+}

@@ -17,7 +17,14 @@ cd "$(dirname "$0")/.."
 # silently replaces the first (an earlier revision leaked its snapshot dir
 # exactly that way), so temp dirs are collected here and removed once.
 TEMP_DIRS=()
-cleanup() { rm -rf ${TEMP_DIRS[@]+"${TEMP_DIRS[@]}"}; }
+DAEMON_PIDS=()
+cleanup() {
+  local pid
+  for pid in ${DAEMON_PIDS[@]+"${DAEMON_PIDS[@]}"}; do
+    kill "$pid" 2> /dev/null || true
+  done
+  rm -rf ${TEMP_DIRS[@]+"${TEMP_DIRS[@]}"}
+}
 trap cleanup EXIT
 tmpdir() {
   local d
@@ -38,10 +45,11 @@ expect_rc() {
 }
 
 # Every RP_* environment variable the binaries read. The sed strips the
-# getenv("...") wrapper around each match.
+# getenv("...") / env_size("...", ...) wrapper around each match (env_size is
+# the serve daemon's numeric-env helper — it forwards to getenv).
 env_vars_read() {
-  grep -rhoE 'getenv\("RP_[A-Z_]+"\)' src examples bench |
-    sed -e 's/getenv("//' -e 's/")//' | sort -u
+  grep -rhoE '(getenv|env_size)\("RP_[A-Z_]+"' src examples bench |
+    sed -e 's/.*("//' -e 's/"$//' | sort -u
 }
 
 # Fails unless every env var from env_vars_read has a row in the given
@@ -214,6 +222,66 @@ for key in ("BM_SmallIxpCampaign.events_per_sec",
 EOF
 }
 
+# The query daemon end to end: ephemeral port, rpq queries against a warm
+# fast world, a poisoned frame the daemon must survive, protocol-driven
+# shutdown, and the perf_serve load-generator gate (DESIGN.md §14).
+serve_smoke() {
+  local build="$1"
+  echo "=== [$build] serve smoke (rpserve-daemon + rpq + perf_serve) ==="
+  local dir rpq="build/$build/examples/rpq"
+  dir="$(tmpdir)"
+  RP_SNAPSHOT_CACHE="$dir/cache" "build/$build/examples/rpserve-daemon" \
+    --port 0 --port-file "$dir/port" > "$dir/daemon.log" &
+  local daemon_pid=$!
+  DAEMON_PIDS+=("$daemon_pid")
+  local tries=0
+  until [[ -s "$dir/port" ]]; do
+    if ((++tries > 100)); then
+      echo "FAIL: daemon never wrote its port file" >&2
+      cat "$dir/daemon.log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  local port
+  port="$(cat "$dir/port")"
+
+  "$rpq" --port "$port" ping ci-token | grep -q "token = ci-token"
+  "$rpq" --port "$port" --fast world-info | tee "$dir/info.log" |
+    grep -q "world.digest"
+  grep -q "world.ases" "$dir/info.log"
+  "$rpq" --port "$port" --fast viability | grep -q "viability.decay"
+  "$rpq" --port "$port" --fast offload-curve --steps 3 |
+    grep -q "offload.steps = 3"
+  # An unknown config field is a soft error (exit 1), not a dead daemon.
+  expect_rc 1 "$rpq" --port "$port" --fast --set no.such.field=1 world-info
+  # A poisoned length prefix kills that one connection (rpq badframe exits 0
+  # when the daemon hangs up on it) — and the daemon keeps serving.
+  "$rpq" --port "$port" badframe
+  "$rpq" --port "$port" ping still-alive | grep -q "token = still-alive"
+  "$rpq" --port "$port" shutdown
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [[ "$rc" != 0 ]]; then
+    echo "FAIL: daemon exited $rc after rpq shutdown" >&2
+    cat "$dir/daemon.log" >&2
+    return 1
+  fi
+
+  echo "--- perf_serve (RP_BENCH_FAST=1) ---"
+  RP_BENCH_FAST=1 RP_BENCH_JSON_DIR="$dir" RP_SNAPSHOT_CACHE="$dir/cache" \
+    "build/$build/bench/perf_serve"
+  python3 - "$dir/BENCH_perf_serve.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("requests_per_sec", "p50_us", "p99_us", "clients",
+            "requests_total", "batch_occupancy_mean", "batch_occupancy_max"):
+    assert bench.get(key, 0) > 0, (key, sorted(bench))
+assert bench.get("requests_failed", 1) == 0, bench
+assert bench["p50_us"] <= bench["p99_us"], bench
+EOF
+}
+
 figure_smoke() {
   local build="$1"
   echo "=== [$build] figure harness smoke (RP_BENCH_FAST=1) ==="
@@ -265,9 +333,9 @@ EOF
 # pool sizes itself to the machine and may be serial on small runners).
 tsan_thread_stress() {
   local build="$1"
-  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, campaigns) ==="
+  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, serve, campaigns) ==="
   local suite
-  for suite in test_obs test_util test_fault; do
+  for suite in test_obs test_util test_fault test_serve; do
     echo "--- $suite ---"
     RP_THREADS=8 "build/$build/tests/$suite" --gtest_brief=1
   done
@@ -288,6 +356,7 @@ run_lane() {
       obs_smoke "$preset"
       fault_smoke "$preset"
       sweep_smoke "$preset"
+      serve_smoke "$preset"
       perf_smoke "$preset"
       figure_smoke "$preset"
       ;;

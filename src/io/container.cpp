@@ -8,6 +8,7 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/varint.hpp"
 
 namespace rp::io {
 namespace {
@@ -52,17 +53,10 @@ void ByteWriter::u64_fixed(std::uint64_t v) {
 }
 
 void ByteWriter::varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  bytes_.push_back(static_cast<std::uint8_t>(v));
+  util::varint_encode(bytes_, v);
 }
 
-void ByteWriter::svarint(std::int64_t v) {
-  varint((static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63));
-}
+void ByteWriter::svarint(std::int64_t v) { varint(util::zigzag_encode(v)); }
 
 void ByteWriter::f64(double v) { u64_fixed(std::bit_cast<std::uint64_t>(v)); }
 
@@ -99,24 +93,21 @@ std::uint64_t ByteReader::u64_fixed() {
 }
 
 std::uint64_t ByteReader::varint() {
-  std::uint64_t v = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    const std::uint8_t byte = u8();
-    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      // The tenth byte may only contribute the single top bit.
-      if (shift == 63 && (byte & 0x7E) != 0)
-        throw SnapshotError("snapshot " + context_ + ": varint overflows");
-      return v;
-    }
+  const util::VarintResult r = util::varint_decode(data_.subspan(pos_));
+  switch (r.status) {
+    case util::VarintStatus::kTruncated:
+      underrun();
+    case util::VarintStatus::kOverflow:
+      throw SnapshotError("snapshot " + context_ +
+                          ": varint overflows (or exceeds 10 bytes)");
+    case util::VarintStatus::kOk:
+      break;
   }
-  throw SnapshotError("snapshot " + context_ + ": varint longer than 10 bytes");
+  pos_ += r.consumed;
+  return r.value;
 }
 
-std::int64_t ByteReader::svarint() {
-  const std::uint64_t z = varint();
-  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
-}
+std::int64_t ByteReader::svarint() { return util::zigzag_decode(varint()); }
 
 double ByteReader::f64() { return std::bit_cast<double>(u64_fixed()); }
 

@@ -65,6 +65,9 @@ std::vector<json::Entry> metrics_json_entries(
         entries.emplace_back(m.name + ".mean", json::number(m.mean()));
         entries.emplace_back(m.name + ".min", json::number(m.min));
         entries.emplace_back(m.name + ".max", json::number(m.max));
+        entries.emplace_back(m.name + ".p50", json::number(m.quantile(0.50)));
+        entries.emplace_back(m.name + ".p90", json::number(m.quantile(0.90)));
+        entries.emplace_back(m.name + ".p99", json::number(m.quantile(0.99)));
         break;
     }
   }

@@ -16,7 +16,8 @@ namespace rp::obs {
 /// Flattens a snapshot into (key, JSON value) pairs — the rows
 /// write_metrics_json emits, reusable by the bench trajectory files.
 /// Counters map name → total; gauges map name → value; histograms expand to
-/// `<name>.count`, `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`.
+/// `<name>.count`, `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`,
+/// plus interpolated `<name>.p50` / `<name>.p90` / `<name>.p99` quantiles.
 std::vector<json::Entry> metrics_json_entries(
     const std::vector<MetricValue>& snapshot);
 
@@ -29,7 +30,8 @@ void render_metrics_table(std::ostream& os,
 
 /// Writes the snapshot as a flat JSON object. Counters map name → total;
 /// gauges map name → value; histograms expand to `<name>.count`,
-/// `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`.
+/// `<name>.sum`, `<name>.mean`, `<name>.min`, `<name>.max`, and the
+/// interpolated `<name>.p50` / `<name>.p90` / `<name>.p99` quantiles.
 void write_metrics_json(std::ostream& os,
                         const std::vector<MetricValue>& snapshot);
 

@@ -181,6 +181,32 @@ void MetricsRegistry::histogram_record(std::size_t id, std::uint64_t value) {
   }
 }
 
+double MetricValue::quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; rank r means "the r-th smallest sample".
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Bucket 0 holds exactly the value 0; bucket b holds [2^(b-1), 2^b).
+    if (b == 0) return 0.0;
+    const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+    const double hi = b >= 63 ? 2.0 * lo : static_cast<double>(std::uint64_t{1} << b);
+    const double fraction =
+        (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    const double estimate = lo + fraction * (hi - lo);
+    return std::clamp(estimate, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
 std::vector<MetricValue> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::vector<MetricValue> out;

@@ -87,6 +87,15 @@ struct MetricValue {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimates the q-quantile (q in [0, 1]) of a histogram by linear
+  /// interpolation inside its log2 buckets: the target rank q * count is
+  /// located in the cumulative bucket counts, then mapped linearly across
+  /// the owning bucket's value range [2^(k-1), 2^k). The estimate is clamped
+  /// to the recorded [min, max], so degenerate distributions (all samples
+  /// equal) report the exact value. Returns 0 when the histogram is empty or
+  /// the metric is not a histogram.
+  double quantile(double q) const;
 };
 
 /// The process-wide registry. Metric handles (Counter, Gauge, Histogram

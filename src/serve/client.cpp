@@ -1,0 +1,103 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rp::serve {
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ClientError(ClientErrorClass::kConnect,
+                      std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ClientError(ClientErrorClass::kConnect,
+                      "unparsable host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ClientError(ClientErrorClass::kConnect,
+                      "connect " + host + ":" + std::to_string(port) + ": " +
+                          why);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_bytes(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw ClientError(ClientErrorClass::kConnect,
+                        std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> Client::read_payload() {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    std::optional<std::pair<std::size_t, std::span<const std::uint8_t>>> frame;
+    try {
+      frame = try_parse_frame(buffer_);
+    } catch (const ProtocolError& e) {
+      throw ClientError(ClientErrorClass::kProtocol, e.what());
+    }
+    if (frame) {
+      std::vector<std::uint8_t> payload(frame->second.begin(),
+                                        frame->second.end());
+      buffer_.erase(
+          buffer_.begin(),
+          buffer_.begin() + static_cast<std::ptrdiff_t>(frame->first));
+      return payload;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw ClientError(ClientErrorClass::kConnect,
+                        n == 0 ? "daemon closed the connection"
+                               : std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.insert(buffer_.end(), chunk, chunk + n);
+  }
+}
+
+std::vector<std::uint8_t> Client::call_raw(const Request& request) {
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(request));
+  send_bytes(frame);
+  return read_payload();
+}
+
+Response Client::call(const Request& request) {
+  const std::vector<std::uint8_t> payload = call_raw(request);
+  try {
+    return decode_response(payload);
+  } catch (const ProtocolError& e) {
+    throw ClientError(ClientErrorClass::kProtocol, e.what());
+  }
+}
+
+}  // namespace rp::serve

@@ -1,0 +1,64 @@
+// A small blocking client for the rp::serve protocol, shared by the rpq CLI,
+// the load generator, and the daemon tests. One Client is one connection;
+// call() is synchronous (send one frame, read one response frame).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace rp::serve {
+
+/// Why a client operation failed — maps onto rpq exit codes.
+enum class ClientErrorClass : std::uint8_t {
+  kConnect = 3,   ///< Cannot reach / talk to the daemon (socket-level).
+  kProtocol = 4,  ///< The daemon's bytes do not parse as a response.
+};
+
+class ClientError : public std::runtime_error {
+ public:
+  ClientError(ClientErrorClass error_class, const std::string& message)
+      : std::runtime_error(message), class_(error_class) {}
+  ClientErrorClass error_class() const { return class_; }
+
+ private:
+  ClientErrorClass class_;
+};
+
+class Client {
+ public:
+  /// Connects to host:port; throws ClientError(kConnect) on failure.
+  static Client connect(const std::string& host, std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends `request` and blocks for the matching response.
+  Response call(const Request& request);
+
+  /// Like call(), but returns the raw response payload bytes — the
+  /// byte-identity tests compare these across clients and thread counts.
+  std::vector<std::uint8_t> call_raw(const Request& request);
+
+  /// Writes raw bytes as-is (no framing) — for poking the daemon with
+  /// malformed input. Throws ClientError(kConnect) when the write fails.
+  void send_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Reads one response payload off the socket. Throws ClientError(kConnect)
+  /// when the daemon hangs up first.
+  std::vector<std::uint8_t> read_payload();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace rp::serve

@@ -1,0 +1,430 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fault/fault.hpp"
+#include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/executor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::serve {
+
+namespace {
+
+obs::Counter& accepted_counter() {
+  static obs::Counter c("rp.serve.connections.accepted");
+  return c;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter c("rp.serve.connections.rejected");
+  return c;
+}
+obs::Counter& killed_counter() {
+  static obs::Counter c("rp.serve.connections.killed");
+  return c;
+}
+obs::Counter& received_counter() {
+  static obs::Counter c("rp.serve.requests.received");
+  return c;
+}
+obs::Counter& busy_counter() {
+  static obs::Counter c("rp.serve.busy", obs::Stability::kScheduling);
+  return c;
+}
+obs::Counter& responses_counter() {
+  static obs::Counter c("rp.serve.responses.sent");
+  return c;
+}
+obs::Histogram& batch_occupancy() {
+  static obs::Histogram h("rp.serve.batch.occupancy");
+  return h;
+}
+obs::Histogram& request_ns() {
+  static obs::Histogram h("rp.serve.request_ns");
+  return h;
+}
+obs::Histogram& exec_ns() {
+  static obs::Histogram h("rp.serve.exec_ns");
+  return h;
+}
+
+fault::Site& accept_site() {
+  static fault::Site site(fault::kSiteServeAccept);
+  return site;
+}
+fault::Site& parse_site() {
+  static fault::Site site(fault::kSiteServeParse);
+  return site;
+}
+fault::Site& respond_site() {
+  static fault::Site site(fault::kSiteServeRespond);
+  return site;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Connection
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::send_payload(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 4);
+  append_frame(frame, payload);
+
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!alive()) return false;
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      alive_.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Connection::kill() {
+  if (alive_.exchange(false, std::memory_order_relaxed))
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+// -------------------------------------------------------------- RequestQueue
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool RequestQueue::try_push(QueueItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<QueueItem> RequestQueue::pop_batch(std::size_t max_batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return stopped_ || !items_.empty(); });
+  std::vector<QueueItem> batch;
+  const std::size_t take = std::min(items_.size(), std::max<std::size_t>(
+                                                       1, max_batch));
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+// -------------------------------------------------------------- DaemonConfig
+
+DaemonConfig DaemonConfig::from_env() {
+  DaemonConfig config;
+  config.port = static_cast<std::uint16_t>(
+      env_size("RP_SERVE_PORT", config.port));
+  config.worlds = env_size("RP_SERVE_WORLDS", config.worlds);
+  config.queue_capacity = env_size("RP_SERVE_QUEUE", config.queue_capacity);
+  return config;
+}
+
+// -------------------------------------------------------------------- Daemon
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      pool_(config_.worlds, config_.cache_dir.empty()
+                                ? io::default_cache_dir()
+                                : config_.cache_dir),
+      queue_(config_.queue_capacity) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("unparsable listen host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on " + config_.host + ":" +
+                             std::to_string(config_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatcher_thread_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Daemon::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Daemon::stop() {
+  if (stopped_.exchange(true)) return;
+  running_.store(false, std::memory_order_release);
+
+  // Wake the accept thread, then the dispatcher (which drains what is
+  // already queued), then the readers. Readers are joined last so every
+  // in-flight handle they hold stays valid.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  queue_.stop();
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections.swap(connections_);
+    readers.swap(readers_);
+  }
+  for (auto& connection : connections) connection->kill();
+  for (auto& reader : readers)
+    if (reader.joinable()) reader.join();
+
+  request_shutdown();  // Unblock a wait()er that did not see a client ask.
+}
+
+void Daemon::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    obs::Span span("serve.accept");
+    if (accept_site().fire()) {
+      // The fault kills only the brand-new connection: the listener and
+      // every established client are untouched.
+      ::close(fd);
+      rejected_counter().add();
+      continue;
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    accepted_counter().add();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.push_back(connection);
+    readers_.emplace_back(
+        [this, connection] { reader_loop(connection); });
+  }
+}
+
+void Daemon::reader_loop(std::shared_ptr<Connection> connection) {
+  std::vector<std::uint8_t> buffer;
+  std::uint8_t chunk[4096];
+  while (connection->alive()) {
+    const ssize_t n = ::recv(connection->fd(), chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      connection->kill();
+      return;
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+    // Drain every complete frame in the buffer (clients may pipeline).
+    for (;;) {
+      std::optional<std::pair<std::size_t, std::span<const std::uint8_t>>>
+          frame;
+      try {
+        obs::Span span("serve.parse");
+        parse_site().maybe_throw();
+        frame = try_parse_frame(buffer);
+        if (frame) handle_frame(connection, frame->second);
+      } catch (const std::exception&) {
+        // Malformed frame or injected parse fault: this connection is
+        // unrecoverable (framing is lost), so it dies — alone.
+        connection->kill();
+        killed_counter().add();
+        return;
+      }
+      if (!frame) break;
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(frame->first));
+    }
+  }
+}
+
+void Daemon::handle_frame(const std::shared_ptr<Connection>& connection,
+                          std::span<const std::uint8_t> payload) {
+  // decode_request throws ProtocolError on malformed payloads — the caller
+  // kills the connection, which is the contract for framing-level damage.
+  Request request = decode_request(payload);
+  received_counter().add();
+
+  if (request.type == RequestType::kPing ||
+      request.type == RequestType::kShutdown) {
+    // No world needed: answer inline on the reader thread.
+    const Response response = execute_request(request, nullptr);
+    connection->send_payload(encode_response(response));
+    responses_counter().add();
+    if (request.type == RequestType::kShutdown) request_shutdown();
+    return;
+  }
+
+  QueueItem item;
+  item.connection = connection;
+  item.request = std::move(request);
+  if (obs::metrics_enabled()) item.enqueue_ns = obs::monotonic_ns();
+  const std::uint64_t id = item.request.id;
+  if (!queue_.try_push(std::move(item))) {
+    busy_counter().add();
+    Response busy;
+    busy.status = Status::kBusy;
+    busy.id = id;
+    busy.message = "queue full (" + std::to_string(queue_.capacity()) +
+                   " requests); retry";
+    connection->send_payload(encode_response(busy));
+  }
+}
+
+void Daemon::dispatcher_loop() {
+  for (;;) {
+    std::vector<QueueItem> batch = queue_.pop_batch(config_.max_batch);
+    if (batch.empty()) return;  // Stopped and drained.
+    batch_occupancy().record(batch.size());
+
+    // Resolve each item's world spec and group the batch by config digest so
+    // every distinct world is acquired (and its artifacts warmed) once.
+    const std::size_t count = batch.size();
+    std::vector<Response> responses(count);
+    std::vector<bool> done(count, false);
+    std::vector<std::shared_ptr<const World>> worlds(count);
+    std::vector<core::ScenarioConfig> configs(count);
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_digest;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        configs[i] = batch[i].request.world.resolve();
+        by_digest[io::config_digest(configs[i])].push_back(i);
+      } catch (const std::exception& e) {
+        responses[i].status = Status::kError;
+        responses[i].id = batch[i].request.id;
+        responses[i].message = e.what();
+        done[i] = true;
+      }
+    }
+    for (const auto& [digest, indices] : by_digest) {
+      try {
+        const auto world = pool_.acquire(configs[indices.front()]);
+        for (std::size_t i : indices) worlds[i] = world;
+        // Pre-warm shared artifacts here, with the pool's full parallelism,
+        // so the per-request fan-out below only reads.
+        for (std::size_t i : indices) prewarm(batch[i].request, world.get());
+      } catch (const std::exception& e) {
+        for (std::size_t i : indices) {
+          responses[i].status = Status::kError;
+          responses[i].id = batch[i].request.id;
+          responses[i].message = std::string("world load failed: ") + e.what();
+          done[i] = true;
+        }
+      }
+    }
+
+    {
+      obs::Span span("serve.exec");
+      obs::ScopedTimer timer(exec_ns());
+      try {
+        util::ThreadPool::global().parallel_for(count, [&](std::size_t i) {
+          if (done[i]) return;
+          responses[i] = execute_request(batch[i].request, worlds[i].get());
+          done[i] = true;
+        });
+      } catch (const std::exception&) {
+        // An injected pool.task fault aborted the fan-out; the serial sweep
+        // below finishes whatever it skipped.
+      }
+      for (std::size_t i = 0; i < count; ++i)
+        if (!done[i])
+          responses[i] = execute_request(batch[i].request, worlds[i].get());
+    }
+
+    // Responses go out sequentially in enqueue order: per-connection FIFO is
+    // part of the protocol contract.
+    obs::Span span("serve.respond");
+    for (std::size_t i = 0; i < count; ++i) {
+      if (respond_site().fire()) {
+        batch[i].connection->kill();
+        killed_counter().add();
+        continue;
+      }
+      if (batch[i].connection->send_payload(encode_response(responses[i])))
+        responses_counter().add();
+      if (batch[i].enqueue_ns != 0 && obs::metrics_enabled())
+        request_ns().record(obs::monotonic_ns() - batch[i].enqueue_ns);
+    }
+  }
+}
+
+}  // namespace rp::serve

@@ -1,0 +1,176 @@
+// The rp::serve daemon: a resident TCP query server over warm worlds.
+//
+// Thread shape
+//   accept thread    accepts connections (serve.accept fault site: a fire
+//                    closes the one new socket, never the listener) and
+//                    spawns one blocking reader per connection.
+//   reader threads   frame + decode incoming requests (serve.parse site). A
+//                    malformed or fault-poisoned frame kills that connection
+//                    only. Well-formed requests go through admission control:
+//                    a full queue earns an immediate kBusy response and the
+//                    connection stays healthy. ping/shutdown are answered
+//                    inline (they need no world).
+//   dispatcher       pops batches off the bounded queue, resolves each
+//                    batch's distinct worlds once through the WorldPool,
+//                    pre-warms the artifacts the batch needs, executes the
+//                    requests on the global ThreadPool (indexed fan-out, so
+//                    responses are independent of scheduling), then writes
+//                    responses back in enqueue order (serve.respond site: a
+//                    fire kills the one target connection).
+//
+// Determinism: a response's payload is a pure function of (request, world) —
+// batching, thread count, and client interleaving only affect latency,
+// never bytes.
+//
+// Observability: rp.serve.* counters, rp.serve.batch.occupancy /
+// .request_ns / .exec_ns histograms, and serve.accept / serve.parse /
+// serve.exec / serve.respond spans.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/world_pool.hpp"
+
+namespace rp::serve {
+
+/// One live client connection. Writes are serialized by an internal mutex
+/// (the reader answers busy/ping inline while the dispatcher writes query
+/// responses). kill() shuts the socket down, which unblocks the reader and
+/// fails later writes; the fd closes when the last reference drops.
+class Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  bool alive() const { return alive_.load(std::memory_order_relaxed); }
+
+  /// Frames `payload` and writes it out. Returns false (and marks the
+  /// connection dead) when the peer is gone.
+  bool send_payload(std::span<const std::uint8_t> payload);
+
+  /// Marks the connection dead and shuts the socket down both ways (wakes a
+  /// blocked reader). Idempotent.
+  void kill();
+
+ private:
+  int fd_;
+  std::mutex write_mutex_;
+  std::atomic<bool> alive_{true};
+};
+
+/// A queued, decoded request awaiting dispatch.
+struct QueueItem {
+  std::shared_ptr<Connection> connection;
+  Request request;
+  std::uint64_t enqueue_ns = 0;  ///< Set when metrics are enabled.
+};
+
+/// The bounded admission queue between readers and the dispatcher.
+/// try_push never blocks — a full queue is the daemon's backpressure signal
+/// (the reader turns it into a kBusy response).
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Enqueues unless the queue is full or stopped; returns success.
+  bool try_push(QueueItem item);
+
+  /// Pops up to `max_batch` items, blocking while the queue is empty and
+  /// running. After stop(), drains without blocking; an empty return means
+  /// stopped-and-drained.
+  std::vector<QueueItem> pop_batch(std::size_t max_batch);
+
+  /// Wakes the consumer; pending items remain poppable, new pushes fail.
+  void stop();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueueItem> items_;
+  bool stopped_ = false;
+};
+
+struct DaemonConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = ephemeral; read back via port().
+  std::size_t worlds = 4;        ///< WorldPool capacity.
+  std::size_t queue_capacity = 128;
+  std::size_t max_batch = 64;
+  std::filesystem::path cache_dir;  ///< Empty = io::default_cache_dir().
+
+  /// Overlays RP_SERVE_PORT / RP_SERVE_WORLDS / RP_SERVE_QUEUE onto the
+  /// defaults (unparsable values are ignored).
+  static DaemonConfig from_env();
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, and starts the accept + dispatcher threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// The bound port (after start(); resolves port 0 to the actual one).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends shutdown or stop() is called elsewhere.
+  void wait();
+
+  /// Stops accepting, drains the queue, kills remaining connections, and
+  /// joins every thread. Idempotent.
+  void stop();
+
+  const WorldPool& pool() const { return pool_; }
+
+ private:
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> connection);
+  void dispatcher_loop();
+  void handle_frame(const std::shared_ptr<Connection>& connection,
+                    std::span<const std::uint8_t> payload);
+  void request_shutdown();
+
+  DaemonConfig config_;
+  WorldPool pool_;
+  RequestQueue queue_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace rp::serve

@@ -1,0 +1,276 @@
+#include "serve/executor.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/viability_study.hpp"
+#include "econ/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "offload/peer_groups.hpp"
+
+namespace rp::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+offload::PeerGroup to_group(std::uint8_t group) {
+  if (group < 1 || group > 4)
+    throw std::invalid_argument("peer group must be 1..4, got " +
+                                std::to_string(group));
+  return static_cast<offload::PeerGroup>(group);
+}
+
+econ::CostParameters to_params(const EconPrices& prices, double decay) {
+  econ::CostParameters params;
+  params.transit_price = prices.p;
+  params.direct_fixed = prices.g;
+  params.direct_unit = prices.u;
+  params.remote_fixed = prices.h;
+  params.remote_unit = prices.v;
+  params.decay = decay;
+  return params;
+}
+
+void emit(Response& response, std::string key, std::string value) {
+  response.fields.emplace_back(std::move(key), std::move(value));
+}
+
+void emit_f(Response& response, std::string key, double value) {
+  emit(response, std::move(key), format_double(value));
+}
+
+void exec_world_info(const Request&, const World& world, Response& response) {
+  const core::Scenario& scenario = world.scenario();
+  emit(response, "world.digest", hex16(world.digest()));
+  emit(response, "world.ases", fmt_u64(scenario.graph().as_count()));
+  emit(response, "world.ixps", fmt_u64(scenario.ecosystem().ixps().size()));
+  std::size_t interfaces = 0;
+  for (const auto& ixp : scenario.ecosystem().ixps())
+    interfaces += ixp.interfaces().size();
+  emit(response, "world.interfaces", fmt_u64(interfaces));
+  emit(response, "world.measured_ixps",
+       fmt_u64(scenario.measured_ixps().size()));
+  emit(response, "world.vantage_asn", fmt_u64(scenario.vantage().value()));
+  const char* outcome = "hit";
+  switch (world.cache_result().outcome) {
+    case core::SnapshotCacheResult::Outcome::kHit:
+      outcome = "hit";
+      break;
+    case core::SnapshotCacheResult::Outcome::kMiss:
+      outcome = "miss";
+      break;
+    case core::SnapshotCacheResult::Outcome::kFallback:
+      outcome = "fallback";
+      break;
+  }
+  emit(response, "world.cache", outcome);
+}
+
+void exec_offload_curve(const Request& request, const World& world,
+                        Response& response) {
+  const core::OffloadStudy& study = world.offload();
+  const offload::OffloadAnalyzer& analyzer = study.analyzer();
+  const auto steps = analyzer.greedy_by_traffic(
+      to_group(request.group),
+      static_cast<std::size_t>(request.max_steps));
+  emit_f(response, "offload.initial_bps",
+         analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps());
+  emit(response, "offload.steps", fmt_u64(steps.size()));
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::string prefix = "step." + std::to_string(i);
+    emit(response, prefix + ".acronym", steps[i].acronym);
+    emit_f(response, prefix + ".gained_bps", steps[i].gained);
+    emit_f(response, prefix + ".remaining_bps", steps[i].remaining);
+  }
+}
+
+core::ViabilityStudy viability_for(const Request& request,
+                                   const World& world) {
+  if (!request.fitted_decay)
+    return core::ViabilityStudy::from_decay(
+        request.decay, to_params(request.prices, request.decay));
+  const offload::OffloadAnalyzer& analyzer = world.offload().analyzer();
+  return core::ViabilityStudy::from_greedy_curve(
+      world.greedy_curve(),
+      analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps(),
+      to_params(request.prices, 0.0));
+}
+
+void exec_viability(const Request& request, const World& world,
+                    Response& response) {
+  const core::ViabilityStudy study = viability_for(request, world);
+  emit_f(response, "viability.decay", study.fitted_decay());
+  emit(response, "viability.viable", study.remote_viable() ? "1" : "0");
+  emit_f(response, "viability.optimal_n", study.optimal_direct_n());
+  emit_f(response, "viability.optimal_m", study.optimal_remote_m());
+  const econ::CostModel& model = study.model();
+  emit_f(response, "viability.cost_without_remote",
+         model.cost_without_remote(study.optimal_direct_n()));
+  emit_f(response, "viability.cost_with_remote",
+         model.total_cost(study.optimal_direct_n(), study.optimal_remote_m()));
+  emit_f(response, "viability.critical_decay", model.critical_decay());
+}
+
+void exec_spread(const Request&, const World& world, Response& response) {
+  const measure::SpreadReport& report = world.spread().report();
+  emit(response, "spread.probed", fmt_u64(report.total_probed()));
+  emit(response, "spread.analyzed", fmt_u64(report.total_analyzed()));
+  emit(response, "spread.identified_networks",
+       fmt_u64(report.identified_networks()));
+  emit(response, "spread.remote_networks", fmt_u64(report.remote_networks()));
+  emit_f(response, "spread.ixps_with_remote_fraction",
+         report.ixps_with_remote_fraction());
+}
+
+void emit_econ_point(Response& response, const std::string& prefix,
+                     const econ::CostModel& model) {
+  emit(response, prefix + ".viable", model.remote_viable() ? "1" : "0");
+  emit_f(response, prefix + ".optimal_n", model.optimal_direct_n());
+  emit_f(response, prefix + ".optimal_m", model.optimal_remote_m());
+  emit_f(response, prefix + ".cost",
+         model.total_cost(model.optimal_direct_n(), model.optimal_remote_m()));
+}
+
+std::vector<ixp::IxpId> resolve_ixps(const core::Scenario& scenario,
+                                     const std::vector<std::string>& acronyms) {
+  std::vector<ixp::IxpId> ids;
+  ids.reserve(acronyms.size());
+  for (const std::string& acronym : acronyms) {
+    const ixp::Ixp* ixp = scenario.ecosystem().find(acronym);
+    if (ixp == nullptr)
+      throw std::invalid_argument("unknown IXP acronym '" + acronym + "'");
+    ids.push_back(ixp->id());
+  }
+  return ids;
+}
+
+void exec_what_if(const Request& request, const World& world,
+                  Response& response) {
+  if (request.whatif_mode == 1) {
+    // Econ what-if: both parameter sets against the world's fitted decay.
+    const core::ViabilityStudy base = viability_for(request, world);
+    const double decay = base.fitted_decay();
+    const econ::CostModel variant(to_params(request.variant, decay));
+    emit_f(response, "whatif.decay", decay);
+    emit_econ_point(response, "base", base.model());
+    emit_econ_point(response, "variant", variant);
+    emit_f(response, "whatif.cost_delta",
+           variant.total_cost(variant.optimal_direct_n(),
+                              variant.optimal_remote_m()) -
+               base.model().total_cost(base.optimal_direct_n(),
+                                       base.optimal_remote_m()));
+    return;
+  }
+  // Peering-set what-if: the offload potential of reaching `added_ixps` on
+  // top of `reached_ixps`.
+  const offload::OffloadAnalyzer& analyzer = world.offload().analyzer();
+  const offload::PeerGroup group = to_group(request.group);
+  std::vector<ixp::IxpId> reached =
+      resolve_ixps(world.scenario(), request.reached_ixps);
+  std::vector<ixp::IxpId> widened = reached;
+  for (ixp::IxpId id : resolve_ixps(world.scenario(), request.added_ixps))
+    widened.push_back(id);
+  const offload::Potential base = analyzer.potential_at(reached, group);
+  const offload::Potential whatif = analyzer.potential_at(widened, group);
+  emit_f(response, "base.offload_bps", base.total_bps());
+  emit(response, "base.covered", fmt_u64(base.covered_networks));
+  emit_f(response, "whatif.offload_bps", whatif.total_bps());
+  emit(response, "whatif.covered", fmt_u64(whatif.covered_networks));
+  emit_f(response, "whatif.gained_bps",
+         whatif.total_bps() - base.total_bps());
+}
+
+}  // namespace
+
+ArtifactNeeds artifact_needs(const Request& request) {
+  ArtifactNeeds needs;
+  switch (request.type) {
+    case RequestType::kOffloadCurve:
+      needs.offload = true;
+      break;
+    case RequestType::kViability:
+      needs.offload = needs.greedy = request.fitted_decay;
+      break;
+    case RequestType::kSpread:
+      needs.spread = true;
+      break;
+    case RequestType::kWhatIf:
+      needs.offload = true;
+      needs.greedy = request.whatif_mode == 1;
+      break;
+    default:
+      break;
+  }
+  return needs;
+}
+
+void prewarm(const Request& request, const World* world) {
+  if (world == nullptr) return;
+  const ArtifactNeeds needs = artifact_needs(request);
+  try {
+    if (needs.offload) world->offload();
+    if (needs.greedy) world->greedy_curve();
+    if (needs.spread) world->spread();
+  } catch (const std::exception&) {
+    // execute_request reports the failure in its own error response.
+  }
+}
+
+Response execute_request(const Request& request, const World* world) {
+  static obs::Counter executed("rp.serve.requests.executed");
+  static obs::Counter failed("rp.serve.requests.failed");
+  Response response;
+  response.id = request.id;
+  try {
+    switch (request.type) {
+      case RequestType::kPing:
+        response.fields.emplace_back("token", request.token);
+        break;
+      case RequestType::kShutdown:
+        response.fields.emplace_back("shutdown", "1");
+        break;
+      default: {
+        if (world == nullptr)
+          throw std::runtime_error("no resident world for request");
+        switch (request.type) {
+          case RequestType::kWorldInfo:
+            exec_world_info(request, *world, response);
+            break;
+          case RequestType::kOffloadCurve:
+            exec_offload_curve(request, *world, response);
+            break;
+          case RequestType::kViability:
+            exec_viability(request, *world, response);
+            break;
+          case RequestType::kSpread:
+            exec_spread(request, *world, response);
+            break;
+          case RequestType::kWhatIf:
+            exec_what_if(request, *world, response);
+            break;
+          default:
+            throw std::runtime_error("unhandled request type");
+        }
+      }
+    }
+    executed.add();
+  } catch (const std::exception& e) {
+    response.status = Status::kError;
+    response.fields.clear();
+    response.message = e.what();
+    failed.add();
+  }
+  return response;
+}
+
+}  // namespace rp::serve

@@ -1,0 +1,32 @@
+// The query executor: a pure function from (decoded request, resident
+// world) to a Response. Split from the daemon so tests can drive every
+// request type without sockets, and so responses are trivially deterministic
+// — the outcome depends only on the request and the world, never on
+// scheduling, which is what makes answers byte-identical at any RP_THREADS
+// or client count.
+#pragma once
+
+#include "serve/protocol.hpp"
+#include "serve/world_pool.hpp"
+
+namespace rp::serve {
+
+/// Executes one request against `world` (nullptr for ping/shutdown, which
+/// need none). Never throws: failures become Status::kError responses with
+/// the exception message.
+Response execute_request(const Request& request, const World* world);
+
+/// Which artifacts `type` reads, so the daemon can pre-warm a world on the
+/// dispatcher thread (full pool parallelism) before fanning a batch out.
+struct ArtifactNeeds {
+  bool offload = false;
+  bool greedy = false;
+  bool spread = false;
+};
+ArtifactNeeds artifact_needs(const Request& request);
+
+/// Pre-builds the artifacts `request` needs on `world` (no-op for nullptr).
+/// Failures are swallowed — execute_request reports them per request.
+void prewarm(const Request& request, const World* world);
+
+}  // namespace rp::serve

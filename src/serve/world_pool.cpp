@@ -1,0 +1,146 @@
+#include "serve/world_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rp::serve {
+
+namespace {
+obs::Counter& pool_hits() {
+  static obs::Counter c("rp.serve.pool.hits");
+  return c;
+}
+obs::Counter& pool_misses() {
+  static obs::Counter c("rp.serve.pool.misses");
+  return c;
+}
+obs::Counter& pool_waits() {
+  static obs::Counter c("rp.serve.pool.waits",
+                        obs::Stability::kScheduling);
+  return c;
+}
+obs::Counter& pool_evictions() {
+  static obs::Counter c("rp.serve.pool.evictions");
+  return c;
+}
+obs::Gauge& pool_resident() {
+  static obs::Gauge g("rp.serve.pool.resident");
+  return g;
+}
+}  // namespace
+
+const core::OffloadStudy& World::offload() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!offload_) {
+    obs::Span span("serve.world.offload_study");
+    offload_ = std::make_unique<core::OffloadStudy>(
+        core::OffloadStudy::run(scenario_));
+  }
+  return *offload_;
+}
+
+const std::vector<offload::GreedyStep>& World::greedy_curve() const {
+  const core::OffloadStudy& study = offload();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!greedy_) {
+    obs::Span span("serve.world.greedy_curve");
+    greedy_ = std::make_unique<std::vector<offload::GreedyStep>>(
+        study.analyzer().greedy_by_traffic(offload::PeerGroup::kAll, 20));
+  }
+  return *greedy_;
+}
+
+const core::SpreadStudy& World::spread() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!spread_) {
+    obs::Span span("serve.world.spread_study");
+    spread_ =
+        std::make_unique<core::SpreadStudy>(core::SpreadStudy::run(scenario_));
+  }
+  return *spread_;
+}
+
+WorldPool::WorldPool(std::size_t capacity, std::filesystem::path cache_dir)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      cache_dir_(std::move(cache_dir)) {}
+
+std::shared_ptr<const World> WorldPool::acquire(
+    const core::ScenarioConfig& config) {
+  const std::uint64_t digest = io::config_digest(config);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = slots_.find(digest);
+    if (it == slots_.end()) break;
+    Slot& slot = *it->second;
+    if (slot.ready) {
+      slot.last_used = ++use_clock_;
+      pool_hits().add();
+      return slot.world;
+    }
+    // Another thread is loading this digest: join its flight. The slot can
+    // be gone when we wake (the load failed) — then the loop falls through
+    // to a fresh load attempt of our own.
+    pool_waits().add();
+    ready_cv_.wait(lock);
+  }
+
+  auto slot = std::make_shared<Slot>();
+  slots_.emplace(digest, slot);
+  pool_misses().add();
+  lock.unlock();
+
+  std::shared_ptr<const World> world;
+  try {
+    obs::Span span("serve.world.load");
+    core::SnapshotCacheResult cache;
+    core::Scenario scenario =
+        core::Scenario::build_cached(config, cache_dir_, &cache);
+    world = std::make_shared<World>(std::move(scenario), digest,
+                                    std::move(cache));
+  } catch (...) {
+    lock.lock();
+    slots_.erase(digest);
+    ready_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  slot->world = world;
+  slot->ready = true;
+  slot->last_used = ++use_clock_;
+  evict_over_capacity_locked();
+  pool_resident().set(static_cast<double>(slots_.size()));
+  ready_cv_.notify_all();
+  return world;
+}
+
+std::size_t WorldPool::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [digest, slot] : slots_)
+    if (slot->ready) ++ready;
+  return ready;
+}
+
+void WorldPool::evict_over_capacity_locked() {
+  for (;;) {
+    std::size_t ready = 0;
+    auto victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (!it->second->ready) continue;  // In-flight loads are not evictable.
+      ++ready;
+      if (victim == slots_.end() ||
+          it->second->last_used < victim->second->last_used)
+        victim = it;
+    }
+    if (ready <= capacity_ || victim == slots_.end()) return;
+    slots_.erase(victim);
+    pool_evictions().add();
+  }
+}
+
+}  // namespace rp::serve

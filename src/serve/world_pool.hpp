@@ -1,0 +1,106 @@
+// WorldPool — the daemon's warm-world residency layer.
+//
+// A World is a resident core::Scenario plus the study artifacts queries
+// need, each computed at most once per residency and cached for the world's
+// lifetime (the §4 offload study, its greedy curve, and the §3 spread
+// study). The pool keys worlds by their config digest (io::config_digest),
+// keeps at most `capacity` of them resident with LRU eviction, and
+// single-flights loading: concurrent acquires of the same digest share one
+// Scenario::build_cached call — the builders' snapshot cache does the
+// cross-process caching, the pool does the in-process residency.
+//
+// Eviction drops the pool's reference only; in-flight requests keep evicted
+// worlds alive through their shared_ptr until they finish.
+//
+// Counters: rp.serve.pool.hits / .misses / .waits (acquires that joined an
+// in-flight load) / .evictions, plus the rp.serve.pool.resident gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/offload_study.hpp"
+#include "core/scenario.hpp"
+#include "core/spread_study.hpp"
+
+namespace rp::serve {
+
+/// A resident world. The scenario is immutable; the study accessors build
+/// lazily (single-flight via the entry mutex) and cache for the lifetime of
+/// the residency. Thread-safe.
+class World {
+ public:
+  World(core::Scenario scenario, std::uint64_t digest,
+        core::SnapshotCacheResult cache_result)
+      : scenario_(std::move(scenario)),
+        digest_(digest),
+        cache_result_(std::move(cache_result)) {}
+
+  const core::Scenario& scenario() const { return scenario_; }
+  std::uint64_t digest() const { return digest_; }
+  const core::SnapshotCacheResult& cache_result() const {
+    return cache_result_;
+  }
+
+  /// The §4 study (traffic matrix, RIB, offload analyzer). Built on first
+  /// call; later callers block until it is ready, then share it.
+  const core::OffloadStudy& offload() const;
+
+  /// The greedy all-IXP expansion (group 4, 20 steps) — the decay-fit input
+  /// for viability queries.
+  const std::vector<offload::GreedyStep>& greedy_curve() const;
+
+  /// The §3 study (campaigns + filters + classification).
+  const core::SpreadStudy& spread() const;
+
+ private:
+  core::Scenario scenario_;
+  std::uint64_t digest_;
+  core::SnapshotCacheResult cache_result_;
+
+  mutable std::mutex mutex_;
+  mutable std::unique_ptr<core::OffloadStudy> offload_;
+  mutable std::unique_ptr<std::vector<offload::GreedyStep>> greedy_;
+  mutable std::unique_ptr<core::SpreadStudy> spread_;
+};
+
+class WorldPool {
+ public:
+  /// `capacity` >= 1 resident worlds; scenarios build through
+  /// Scenario::build_cached against `cache_dir`.
+  WorldPool(std::size_t capacity, std::filesystem::path cache_dir);
+
+  /// Returns the resident world for `config`, loading it if necessary.
+  /// Concurrent acquires of one digest share a single build (single-flight);
+  /// a failed build propagates to the acquire that ran it, while waiters
+  /// retry. May evict the least-recently-used resident world.
+  std::shared_ptr<const World> acquire(const core::ScenarioConfig& config);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Currently resident (ready) worlds.
+  std::size_t resident() const;
+  const std::filesystem::path& cache_dir() const { return cache_dir_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<const World> world;  ///< Set when ready.
+    bool ready = false;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_over_capacity_locked();
+
+  std::size_t capacity_;
+  std::filesystem::path cache_dir_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace rp::serve

@@ -1,0 +1,77 @@
+// The shared varint codec: unsigned LEB128 plus zigzag, used by both the
+// rp::io snapshot container (ByteWriter/ByteReader) and the rp::serve wire
+// protocol — one serialization primitive for files and for RPC frames.
+//
+// Encoding appends to a caller-owned byte vector. Decoding is non-throwing
+// and incremental: it reports how many bytes a value consumed and whether
+// the input was merely too short (kTruncated — feed more bytes and retry,
+// which is exactly what a socket frame parser needs) or malformed
+// (kOverflow — the value cannot fit in 64 bits). Callers map those statuses
+// onto their own error types (SnapshotError for snapshots, a protocol error
+// for serve frames).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rp::util {
+
+/// A varint may occupy at most 10 bytes (ceil(64 / 7)).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends the unsigned LEB128 encoding of `v` to `out`.
+inline void varint_encode(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Zigzag-codes a signed value so small magnitudes stay small when
+/// LEB128-encoded (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+inline constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of zigzag_encode.
+inline constexpr std::int64_t zigzag_decode(std::uint64_t z) {
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+/// Why a decode did not produce a value.
+enum class VarintStatus : std::uint8_t {
+  kOk,         ///< `value` and `consumed` are valid.
+  kTruncated,  ///< Ran out of input mid-value; more bytes may complete it.
+  kOverflow,   ///< The encoding does not fit 64 bits (or exceeds 10 bytes).
+};
+
+/// Result of varint_decode. On kTruncated/kOverflow, value and consumed are 0.
+struct VarintResult {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+  VarintStatus status = VarintStatus::kOk;
+};
+
+/// Decodes one unsigned LEB128 value from the front of `data`.
+inline VarintResult varint_decode(std::span<const std::uint8_t> data) {
+  std::uint64_t v = 0;
+  std::size_t i = 0;
+  for (int shift = 0; shift < 64; shift += 7, ++i) {
+    if (i >= data.size()) return {0, 0, VarintStatus::kTruncated};
+    const std::uint8_t byte = data[i];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The tenth byte may only contribute the single top bit.
+      if (shift == 63 && (byte & 0x7E) != 0)
+        return {0, 0, VarintStatus::kOverflow};
+      return {v, i + 1, VarintStatus::kOk};
+    }
+  }
+  return {0, 0, VarintStatus::kOverflow};  // Longer than 10 bytes.
+}
+
+}  // namespace rp::util

@@ -97,6 +97,71 @@ TEST(Metrics, HistogramBucketsAreLog2) {
   EXPECT_EQ(m->buckets[10], 1u);
 }
 
+TEST(Metrics, QuantileInterpolatesInsideBuckets) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.quantile_uniform");
+  // 64 samples spread uniformly over bucket 7's range [64, 128).
+  for (std::uint64_t v = 64; v < 128; ++v) histogram.record(v);
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.quantile_uniform");
+  ASSERT_NE(m, nullptr);
+  // All mass sits in one bucket; linear interpolation across [64, 128)
+  // lands the median near the true one (95.5) — well within a bucket step.
+  EXPECT_NEAR(m->quantile(0.50), 96.0, 4.0);
+  EXPECT_NEAR(m->quantile(0.99), 127.0, 4.0);
+  // Quantiles never leave the recorded [min, max].
+  EXPECT_GE(m->quantile(0.0), 64.0);
+  EXPECT_LE(m->quantile(1.0), 127.0);
+}
+
+TEST(Metrics, QuantileAcrossBucketsRespectsOrdering) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.quantile_spread");
+  // 90 small samples and 10 large ones: p50 must stay small, p99 large.
+  for (int i = 0; i < 90; ++i) histogram.record(10);
+  for (int i = 0; i < 10; ++i) histogram.record(100000);
+  const auto snap = MetricsRegistry::global().snapshot();
+  const auto* m = find(snap, "test.metrics.quantile_spread");
+  ASSERT_NE(m, nullptr);
+  EXPECT_LT(m->quantile(0.50), 20.0);
+  EXPECT_GT(m->quantile(0.95), 60000.0);
+  EXPECT_LE(m->quantile(0.50), m->quantile(0.90));
+  EXPECT_LE(m->quantile(0.90), m->quantile(0.99));
+}
+
+TEST(Metrics, QuantileDegenerateCases) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.quantile_edge");
+  const auto* empty =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.quantile_edge");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_DOUBLE_EQ(empty->quantile(0.5), 0.0);  // No samples yet.
+
+  // All samples identical: min/max clamping reports the exact value.
+  for (int i = 0; i < 100; ++i) histogram.record(42);
+  const auto* m =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.quantile_edge");
+  EXPECT_DOUBLE_EQ(m->quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(m->quantile(0.99), 42.0);
+
+  // Zero-only histograms report 0 (bucket 0 is exact).
+  MetricsRegistry::global().reset();
+  histogram.record(0);
+  const auto* zero =
+      find(MetricsRegistry::global().snapshot(), "test.metrics.quantile_edge");
+  EXPECT_DOUBLE_EQ(zero->quantile(0.99), 0.0);
+
+  // Counters have no quantiles.
+  Counter counter("test.metrics.quantile_counter");
+  counter.add(5);
+  const auto* c = find(MetricsRegistry::global().snapshot(),
+                       "test.metrics.quantile_counter");
+  EXPECT_DOUBLE_EQ(c->quantile(0.5), 0.0);
+}
+
 TEST(Metrics, GaugeLastWriterWins) {
   MetricsOn on;
   MetricsRegistry::global().reset();
@@ -165,6 +230,10 @@ TEST(MetricsExport, JsonEntriesCoverEveryKind) {
   EXPECT_EQ(value_of("test.export.gauge"), "2.5");
   EXPECT_EQ(value_of("test.export.hist.count"), "1");
   EXPECT_EQ(value_of("test.export.hist.sum"), "16");
+  // Quantile keys ride along for histograms (clamped to the exact value
+  // when every sample is equal).
+  EXPECT_EQ(value_of("test.export.hist.p50"), "16");
+  EXPECT_EQ(value_of("test.export.hist.p99"), "16");
 
   // The flat writer produces one key per line between braces.
   std::ostringstream os;

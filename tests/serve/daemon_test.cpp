@@ -1,0 +1,292 @@
+// Integration tests of the serve daemon over real loopback sockets:
+// byte-identical responses across clients and thread counts, per-connection
+// fault isolation (serve.accept / serve.parse / serve.respond and malformed
+// frames), admission control, and protocol-driven shutdown.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "serve/client.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::serve {
+namespace {
+
+/// One snapshot cache shared by every daemon in this binary, so only the
+/// first world build pays full price (later daemons load the snapshot).
+const std::filesystem::path& shared_cache_dir() {
+  static const std::filesystem::path dir = [] {
+    const auto path =
+        std::filesystem::temp_directory_path() / "rp_serve_daemon_test_cache";
+    std::filesystem::create_directories(path);
+    return path;
+  }();
+  return dir;
+}
+
+DaemonConfig test_config() {
+  DaemonConfig config;
+  config.port = 0;
+  config.worlds = 2;
+  config.cache_dir = shared_cache_dir();
+  return config;
+}
+
+Request ping_request(const std::string& token) {
+  Request request;
+  request.type = RequestType::kPing;
+  request.id = 1;
+  request.token = token;
+  return request;
+}
+
+Request world_info_request(std::uint64_t id = 2) {
+  Request request;
+  request.type = RequestType::kWorldInfo;
+  request.id = id;
+  request.world.fast = true;
+  return request;
+}
+
+Request viability_request(std::uint64_t id = 3) {
+  Request request;
+  request.type = RequestType::kViability;
+  request.id = id;
+  request.world.fast = true;
+  return request;
+}
+
+TEST(Daemon, PingRoundTripsAndEchoesId) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  Request request = ping_request("abc");
+  request.id = 77;
+  const Response response = client.call(request);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.id, 77u);
+  EXPECT_EQ(response.field("token"), "abc");
+  daemon.stop();
+}
+
+TEST(Daemon, ResponsesAreByteIdenticalAcrossConcurrentClients) {
+  Daemon daemon(test_config());
+  daemon.start();
+  const std::uint16_t port = daemon.port();
+
+  constexpr std::size_t kClients = 6;
+  std::vector<std::vector<std::uint8_t>> info(kClients), viability(kClients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c)
+    threads.emplace_back([c, port, &info, &viability] {
+      Client client = Client::connect("127.0.0.1", port);
+      info[c] = client.call_raw(world_info_request());
+      viability[c] = client.call_raw(viability_request());
+    });
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t c = 1; c < kClients; ++c) {
+    EXPECT_EQ(info[c], info[0]) << "client " << c;
+    EXPECT_EQ(viability[c], viability[0]) << "client " << c;
+  }
+  daemon.stop();
+}
+
+TEST(Daemon, ResponsesAreByteIdenticalAcrossThreadCounts) {
+  std::vector<std::uint8_t> wide, narrow;
+  {
+    Daemon daemon(test_config());
+    daemon.start();
+    Client client = Client::connect("127.0.0.1", daemon.port());
+    wide = client.call_raw(viability_request());
+    daemon.stop();
+  }
+  util::ThreadPool::set_global_threads(1);
+  {
+    Daemon daemon(test_config());
+    daemon.start();
+    Client client = Client::connect("127.0.0.1", daemon.port());
+    narrow = client.call_raw(viability_request());
+    daemon.stop();
+  }
+  util::ThreadPool::set_global_threads(0);  // Restore the RP_THREADS default.
+  EXPECT_EQ(wide, narrow);
+}
+
+TEST(Daemon, MalformedFrameKillsOnlyThatConnection) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client healthy = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(healthy.call(ping_request("before")).status, Status::kOk);
+
+  Client poisoned = Client::connect("127.0.0.1", daemon.port());
+  // A length prefix promising ~2^62 bytes: a protocol violation.
+  const std::uint8_t poison[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                 0xff, 0xff, 0xff, 0x3f};
+  poisoned.send_bytes(poison);
+  EXPECT_THROW(poisoned.read_payload(), ClientError);
+
+  // The healthy connection (and the daemon) carry on.
+  EXPECT_EQ(healthy.call(ping_request("after")).field("token"), "after");
+  daemon.stop();
+}
+
+TEST(Daemon, ParseFaultKillsOneConnectionOnly) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client healthy = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(healthy.call(ping_request("pre")).status, Status::kOk);
+
+  fault::arm(std::string(fault::kSiteServeParse) + ":nth=1");
+  Client victim = Client::connect("127.0.0.1", daemon.port());
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(ping_request("doomed")));
+  victim.send_bytes(frame);
+  EXPECT_THROW(victim.read_payload(), ClientError);
+  fault::disarm_all();
+
+  EXPECT_EQ(healthy.call(ping_request("post")).field("token"), "post");
+  daemon.stop();
+}
+
+TEST(Daemon, AcceptFaultRejectsOneConnectionOnly) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client healthy = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(healthy.call(ping_request("pre")).status, Status::kOk);
+
+  fault::arm(std::string(fault::kSiteServeAccept) + ":nth=1");
+  // The TCP handshake succeeds (the listener accepted), but the daemon
+  // closes the socket immediately: the first read sees EOF.
+  Client rejected = Client::connect("127.0.0.1", daemon.port());
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(ping_request("nope")));
+  EXPECT_THROW(
+      {
+        rejected.send_bytes(frame);
+        rejected.read_payload();
+      },
+      ClientError);
+  fault::disarm_all();
+
+  // New connections are accepted again; the old one never noticed.
+  Client fresh = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(fresh.call(ping_request("back")).status, Status::kOk);
+  EXPECT_EQ(healthy.call(ping_request("post")).field("token"), "post");
+  daemon.stop();
+}
+
+TEST(Daemon, RespondFaultKillsOneConnectionAndAnswersStayIdentical) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client healthy = Client::connect("127.0.0.1", daemon.port());
+  // Baseline answer (also warms the world so the faulted exchange is quick).
+  const std::vector<std::uint8_t> baseline =
+      healthy.call_raw(world_info_request());
+
+  fault::arm(std::string(fault::kSiteServeRespond) + ":nth=1");
+  Client victim = Client::connect("127.0.0.1", daemon.port());
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(world_info_request()));
+  victim.send_bytes(frame);
+  EXPECT_THROW(victim.read_payload(), ClientError);
+  fault::disarm_all();
+
+  // The concurrent client's next answer is byte-identical to its baseline:
+  // the poisoned connection corrupted nothing shared.
+  EXPECT_EQ(healthy.call_raw(world_info_request()), baseline);
+  daemon.stop();
+}
+
+TEST(Daemon, ConfigErrorsAreSoftErrors) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  Request request = world_info_request();
+  request.world.fields = {{"no.such.field", "1"}};
+  const Response response = client.call(request);
+  EXPECT_EQ(response.status, Status::kError);
+  EXPECT_NE(response.message.find("no.such.field"), std::string::npos);
+  // The connection survives a soft error.
+  EXPECT_EQ(client.call(ping_request("alive")).status, Status::kOk);
+  daemon.stop();
+}
+
+TEST(Daemon, PipelinedSameWorldQueriesComeBackInOrder) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  client.call(world_info_request());  // Warm the world first.
+
+  std::vector<std::uint8_t> burst;
+  constexpr std::uint64_t kCount = 8;
+  for (std::uint64_t i = 0; i < kCount; ++i)
+    append_frame(burst, encode_request(world_info_request(100 + i)));
+  client.send_bytes(burst);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const Response response = decode_response(client.read_payload());
+    EXPECT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.id, 100 + i);
+  }
+  daemon.stop();
+}
+
+TEST(Daemon, ShutdownRequestStopsTheDaemon) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  Request request;
+  request.type = RequestType::kShutdown;
+  request.id = 9;
+  const Response response = client.call(request);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.id, 9u);
+  daemon.wait();  // Returns because the client asked for shutdown.
+  daemon.stop();
+}
+
+TEST(RequestQueue, AdmissionControlIsBoundedAndFifo) {
+  RequestQueue queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  QueueItem item;
+  item.request = ping_request("a");
+  EXPECT_TRUE(queue.try_push(item));
+  item.request = ping_request("b");
+  EXPECT_TRUE(queue.try_push(item));
+  item.request = ping_request("overflow");
+  EXPECT_FALSE(queue.try_push(item));  // Full: the busy path.
+
+  const auto batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.token, "a");
+  EXPECT_EQ(batch[1].request.token, "b");
+
+  // After stop: pending items drain, new pushes fail, empty pop means done.
+  item.request = ping_request("late");
+  EXPECT_TRUE(queue.try_push(item));
+  queue.stop();
+  EXPECT_FALSE(queue.try_push(item));
+  EXPECT_EQ(queue.pop_batch(8).size(), 1u);
+  EXPECT_TRUE(queue.pop_batch(8).empty());
+}
+
+TEST(RequestQueue, PopBatchHonoursMaxBatch) {
+  RequestQueue queue(8);
+  QueueItem item;
+  for (int i = 0; i < 5; ++i) {
+    item.request = ping_request(std::to_string(i));
+    ASSERT_TRUE(queue.try_push(item));
+  }
+  EXPECT_EQ(queue.pop_batch(2).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(2).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rp::serve

@@ -1,0 +1,108 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rp::util {
+namespace {
+
+std::vector<std::uint8_t> encoded(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  varint_encode(out, v);
+  return out;
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  (1ull << 63),
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    const std::vector<std::uint8_t> bytes = encoded(v);
+    const VarintResult r = varint_decode(bytes);
+    EXPECT_EQ(r.status, VarintStatus::kOk) << v;
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.consumed, bytes.size());
+  }
+}
+
+TEST(Varint, EncodedLengthsMatchLeb128) {
+  EXPECT_EQ(encoded(0).size(), 1u);
+  EXPECT_EQ(encoded(127).size(), 1u);
+  EXPECT_EQ(encoded(128).size(), 2u);
+  EXPECT_EQ(encoded(16383).size(), 2u);
+  EXPECT_EQ(encoded(16384).size(), 3u);
+  EXPECT_EQ(encoded(std::numeric_limits<std::uint64_t>::max()).size(),
+            kMaxVarintBytes);
+}
+
+TEST(Varint, DecodeConsumesOnlyOneValue) {
+  std::vector<std::uint8_t> bytes = encoded(300);
+  const std::size_t first = bytes.size();
+  varint_encode(bytes, 7);
+  const VarintResult r = varint_decode(bytes);
+  EXPECT_EQ(r.value, 300u);
+  EXPECT_EQ(r.consumed, first);
+  const VarintResult rest =
+      varint_decode(std::span<const std::uint8_t>(bytes).subspan(r.consumed));
+  EXPECT_EQ(rest.value, 7u);
+}
+
+TEST(Varint, TruncatedInputAsksForMoreBytes) {
+  EXPECT_EQ(varint_decode({}).status, VarintStatus::kTruncated);
+  std::vector<std::uint8_t> bytes = encoded(1ull << 40);
+  for (std::size_t keep = 0; keep + 1 < bytes.size(); ++keep) {
+    const VarintResult r = varint_decode(
+        std::span<const std::uint8_t>(bytes).subspan(0, keep));
+    EXPECT_EQ(r.status, VarintStatus::kTruncated) << keep;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(Varint, OverflowingEncodingsAreRejected) {
+  // Eleven continuation bytes: longer than any 64-bit value can need.
+  const std::vector<std::uint8_t> too_long(11, 0x80);
+  EXPECT_EQ(varint_decode(too_long).status, VarintStatus::kOverflow);
+
+  // Ten bytes whose tenth contributes more than the single top bit.
+  std::vector<std::uint8_t> wide(9, 0x80);
+  wide.push_back(0x02);
+  EXPECT_EQ(varint_decode(wide).status, VarintStatus::kOverflow);
+
+  // The max value itself is fine: tenth byte contributes exactly one bit.
+  std::vector<std::uint8_t> max_bytes(9, 0xFF);
+  max_bytes.push_back(0x01);
+  const VarintResult r = varint_decode(max_bytes);
+  EXPECT_EQ(r.status, VarintStatus::kOk);
+  EXPECT_EQ(r.value, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varint, ZigzagRoundTripsSignedValues) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -2,
+                                 63,
+                                 -64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : values)
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  // Small magnitudes map to small codes (the point of zigzag).
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+}  // namespace
+}  // namespace rp::util
