@@ -11,7 +11,9 @@
 // Output: a human summary on stdout and BENCH_perf_serve.json in
 // $RP_BENCH_JSON_DIR (or the cwd) with flat keys:
 //   requests_per_sec, p50_us, p99_us, clients, requests_total,
-//   requests_failed, batch_occupancy_mean, batch_occupancy_max
+//   requests_failed, batch_occupancy_mean, batch_occupancy_max,
+//   phase_connect_s (all clients connected), phase_issue_s (the measured
+//   load window), phase_drain_s (daemon.stop(): drain + join)
 // RP_BENCH_FAST=1 shrinks the run (fewer clients, fewer requests);
 // RP_THREADS sizes the daemon's execution pool as everywhere else.
 
@@ -95,6 +97,19 @@ int main() {
     warm.call(request);
   }
 
+  // Phase 1 — connect: every client socket established before the first
+  // measured request, so connect cost never pollutes request latency.
+  const auto connect_begin = std::chrono::steady_clock::now();
+  std::vector<rp::serve::Client> connections;
+  connections.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    connections.push_back(rp::serve::Client::connect("127.0.0.1", port));
+  const double phase_connect_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    connect_begin)
+          .count();
+
+  // Phase 2 — issue: the measured load window.
   std::vector<std::vector<double>> latencies_us(clients);
   std::vector<std::size_t> failures(clients, 0);
   const auto begin = std::chrono::steady_clock::now();
@@ -102,9 +117,9 @@ int main() {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([c, per_client, port, &latencies_us, &failures] {
-        rp::serve::Client client =
-            rp::serve::Client::connect("127.0.0.1", port);
+      threads.emplace_back([c, per_client, &connections, &latencies_us,
+                            &failures] {
+        rp::serve::Client& client = connections[c];
         latencies_us[c].reserve(per_client);
         for (std::size_t i = 0; i < per_client; ++i) {
           const auto t0 = std::chrono::steady_clock::now();
@@ -146,7 +161,15 @@ int main() {
     }
   }
 
+  // Phase 3 — drain: close the client side, then time daemon.stop() (queue
+  // drain + thread joins).
+  connections.clear();
+  const auto drain_begin = std::chrono::steady_clock::now();
   daemon.stop();
+  const double phase_drain_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_begin)
+          .count();
 
   std::printf("perf_serve: %zu clients x %zu requests over loopback\n",
               clients, per_client);
@@ -156,6 +179,8 @@ int main() {
   std::printf("  failed        %zu\n", failed);
   std::printf("  batch occupancy mean %.2f, max %.0f\n", occupancy_mean,
               occupancy_max);
+  std::printf("  phases: connect %.3fs, issue %.3fs, drain %.3fs\n",
+              phase_connect_s, elapsed_s, phase_drain_s);
 
   std::vector<rp::obs::json::Entry> entries;
   entries.emplace_back("requests_per_sec", rp::obs::json::number(rps));
@@ -173,6 +198,10 @@ int main() {
                        rp::obs::json::number(occupancy_mean));
   entries.emplace_back("batch_occupancy_max",
                        rp::obs::json::number(occupancy_max));
+  entries.emplace_back("phase_connect_s",
+                       rp::obs::json::number(phase_connect_s));
+  entries.emplace_back("phase_issue_s", rp::obs::json::number(elapsed_s));
+  entries.emplace_back("phase_drain_s", rp::obs::json::number(phase_drain_s));
 
   std::string dir = ".";
   if (const char* env = std::getenv("RP_BENCH_JSON_DIR");

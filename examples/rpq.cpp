@@ -14,6 +14,16 @@
 //   what-if-peering --add IXP[,IXP...] [--reached IXP[,IXP...]] [--group N]
 //   badframe                         send a deliberately malformed frame
 //                                    (expects the daemon to hang up; exit 0)
+//   stats [--json|--prom] [--window N]
+//                                    live daemon stats: queue/pool occupancy,
+//                                    per-request-type p50/p99, slow-query
+//                                    log, and the last N points of every
+//                                    recorded time series (default 8; 0 for
+//                                    none). --json emits one flat object;
+//                                    --prom emits Prometheus text exposition.
+//   top [--interval MS] [--count N]  poll stats and render a live view with
+//                                    request rates (default: 1000 ms forever;
+//                                    --count bounds the refreshes)
 //   shutdown                         ask the daemon to exit
 //
 // --fast and --set pick the world: they resolve to a ScenarioConfig exactly
@@ -24,12 +34,20 @@
 // Exit codes: 0 ok, 1 daemon returned an error, 2 usage, 3 cannot connect /
 // socket error, 4 protocol violation in the response, 5 daemon busy.
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/json.hpp"
 #include "serve/client.hpp"
 
 namespace {
@@ -39,7 +57,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port N] [--fast] [--set field=value]...\n"
       "       <ping|world-info|offload-curve|viability|spread|what-if-econ|"
-      "what-if-peering|badframe|shutdown> [options]\n",
+      "what-if-peering|badframe|stats|top|shutdown> [options]\n",
       argv0);
   return 2;
 }
@@ -47,6 +65,51 @@ int usage(const char* argv0) {
 bool parse_prices(const std::string& text, rp::serve::EconPrices& prices) {
   return std::sscanf(text.c_str(), "%lf,%lf,%lf,%lf,%lf", &prices.p,
                      &prices.g, &prices.u, &prices.h, &prices.v) == 5;
+}
+
+void print_stats_json(const rp::serve::Response& response) {
+  // Numeric values pass through verbatim; everything else (hex digests —
+  // including all-digit ones a lenient parse would misread — and
+  // comma-joined windows) becomes a JSON string.
+  std::vector<rp::obs::json::Entry> entries;
+  entries.reserve(response.fields.size());
+  for (const auto& [key, value] : response.fields)
+    entries.emplace_back(key, rp::obs::is_canonical_number(value)
+                                  ? value
+                                  : '"' + rp::obs::json::escape(value) + '"');
+  rp::obs::json::write_flat_object(std::cout, entries);
+}
+
+double field_number(const rp::serve::Response& response,
+                    std::string_view key) {
+  const std::string_view v = response.field(key);
+  return v.empty() ? 0.0 : std::strtod(std::string(v).c_str(), nullptr);
+}
+
+// One `rpq top` refresh: request rate from the stats.completed delta across
+// polls, plus the load-bearing occupancy numbers and per-type counts.
+void render_top(const rp::serve::Response& response, double req_per_s) {
+  std::printf("uptime %.1fs   completed %.0f   %.1f req/s\n",
+              field_number(response, "stats.uptime_s"),
+              field_number(response, "stats.completed"), req_per_s);
+  std::printf("queue  %.0f/%.0f (high water %.0f)   pool %.0f/%.0f worlds\n",
+              field_number(response, "queue.depth"),
+              field_number(response, "queue.capacity"),
+              field_number(response, "queue.high_water"),
+              field_number(response, "pool.resident"),
+              field_number(response, "pool.capacity"));
+  for (const auto& [key, value] : response.fields) {
+    if (key.rfind("req.", 0) != 0 || key.size() < 7 ||
+        key.compare(key.size() - 6, 6, ".count") != 0)
+      continue;
+    const std::string type = key.substr(4, key.size() - 10);
+    const std::string p50_key = "req." + type + ".p50_us";
+    const std::string p99_key = "req." + type + ".p99_us";
+    std::printf("  %-14s %8s reqs   p50 %9.1f us   p99 %9.1f us\n",
+                type.c_str(), value.c_str(), field_number(response, p50_key),
+                field_number(response, p99_key));
+  }
+  std::fflush(stdout);
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -120,6 +183,11 @@ int main(int argc, char** argv) {
   }
 
   bool badframe = false;
+  bool top_mode = false;
+  bool json_out = false;
+  bool prom_out = false;
+  std::uint64_t top_interval_ms = 1000;
+  std::uint64_t top_count = 0;  // 0 = poll forever
   if (command == "ping") {
     request.type = rp::serve::RequestType::kPing;
     request.token = "rpq";
@@ -140,6 +208,13 @@ int main(int argc, char** argv) {
     request.whatif_mode = 2;
   } else if (command == "badframe") {
     badframe = true;
+  } else if (command == "stats") {
+    request.type = rp::serve::RequestType::kStats;
+    request.stats_window = 8;
+  } else if (command == "top") {
+    request.type = rp::serve::RequestType::kStats;
+    request.stats_window = 0;
+    top_mode = true;
   } else if (command == "shutdown") {
     request.type = rp::serve::RequestType::kShutdown;
   } else {
@@ -181,6 +256,18 @@ int main(int argc, char** argv) {
       request.reached_ixps = split_commas(value());
     } else if (arg == "--add") {
       request.added_ixps = split_commas(value());
+    } else if (arg == "--json") {
+      json_out = true;
+    } else if (arg == "--prom") {
+      prom_out = true;
+    } else if (arg == "--window") {
+      request.stats_window = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--interval") {
+      top_interval_ms =
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                         std::atoll(value())));
+    } else if (arg == "--count") {
+      top_count = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
       return usage(argv[0]);
     }
@@ -209,11 +296,48 @@ int main(int argc, char** argv) {
         return 0;
       }
     }
+    if (top_mode) {
+      // Poll the stats surface; the request rate is the stats.completed
+      // delta between successive polls over the wall time between them.
+      double last_completed = -1.0;
+      auto last_poll = std::chrono::steady_clock::now();
+      for (std::uint64_t tick = 0; top_count == 0 || tick < top_count;
+           ++tick) {
+        if (tick != 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(top_interval_ms));
+        }
+        const rp::serve::Response response = client.call(request);
+        if (response.status != rp::serve::Status::kOk) {
+          std::fprintf(stderr, "error: %s\n", response.message.c_str());
+          return 1;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        const double completed = field_number(response, "stats.completed");
+        double rate = 0.0;
+        if (last_completed >= 0.0) {
+          const double dt =
+              std::chrono::duration<double>(now - last_poll).count();
+          if (dt > 0.0) rate = std::max(0.0, (completed - last_completed) / dt);
+        }
+        last_completed = completed;
+        last_poll = now;
+        if (tick != 0) std::printf("\n");
+        render_top(response, rate);
+      }
+      return 0;
+    }
     const rp::serve::Response response = client.call(request);
     switch (response.status) {
       case rp::serve::Status::kOk:
-        for (const auto& [key, val] : response.fields)
-          std::printf("%s = %s\n", key.c_str(), val.c_str());
+        if (json_out) {
+          print_stats_json(response);
+        } else if (prom_out) {
+          rp::obs::write_prometheus(std::cout, response.fields);
+        } else {
+          for (const auto& [key, val] : response.fields)
+            std::printf("%s = %s\n", key.c_str(), val.c_str());
+        }
         return 0;
       case rp::serve::Status::kError:
         std::fprintf(stderr, "error: %s\n", response.message.c_str());

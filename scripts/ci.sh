@@ -253,6 +253,53 @@ serve_smoke() {
   "$rpq" --port "$port" --fast viability | grep -q "viability.decay"
   "$rpq" --port "$port" --fast offload-curve --steps 3 |
     grep -q "offload.steps = 3"
+
+  # The stats surface: --json must be machine-parseable and carry the
+  # load-bearing keys (occupancy, per-world memory, per-type latencies)...
+  "$rpq" --port "$port" stats --json > "$dir/stats.json"
+  python3 - "$dir/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+for key in ("stats.uptime_s", "stats.completed", "stats.ring_capacity",
+            "queue.depth", "queue.capacity", "queue.high_water",
+            "pool.capacity", "pool.resident", "pool.worlds",
+            "pool.world.0.digest", "pool.world.0.resident_bytes",
+            "req.ping.count", "req.ping.p50_us", "req.ping.p99_us",
+            "ts.samples", "ts.interval_ms"):
+    assert key in stats, (key, sorted(stats))
+assert stats["req.ping.count"] >= 1, stats
+assert stats["pool.world.0.resident_bytes"] > 0, stats
+EOF
+  # ...--prom must be well-formed text exposition: TYPE line + matching
+  # numeric sample, nothing else, and only numeric rows exported.
+  "$rpq" --port "$port" stats --prom > "$dir/stats.prom"
+  python3 - "$dir/stats.prom" <<'EOF'
+import re, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert lines and len(lines) % 2 == 0, "exposition must pair TYPE+sample"
+for i in range(0, len(lines), 2):
+    m = re.fullmatch(r"# TYPE (rp_[a-zA-Z0-9_:]+) gauge", lines[i])
+    assert m, lines[i]
+    sample = re.fullmatch(r"([a-zA-Z0-9_:]+) (\S+)", lines[i + 1])
+    assert sample and sample.group(1) == m.group(1), lines[i + 1]
+    float(sample.group(2))  # every exported value parses as a number
+text = open(sys.argv[1]).read()
+for needle in ("rp_queue_capacity", "rp_stats_completed"):
+    assert needle in text, needle
+assert "digest" not in text, "non-numeric rows must not be exported"
+EOF
+  # ...and `rpq top` renders live request rates (the polls themselves
+  # complete requests, so the second refresh must show a non-zero rate).
+  "$rpq" --port "$port" top --interval 200 --count 2 > "$dir/top.log"
+  grep -q "queue" "$dir/top.log"
+  python3 - "$dir/top.log" <<'EOF'
+import re, sys
+rates = [float(m.group(1)) for m in
+         re.finditer(r"([0-9.]+) req/s", open(sys.argv[1]).read())]
+assert len(rates) == 2, rates
+assert rates[-1] > 0, rates
+EOF
+
   # An unknown config field is a soft error (exit 1), not a dead daemon.
   expect_rc 1 "$rpq" --port "$port" --fast --set no.such.field=1 world-info
   # A poisoned length prefix kills that one connection (rpq badframe exits 0
@@ -275,7 +322,8 @@ serve_smoke() {
 import json, sys
 bench = json.load(open(sys.argv[1]))
 for key in ("requests_per_sec", "p50_us", "p99_us", "clients",
-            "requests_total", "batch_occupancy_mean", "batch_occupancy_max"):
+            "requests_total", "batch_occupancy_mean", "batch_occupancy_max",
+            "phase_connect_s", "phase_issue_s", "phase_drain_s"):
     assert bench.get(key, 0) > 0, (key, sorted(bench))
 assert bench.get("requests_failed", 1) == 0, bench
 assert bench["p50_us"] <= bench["p99_us"], bench

@@ -198,11 +198,13 @@ std::vector<SiteStatus> site_status();
 /// The canonical site names compiled into the pipeline (for docs and the
 /// tests that drive every site): io.read, io.write, io.verify, cache.load,
 /// cache.store, pool.task, dataset.parse, campaign.probe, sweep.run,
-/// sim.event, serve.accept, serve.parse, serve.respond. Most sites treat
-/// every action as a throw; sim.event instead drops the scheduled event on a
-/// throw action and delays it by 250 ms on a flip/truncate action (a
-/// simulator must degrade, not unwind, mid-run), and the serve.* sites kill
-/// the one connection they fire on (the daemon itself never unwinds).
+/// sim.event, serve.accept, serve.parse, serve.respond, serve.stats. Most
+/// sites treat every action as a throw; sim.event instead drops the scheduled
+/// event on a throw action and delays it by 250 ms on a flip/truncate action
+/// (a simulator must degrade, not unwind, mid-run), and the serve.* sites
+/// kill the one connection they fire on (the daemon itself never unwinds) —
+/// serve.stats fires while a stats request is being answered inline on its
+/// reader thread.
 inline constexpr const char* kSiteIoRead = "io.read";
 inline constexpr const char* kSiteIoWrite = "io.write";
 inline constexpr const char* kSiteIoVerify = "io.verify";
@@ -216,5 +218,6 @@ inline constexpr const char* kSiteSimEvent = "sim.event";
 inline constexpr const char* kSiteServeAccept = "serve.accept";
 inline constexpr const char* kSiteServeParse = "serve.parse";
 inline constexpr const char* kSiteServeRespond = "serve.respond";
+inline constexpr const char* kSiteServeStats = "serve.stats";
 
 }  // namespace rp::fault

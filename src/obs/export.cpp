@@ -79,6 +79,62 @@ void write_metrics_json(std::ostream& os,
   json::write_flat_object(os, metrics_json_entries(snapshot));
 }
 
+std::string prometheus_metric_name(const std::string& key) {
+  std::string name;
+  name.reserve(key.size() + 3);
+  if (key.rfind("rp_", 0) != 0) name = "rp_";
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    name.push_back(ok ? c : '_');
+  }
+  return name;
+}
+
+bool is_canonical_number(const std::string& value) {
+  std::size_t i = 0;
+  const std::size_t n = value.size();
+  auto digits = [&value, n](std::size_t& at) {
+    const std::size_t start = at;
+    while (at < n && value[at] >= '0' && value[at] <= '9') ++at;
+    return at > start;
+  };
+  if (i < n && value[i] == '-') ++i;
+  // Integer part: "0" alone, or a nonzero leading digit. Leading zeros are
+  // the tell that a value is a digest, not a number.
+  if (i >= n) return false;
+  if (value[i] == '0') {
+    ++i;
+  } else {
+    if (!digits(i)) return false;
+  }
+  if (i < n && value[i] == '.') {
+    ++i;
+    if (!digits(i)) return false;
+  }
+  if (i < n && (value[i] == 'e' || value[i] == 'E')) {
+    ++i;
+    if (i < n && (value[i] == '+' || value[i] == '-')) ++i;
+    if (!digits(i)) return false;
+  }
+  return i == n;
+}
+
+std::size_t write_prometheus(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::size_t written = 0;
+  for (const auto& [key, value] : rows) {
+    // Only numeric rows become samples; anything else (digest strings,
+    // comma-joined windows) has no Prometheus representation.
+    if (!is_canonical_number(value)) continue;
+    const std::string name = prometheus_metric_name(key);
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << value << '\n';
+    ++written;
+  }
+  return written;
+}
+
 bool dump_global_metrics(std::ostream& os, const std::string& json_path) {
   const std::vector<MetricValue> snap = MetricsRegistry::global().snapshot();
   render_metrics_table(os, snap);

@@ -4,8 +4,10 @@
 // the same instant twice (table to stdout, JSON to a file).
 #pragma once
 
+#include <cstddef>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -39,5 +41,30 @@ void write_metrics_json(std::ostream& os,
 /// if `json_path` is non-empty also write the JSON file (errors reported on
 /// the returned false).
 bool dump_global_metrics(std::ostream& os, const std::string& json_path = "");
+
+/// Maps an rp metric/stats key to a Prometheus metric name: every character
+/// outside [a-zA-Z0-9_:] becomes `_`, and the result is prefixed `rp_`
+/// unless the key already starts with it (e.g. "rp.serve.pool.hits" →
+/// "rp_serve_pool_hits", "queue.depth" → "rp_queue_depth").
+std::string prometheus_metric_name(const std::string& key);
+
+/// True when `value` is exactly one number in canonical JSON grammar
+/// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`) — the only spellings
+/// our emitters (std::to_string / "%.10g") produce. Strictness matters:
+/// a 16-hex-digit world digest can be all decimal digits
+/// ("0000000000000000"), which lenient strtod parsing would accept but a
+/// JSON parser rejects (leading zeros) and Prometheus would mis-export as
+/// a sample. Rejects inf/nan.
+bool is_canonical_number(const std::string& value);
+
+/// Writes flat (key, value) rows — the shape of a daemon stats response —
+/// in Prometheus text exposition format (version 0.0.4): one
+/// `# TYPE <name> gauge` line followed by `<name> <value>` per row. Rows
+/// whose value fails is_canonical_number are skipped (string digests,
+/// comma-joined time-series windows), so the output always passes an
+/// exposition lint. Returns the number of samples written.
+std::size_t write_prometheus(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& rows);
 
 }  // namespace rp::obs

@@ -5,6 +5,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -40,7 +41,7 @@ namespace {
 // arrays keep a shard a single allocation and let writers index without any
 // synchronization with registration.
 constexpr std::size_t kMaxCounters = 192;
-constexpr std::size_t kMaxHistograms = 24;
+constexpr std::size_t kMaxHistograms = 48;
 
 struct HistogramShard {
   std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
@@ -182,7 +183,8 @@ void MetricsRegistry::histogram_record(std::size_t id, std::uint64_t value) {
 }
 
 double MetricValue::quantile(double q) const {
-  if (kind != MetricKind::kHistogram || count == 0) return 0.0;
+  if (kind != MetricKind::kHistogram || count == 0)
+    return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   // Target rank in [1, count]; rank r means "the r-th smallest sample".
   const double target = std::max(1.0, q * static_cast<double>(count));

@@ -88,13 +88,21 @@ struct MetricValue {
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
 
-  /// Estimates the q-quantile (q in [0, 1]) of a histogram by linear
-  /// interpolation inside its log2 buckets: the target rank q * count is
-  /// located in the cumulative bucket counts, then mapped linearly across
-  /// the owning bucket's value range [2^(k-1), 2^k). The estimate is clamped
-  /// to the recorded [min, max], so degenerate distributions (all samples
-  /// equal) report the exact value. Returns 0 when the histogram is empty or
-  /// the metric is not a histogram.
+  /// Estimates the q-quantile (q in [0, 1]; out-of-range q is clamped) of a
+  /// histogram by linear interpolation inside its log2 buckets: the target
+  /// rank q * count is located in the cumulative bucket counts, then mapped
+  /// linearly across the owning bucket's value range [2^(k-1), 2^k).
+  ///
+  /// Clamp contract: the estimate is always clamped to the recorded
+  /// [min, max], so a quantile never reports a value outside what was
+  /// actually observed — degenerate distributions (all samples equal, or a
+  /// single bucket) report a value within the recorded range exactly, and
+  /// q=0 / q=1 return min / max respectively rather than bucket edges.
+  ///
+  /// Returns NaN when the histogram is empty or the metric is not a
+  /// histogram — "no samples" must be distinguishable from "quantile is 0"
+  /// (the JSON exporters map the NaN to 0 because JSON has no NaN, but
+  /// in-process consumers like the stats surface use it to suppress rows).
   double quantile(double q) const;
 };
 

@@ -1,0 +1,92 @@
+// rp::obs time-series recorder — periodic MetricsRegistry snapshots reduced
+// to fixed-size rings, so a live process (the serve daemon) can answer "what
+// happened over the last N seconds" without unbounded memory.
+//
+// A single sampler thread wakes every `interval_ms`, snapshots the global
+// registry, and appends one point per derived series:
+//
+//   counters   → `<name>.rate`  (delta since previous sample / elapsed s)
+//   gauges     → `<name>`       (last value)
+//   histograms → `<name>.p50`, `<name>.p99` (cumulative-distribution
+//                quantiles; suppressed while the histogram is empty)
+//
+// Each series is a ring of `capacity` points (RP_OBS_RING, default 256), so
+// memory is bounded by series-count × capacity regardless of uptime. When the
+// recorder is not started there is no thread and no cost — the same
+// disarmed-by-default discipline as the rest of rp::obs. All values here are
+// wall-clock rates and latencies, i.e. scheduling-dependent telemetry; the
+// recorder never feeds back into the registry, so deterministic_snapshot()
+// is unaffected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rp::obs {
+
+/// One sample of one series.
+struct SeriesPoint {
+  std::uint64_t t_ns = 0;  ///< monotonic_ns at the owning sample tick.
+  double value = 0.0;
+};
+
+/// Default sampling interval when RP_OBS_SAMPLE_MS is unset.
+inline constexpr std::uint64_t kDefaultSampleMs = 500;
+
+/// The process-wide recorder (leaked singleton, like the MetricsRegistry).
+class TimeSeriesRecorder {
+ public:
+  static TimeSeriesRecorder& global();
+
+  /// Sampling interval from RP_OBS_SAMPLE_MS (default kDefaultSampleMs;
+  /// 0 disables the sampler entirely).
+  static std::uint64_t interval_ms_from_env();
+
+  /// Starts the sampler thread. `interval_ms == 0` is a no-op (recorder
+  /// stays disarmed). Returns false when already running or disabled.
+  bool start(std::uint64_t interval_ms);
+
+  /// Stops and joins the sampler thread (no-op when not running).
+  void stop();
+
+  bool running() const;
+
+  /// Takes one sample synchronously — the sampler thread's body, exposed so
+  /// tests (and `rpq top` consumers reading a quiescent process) can drive
+  /// the recorder deterministically without the thread.
+  void sample_once();
+
+  /// Interval the running sampler was started with (0 when stopped).
+  std::uint64_t interval_ms() const;
+
+  /// Total sample ticks taken since construction/reset.
+  std::uint64_t samples() const;
+
+  /// Ring capacity per series (RP_OBS_RING, default 256, floor 16).
+  std::size_t capacity() const { return capacity_; }
+
+  /// Sorted names of every series with at least one point.
+  std::vector<std::string> keys() const;
+
+  /// The most recent `max` points of one series, oldest → newest (0 = the
+  /// whole resident ring). Unknown keys return empty.
+  std::vector<SeriesPoint> window(const std::string& key,
+                                  std::size_t max = 0) const;
+
+  /// Drops every series and zeroes the tick counter (sampler may be running;
+  /// tests call this between cases).
+  void reset();
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+ private:
+  TimeSeriesRecorder();
+  struct Impl;
+  Impl* impl_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace rp::obs

@@ -23,8 +23,9 @@ namespace {
 struct Event {
   const char* name;
   std::uint64_t ts_ns;
+  std::uint64_t flow_id;  // 's'/'t'/'f' phases only
   int tid;
-  char phase;  // 'B' or 'E'
+  char phase;  // 'B', 'E', or the flow phases 's'/'t'/'f'
 };
 
 // One thread's event buffer. Held by shared_ptr from both the session
@@ -72,11 +73,11 @@ ThreadBuffer* this_thread_buffer() {
   return local.get();
 }
 
-void record(const char* name, char phase) {
+void record(const char* name, char phase, std::uint64_t flow_id = 0) {
   const std::uint64_t now = monotonic_ns();
   ThreadBuffer* buf = this_thread_buffer();
   std::lock_guard<std::mutex> lock(buf->mutex);
-  buf->events.push_back(Event{name, now, buf->tid, phase});
+  buf->events.push_back(Event{name, now, flow_id, buf->tid, phase});
 }
 
 void atexit_flush() { stop_trace(); }
@@ -136,8 +137,17 @@ std::size_t stop_trace() {
                   static_cast<unsigned long long>(rel / 1000),
                   static_cast<unsigned long long>(rel % 1000));
     os << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\"rp\",\"ph\":\""
-       << e.phase << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << e.tid
-       << "}" << (i + 1 < merged.size() ? ",\n" : "\n");
+       << e.phase << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      // Flow events carry the arrow id; "bp":"e" binds the arrow's end to
+      // the enclosing slice rather than the next one.
+      char id[32];
+      std::snprintf(id, sizeof(id), "0x%llx",
+                    static_cast<unsigned long long>(e.flow_id));
+      os << ",\"id\":\"" << id << "\"";
+      if (e.phase == 'f') os << ",\"bp\":\"e\"";
+    }
+    os << "}" << (i + 1 < merged.size() ? ",\n" : "\n");
   }
   os << "]}\n";
   return merged.size();
@@ -167,6 +177,18 @@ namespace {
 [[maybe_unused]] const bool g_env_trace_armed =
     !maybe_start_trace_from_env().empty();
 }  // namespace
+
+void flow_begin(const char* name, std::uint64_t id) {
+  if (trace_enabled()) record(name, 's', id);
+}
+
+void flow_step(const char* name, std::uint64_t id) {
+  if (trace_enabled()) record(name, 't', id);
+}
+
+void flow_end(const char* name, std::uint64_t id) {
+  if (trace_enabled()) record(name, 'f', id);
+}
 
 void Span::begin(const char* name) {
   name_ = name;

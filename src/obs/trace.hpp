@@ -10,6 +10,12 @@
 // timestamp, and writes the JSON file that chrome://tracing and
 // https://ui.perfetto.dev load directly.
 //
+// Flow events (flow_begin / flow_step / flow_end) tie spans on different
+// threads into one causal arrow — the serve daemon uses them to link a
+// request's reader-thread parse span to its dispatcher/worker execute and
+// respond spans under one flow id. They map to the Chrome 's'/'t'/'f'
+// phases; Perfetto draws the arrows between the slices that enclose them.
+//
 // When no session is active a Span is a branch on a constant — safe to leave
 // in release hot paths at phase granularity.
 #pragma once
@@ -45,6 +51,16 @@ std::size_t stop_trace();
 /// idempotent — to report the armed destination. Returns the armed path, or
 /// an empty string.
 std::string maybe_start_trace_from_env();
+
+/// Emits one flow event tying the enclosing spans of several threads into a
+/// causal chain keyed by `id`. flow_begin starts the arrow ('s'), flow_step
+/// continues it through an intermediate thread ('t'), flow_end terminates it
+/// ('f', binding to the enclosing slice). `name` must outlive the session
+/// (string literals do); every id must see exactly one begin and one end for
+/// the trace to be balanced. No-ops when no session is active.
+void flow_begin(const char* name, std::uint64_t id);
+void flow_step(const char* name, std::uint64_t id);
+void flow_end(const char* name, std::uint64_t id);
 
 /// RAII phase span. `name` must outlive the span (string literals do).
 class Span {

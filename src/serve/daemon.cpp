@@ -15,6 +15,8 @@
 #include "fault/fault.hpp"
 #include "io/snapshot.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/executor.hpp"
 #include "util/thread_pool.hpp"
@@ -59,6 +61,25 @@ obs::Histogram& exec_ns() {
   static obs::Histogram h("rp.serve.exec_ns");
   return h;
 }
+// Per-request phase breakdown (all wall-clock, hence kScheduling — the
+// Histogram default). The same numbers feed the RequestTracer rings; the
+// histograms exist so the time-series sampler and metric exports see them.
+obs::Histogram& phase_queue_ns() {
+  static obs::Histogram h("rp.serve.phase.queue_ns");
+  return h;
+}
+obs::Histogram& phase_pool_ns() {
+  static obs::Histogram h("rp.serve.phase.pool_ns");
+  return h;
+}
+obs::Histogram& phase_compute_ns() {
+  static obs::Histogram h("rp.serve.phase.compute_ns");
+  return h;
+}
+obs::Histogram& phase_write_ns() {
+  static obs::Histogram h("rp.serve.phase.write_ns");
+  return h;
+}
 
 fault::Site& accept_site() {
   static fault::Site site(fault::kSiteServeAccept);
@@ -71,6 +92,19 @@ fault::Site& parse_site() {
 fault::Site& respond_site() {
   static fault::Site site(fault::kSiteServeRespond);
   return site;
+}
+fault::Site& stats_site() {
+  static fault::Site site(fault::kSiteServeStats);
+  return site;
+}
+
+// The "serve.request" flow name: one arrow per request id across threads.
+constexpr const char* kRequestFlow = "serve.request";
+
+/// True when per-request telemetry should be collected: the tracer wants
+/// records, or a trace session wants flow events.
+bool request_tracking_enabled() {
+  return obs::RequestTracer::global().enabled() || obs::trace_enabled();
 }
 
 std::size_t env_size(const char* name, std::size_t fallback) {
@@ -126,6 +160,7 @@ bool RequestQueue::try_push(QueueItem item) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
   }
   cv_.notify_one();
   return true;
@@ -156,6 +191,11 @@ void RequestQueue::stop() {
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return items_.size();
+}
+
+std::size_t RequestQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
 }
 
 // -------------------------------------------------------------- DaemonConfig
@@ -209,6 +249,16 @@ void Daemon::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
 
+  // Arm the serving telemetry: a resident daemon always wants its metrics
+  // (the stats surface reads them), the request tracer, and — unless
+  // RP_OBS_SAMPLE_MS=0 — the time-series sampler. All scheduling-tagged, so
+  // deterministic snapshots are unaffected.
+  obs::set_metrics_enabled(true);
+  obs::RequestTracer::global().set_enabled(true);
+  obs::TimeSeriesRecorder::global().start(
+      obs::TimeSeriesRecorder::interval_ms_from_env());
+  start_ns_ = obs::monotonic_ns();
+
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatcher_thread_ = std::thread([this] { dispatcher_loop(); });
@@ -255,6 +305,11 @@ void Daemon::stop() {
   for (auto& reader : readers)
     if (reader.joinable()) reader.join();
 
+  // Disarm what start() armed (metrics stay on: other components may share
+  // the flag, and a stopped daemon recording nothing costs nothing).
+  obs::TimeSeriesRecorder::global().stop();
+  obs::RequestTracer::global().set_enabled(false);
+
   request_shutdown();  // Unblock a wait()er that did not see a client ask.
 }
 
@@ -300,9 +355,15 @@ void Daemon::reader_loop(std::shared_ptr<Connection> connection) {
           frame;
       try {
         obs::Span span("serve.parse");
-        parse_site().maybe_throw();
         frame = try_parse_frame(buffer);
-        if (frame) handle_frame(connection, frame->second);
+        // The fault site fires only once a complete frame parsed: nth= then
+        // counts frames, not drain-loop polls, so it neither depends on TCP
+        // segmentation nor races an arm() against the leftover-buffer check
+        // that runs after the previous response was already sent.
+        if (frame) {
+          parse_site().maybe_throw();
+          handle_frame(connection, frame->second);
+        }
       } catch (const std::exception&) {
         // Malformed frame or injected parse fault: this connection is
         // unrecoverable (framing is lost), so it dies — alone.
@@ -324,12 +385,46 @@ void Daemon::handle_frame(const std::shared_ptr<Connection>& connection,
   Request request = decode_request(payload);
   received_counter().add();
 
+  // Assign the server-side request id and open its flow arrow ('s' binds to
+  // the enclosing serve.parse slice on this reader thread).
+  obs::RequestTracer& tracer = obs::RequestTracer::global();
+  const bool tracked = request_tracking_enabled();
+  const std::uint64_t server_id = tracked ? tracer.next_request_id() : 0;
+  const std::uint64_t accept_ns = tracked ? obs::monotonic_ns() : 0;
+  if (server_id != 0) obs::flow_begin(kRequestFlow, server_id);
+
   if (request.type == RequestType::kPing ||
-      request.type == RequestType::kShutdown) {
-    // No world needed: answer inline on the reader thread.
-    const Response response = execute_request(request, nullptr);
+      request.type == RequestType::kShutdown ||
+      request.type == RequestType::kStats) {
+    // No world needed: answer inline on the reader thread. The serve.stats
+    // site throws into the reader's catch, so a firing stats fault kills
+    // exactly this connection — the daemon and its other clients carry on.
+    const std::uint64_t compute_start = tracked ? obs::monotonic_ns() : 0;
+    Response response;
+    if (request.type == RequestType::kStats) {
+      stats_site().maybe_throw();
+      response = stats_response(request.stats_window);
+      response.id = request.id;
+    } else {
+      response = execute_request(request, nullptr);
+    }
+    const std::uint64_t write_start = tracked ? obs::monotonic_ns() : 0;
     connection->send_payload(encode_response(response));
     responses_counter().add();
+    if (tracked) {
+      const std::uint64_t end_ns = obs::monotonic_ns();
+      phase_compute_ns().record(write_start - compute_start);
+      phase_write_ns().record(end_ns - write_start);
+      obs::RequestRecord record;
+      record.request_id = server_id;
+      record.type = static_cast<std::uint8_t>(request.type);
+      record.ok = response.status == Status::kOk;
+      record.accept_ns = accept_ns;
+      record.compute_ns = write_start - compute_start;
+      record.write_ns = end_ns - write_start;
+      tracer.record(record);
+      obs::flow_end(kRequestFlow, server_id);
+    }
     if (request.type == RequestType::kShutdown) request_shutdown();
     return;
   }
@@ -337,7 +432,9 @@ void Daemon::handle_frame(const std::shared_ptr<Connection>& connection,
   QueueItem item;
   item.connection = connection;
   item.request = std::move(request);
-  if (obs::metrics_enabled()) item.enqueue_ns = obs::monotonic_ns();
+  item.server_id = server_id;
+  item.accept_ns = accept_ns;
+  if (obs::metrics_enabled() || tracked) item.enqueue_ns = obs::monotonic_ns();
   const std::uint64_t id = item.request.id;
   if (!queue_.try_push(std::move(item))) {
     busy_counter().add();
@@ -347,6 +444,8 @@ void Daemon::handle_frame(const std::shared_ptr<Connection>& connection,
     busy.message = "queue full (" + std::to_string(queue_.capacity()) +
                    " requests); retry";
     connection->send_payload(encode_response(busy));
+    // The request dies at admission: close its flow so s/f stay balanced.
+    if (server_id != 0) obs::flow_end(kRequestFlow, server_id);
   }
 }
 
@@ -356,9 +455,22 @@ void Daemon::dispatcher_loop() {
     if (batch.empty()) return;  // Stopped and drained.
     batch_occupancy().record(batch.size());
 
+    const std::size_t count = batch.size();
+    // Per-request phase attribution (all zero when nothing is tracking):
+    // queue wait ends here, at dequeue.
+    const bool tracked = request_tracking_enabled();
+    const std::uint64_t dequeue_ns = tracked ? obs::monotonic_ns() : 0;
+    std::vector<std::uint64_t> queue_waits(count, 0);
+    std::vector<std::uint64_t> pool_waits(count, 0);
+    std::vector<std::uint64_t> compute_times(count, 0);
+    if (tracked) {
+      for (std::size_t i = 0; i < count; ++i)
+        if (batch[i].enqueue_ns != 0 && dequeue_ns > batch[i].enqueue_ns)
+          queue_waits[i] = dequeue_ns - batch[i].enqueue_ns;
+    }
+
     // Resolve each item's world spec and group the batch by config digest so
     // every distinct world is acquired (and its artifacts warmed) once.
-    const std::size_t count = batch.size();
     std::vector<Response> responses(count);
     std::vector<bool> done(count, false);
     std::vector<std::shared_ptr<const World>> worlds(count);
@@ -376,6 +488,7 @@ void Daemon::dispatcher_loop() {
       }
     }
     for (const auto& [digest, indices] : by_digest) {
+      const std::uint64_t pool_start = tracked ? obs::monotonic_ns() : 0;
       try {
         const auto world = pool_.acquire(configs[indices.front()]);
         for (std::size_t i : indices) worlds[i] = world;
@@ -390,7 +503,26 @@ void Daemon::dispatcher_loop() {
           done[i] = true;
         }
       }
+      if (tracked) {
+        // The group's acquire+prewarm wall time is attributed to each member
+        // — every one of them waited on it.
+        const std::uint64_t pool_wall = obs::monotonic_ns() - pool_start;
+        for (std::size_t i : indices) pool_waits[i] = pool_wall;
+      }
     }
+
+    // One request's compute, on whichever worker runs it. The 't' flow step
+    // lands inside the serve.exec_one slice, tying the cross-thread arrow to
+    // this request's span in the Perfetto view.
+    auto run_one = [&](std::size_t i) {
+      obs::Span span("serve.exec_one");
+      if (batch[i].server_id != 0)
+        obs::flow_step(kRequestFlow, batch[i].server_id);
+      const std::uint64_t compute_start = tracked ? obs::monotonic_ns() : 0;
+      responses[i] = execute_request(batch[i].request, worlds[i].get());
+      if (tracked) compute_times[i] = obs::monotonic_ns() - compute_start;
+      done[i] = true;
+    };
 
     {
       obs::Span span("serve.exec");
@@ -398,31 +530,55 @@ void Daemon::dispatcher_loop() {
       try {
         util::ThreadPool::global().parallel_for(count, [&](std::size_t i) {
           if (done[i]) return;
-          responses[i] = execute_request(batch[i].request, worlds[i].get());
-          done[i] = true;
+          run_one(i);
         });
       } catch (const std::exception&) {
         // An injected pool.task fault aborted the fan-out; the serial sweep
         // below finishes whatever it skipped.
       }
       for (std::size_t i = 0; i < count; ++i)
-        if (!done[i])
-          responses[i] = execute_request(batch[i].request, worlds[i].get());
+        if (!done[i]) run_one(i);
     }
 
     // Responses go out sequentially in enqueue order: per-connection FIFO is
     // part of the protocol contract.
     obs::Span span("serve.respond");
+    obs::RequestTracer& tracer = obs::RequestTracer::global();
     for (std::size_t i = 0; i < count; ++i) {
       if (respond_site().fire()) {
         batch[i].connection->kill();
         killed_counter().add();
+        // The response never goes out, but the request is over: close the
+        // flow so every 's' still meets an 'f'.
+        if (batch[i].server_id != 0)
+          obs::flow_end(kRequestFlow, batch[i].server_id);
         continue;
       }
+      const std::uint64_t write_start = tracked ? obs::monotonic_ns() : 0;
       if (batch[i].connection->send_payload(encode_response(responses[i])))
         responses_counter().add();
       if (batch[i].enqueue_ns != 0 && obs::metrics_enabled())
         request_ns().record(obs::monotonic_ns() - batch[i].enqueue_ns);
+      if (tracked) {
+        const std::uint64_t write_wall = obs::monotonic_ns() - write_start;
+        phase_queue_ns().record(queue_waits[i]);
+        phase_pool_ns().record(pool_waits[i]);
+        phase_compute_ns().record(compute_times[i]);
+        phase_write_ns().record(write_wall);
+        obs::RequestRecord record;
+        record.request_id = batch[i].server_id;
+        record.type = static_cast<std::uint8_t>(batch[i].request.type);
+        record.ok = responses[i].status == Status::kOk;
+        record.world_digest = worlds[i] ? worlds[i]->digest() : 0;
+        record.accept_ns = batch[i].accept_ns;
+        record.queue_ns = queue_waits[i];
+        record.pool_ns = pool_waits[i];
+        record.compute_ns = compute_times[i];
+        record.write_ns = write_wall;
+        tracer.record(record);
+        if (batch[i].server_id != 0)
+          obs::flow_end(kRequestFlow, batch[i].server_id);
+      }
     }
   }
 }

@@ -8,8 +8,10 @@
 //                    malformed or fault-poisoned frame kills that connection
 //                    only. Well-formed requests go through admission control:
 //                    a full queue earns an immediate kBusy response and the
-//                    connection stays healthy. ping/shutdown are answered
-//                    inline (they need no world).
+//                    connection stays healthy. ping/shutdown/stats are
+//                    answered inline (they need no world; stats works even
+//                    when the queue is saturated, and carries its own
+//                    serve.stats fault site).
 //   dispatcher       pops batches off the bounded queue, resolves each
 //                    batch's distinct worlds once through the WorldPool,
 //                    pre-warms the artifacts the batch needs, executes the
@@ -23,8 +25,21 @@
 // never bytes.
 //
 // Observability: rp.serve.* counters, rp.serve.batch.occupancy /
-// .request_ns / .exec_ns histograms, and serve.accept / serve.parse /
-// serve.exec / serve.respond spans.
+// .request_ns / .exec_ns histograms, per-phase rp.serve.phase.{queue,pool,
+// compute,write}_ns histograms, and serve.accept / serve.parse / serve.exec
+// / serve.respond spans.
+//
+// Request tracing: every accepted frame gets a server-side request id from
+// the obs::RequestTracer, threaded accept → parse → enqueue → batch-group →
+// pool lookup → execute → respond. Completion records the per-phase latency
+// breakdown into the tracer's per-thread rings, and — when an RP_TRACE
+// session is live — emits "serve.request" flow events ('s' at admission on
+// the reader thread, 't' at execute on the worker, 'f' at respond on the
+// dispatcher) that tie one request's spans together across threads in the
+// Perfetto view. start() arms metrics, the tracer, and the RP_OBS_SAMPLE_MS
+// time-series sampler; stop() disarms what it armed. All of this telemetry
+// is wall-clock and therefore scheduling-tagged — deterministic_snapshot()
+// never sees it.
 #pragma once
 
 #include <atomic>
@@ -77,7 +92,9 @@ class Connection {
 struct QueueItem {
   std::shared_ptr<Connection> connection;
   Request request;
-  std::uint64_t enqueue_ns = 0;  ///< Set when metrics are enabled.
+  std::uint64_t enqueue_ns = 0;  ///< Set when metrics/tracing are enabled.
+  std::uint64_t server_id = 0;   ///< Daemon-assigned request id (0 untracked).
+  std::uint64_t accept_ns = 0;   ///< monotonic_ns at admission (0 untracked).
 };
 
 /// The bounded admission queue between readers and the dispatcher.
@@ -100,12 +117,15 @@ class RequestQueue {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
+  /// Deepest the queue has ever been (monotone; survives drains).
+  std::size_t high_water() const;
 
  private:
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<QueueItem> items_;
+  std::size_t high_water_ = 0;
   bool stopped_ = false;
 };
 
@@ -145,6 +165,15 @@ class Daemon {
   void stop();
 
   const WorldPool& pool() const { return pool_; }
+  const RequestQueue& queue() const { return queue_; }
+
+  /// Builds the kOk stats report (see src/serve/stats.cpp for the row set):
+  /// uptime, queue depth/capacity/high-water, pool occupancy with per-world
+  /// hit/resident-bytes accounting, per-request-type latency quantiles, the
+  /// slow-query log, and — when `window` > 0 — the most recent `window`
+  /// points of every recorded time series. Exposed for tests; the daemon
+  /// answers kStats requests with it inline on the reader thread.
+  Response stats_response(std::uint64_t window) const;
 
  private:
   void accept_loop();
@@ -159,6 +188,7 @@ class Daemon {
   RequestQueue queue_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::uint64_t start_ns_ = 0;  ///< monotonic_ns at start(), for uptime.
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};
 

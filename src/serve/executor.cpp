@@ -239,6 +239,11 @@ Response execute_request(const Request& request, const World* world) {
       case RequestType::kShutdown:
         response.fields.emplace_back("shutdown", "1");
         break;
+      case RequestType::kStats:
+        // Answered inline by the daemon, which owns the queue/pool state the
+        // report describes; reaching the executor means a worldless driver
+        // (tests) sent one, and that is an error, not a crash.
+        throw std::runtime_error("stats requests are answered by the daemon");
       default: {
         if (world == nullptr)
           throw std::runtime_error("no resident world for request");

@@ -153,6 +153,9 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
       break;
     case RequestType::kShutdown:
       break;
+    case RequestType::kStats:
+      w.varint(request.stats_window);
+      break;
   }
   return std::move(w).take();
 }
@@ -166,7 +169,7 @@ Request decode_request(std::span<const std::uint8_t> payload) {
   Request request;
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(RequestType::kPing) ||
-      type > static_cast<std::uint8_t>(RequestType::kShutdown))
+      type > static_cast<std::uint8_t>(RequestType::kStats))
     throw ProtocolError("unknown request type " + std::to_string(type));
   request.type = static_cast<RequestType>(type);
   request.id = r.varint();
@@ -205,6 +208,9 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       }
       break;
     case RequestType::kShutdown:
+      break;
+    case RequestType::kStats:
+      request.stats_window = r.varint();
       break;
   }
   r.expect_end();

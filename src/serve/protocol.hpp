@@ -22,6 +22,8 @@
 //                    mode 1 (econ):    prices base, prices variant
 //                    mode 2 (peering): u8 group, strlist reached, strlist add
 //   shutdown       (empty)
+//   stats          varint window (time-series points per series to include;
+//                  0 = no time-series rows)
 // with
 //   world   := u8 fast, varint n, n x (str field, str value)   — dotted
 //              core::ScenarioConfig field assignments (config_fields.hpp)
@@ -73,6 +75,7 @@ enum class RequestType : std::uint8_t {
   kSpread = 5,
   kWhatIf = 6,
   kShutdown = 7,
+  kStats = 8,
 };
 
 enum class Status : std::uint8_t {
@@ -121,6 +124,7 @@ struct Request {
   EconPrices variant;                   ///< what-if econ
   std::vector<std::string> reached_ixps;  ///< what-if peering: current set
   std::vector<std::string> added_ixps;    ///< what-if peering: delta
+  std::uint64_t stats_window = 0;         ///< stats: ts points per series
 };
 
 struct Response {

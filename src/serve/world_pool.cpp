@@ -33,6 +33,29 @@ obs::Gauge& pool_resident() {
 }
 }  // namespace
 
+World::World(core::Scenario scenario, std::uint64_t digest,
+             core::SnapshotCacheResult cache_result)
+    : scenario_(std::move(scenario)),
+      digest_(digest),
+      cache_result_(std::move(cache_result)) {
+  // The snapshot file is the footprint proxy for the deserialized scenario;
+  // a missing file (pure in-memory build) just leaves the estimate at the
+  // artifact terms.
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(cache_result_.path, ec);
+  if (!ec) snapshot_bytes_ = static_cast<std::size_t>(bytes);
+}
+
+std::size_t World::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = snapshot_bytes_;
+  if (offload_) bytes += sizeof(core::OffloadStudy);
+  if (greedy_)
+    bytes += sizeof(*greedy_) + greedy_->capacity() * sizeof(offload::GreedyStep);
+  if (spread_) bytes += sizeof(core::SpreadStudy);
+  return bytes;
+}
+
 const core::OffloadStudy& World::offload() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!offload_) {
@@ -78,6 +101,7 @@ std::shared_ptr<const World> WorldPool::acquire(
     Slot& slot = *it->second;
     if (slot.ready) {
       slot.last_used = ++use_clock_;
+      ++slot.hits;
       pool_hits().add();
       return slot.world;
     }
@@ -116,6 +140,29 @@ std::shared_ptr<const World> WorldPool::acquire(
   pool_resident().set(static_cast<double>(slots_.size()));
   ready_cv_.notify_all();
   return world;
+}
+
+std::vector<WorldPool::EntryStats> WorldPool::entry_stats() const {
+  std::vector<EntryStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(slots_.size());
+  for (const auto& [digest, slot] : slots_) {
+    EntryStats entry;
+    entry.digest = digest;
+    entry.hits = slot->hits;
+    entry.last_used = slot->last_used;
+    entry.ready = slot->ready;
+    // Lock order is pool → world only (World never calls back into the
+    // pool), so taking the world mutex here cannot deadlock.
+    entry.resident_bytes = slot->ready ? slot->world->resident_bytes() : 0;
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const EntryStats& a,
+                                       const EntryStats& b) {
+    if (a.last_used != b.last_used) return a.last_used > b.last_used;
+    return a.digest < b.digest;
+  });
+  return out;
 }
 
 std::size_t WorldPool::resident() const {

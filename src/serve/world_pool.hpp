@@ -36,10 +36,7 @@ namespace rp::serve {
 class World {
  public:
   World(core::Scenario scenario, std::uint64_t digest,
-        core::SnapshotCacheResult cache_result)
-      : scenario_(std::move(scenario)),
-        digest_(digest),
-        cache_result_(std::move(cache_result)) {}
+        core::SnapshotCacheResult cache_result);
 
   const core::Scenario& scenario() const { return scenario_; }
   std::uint64_t digest() const { return digest_; }
@@ -58,10 +55,17 @@ class World {
   /// The §3 study (campaigns + filters + classification).
   const core::SpreadStudy& spread() const;
 
+  /// Lower-bound estimate of this residency's memory footprint: the world's
+  /// snapshot-file size (a good proxy for the deserialized scenario) plus
+  /// the directly measurable footprint of each artifact built so far. Used
+  /// by the stats surface; not an allocator-exact number.
+  std::size_t resident_bytes() const;
+
  private:
   core::Scenario scenario_;
   std::uint64_t digest_;
   core::SnapshotCacheResult cache_result_;
+  std::size_t snapshot_bytes_ = 0;
 
   mutable std::mutex mutex_;
   mutable std::unique_ptr<core::OffloadStudy> offload_;
@@ -86,11 +90,25 @@ class WorldPool {
   std::size_t resident() const;
   const std::filesystem::path& cache_dir() const { return cache_dir_; }
 
+  /// Per-entry accounting for the stats surface.
+  struct EntryStats {
+    std::uint64_t digest = 0;
+    std::uint64_t hits = 0;       ///< Acquires served from residency.
+    std::uint64_t last_used = 0;  ///< Pool use-clock tick (higher = fresher).
+    bool ready = false;           ///< False while the load is in flight.
+    std::size_t resident_bytes = 0;  ///< World::resident_bytes (0 in flight).
+  };
+
+  /// One EntryStats per slot (resident or in flight), most recently used
+  /// first; ties (never expected — the use clock is unique) break by digest.
+  std::vector<EntryStats> entry_stats() const;
+
  private:
   struct Slot {
     std::shared_ptr<const World> world;  ///< Set when ready.
     bool ready = false;
     std::uint64_t last_used = 0;
+    std::uint64_t hits = 0;
   };
 
   void evict_over_capacity_locked();

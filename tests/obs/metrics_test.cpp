@@ -2,6 +2,7 @@
 // histograms, gauges, registration semantics, and the enabled/disabled gate.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -138,7 +139,11 @@ TEST(Metrics, QuantileDegenerateCases) {
   const auto* empty =
       find(MetricsRegistry::global().snapshot(), "test.metrics.quantile_edge");
   ASSERT_NE(empty, nullptr);
-  EXPECT_DOUBLE_EQ(empty->quantile(0.5), 0.0);  // No samples yet.
+  // No samples yet: "no data" is NaN, never a fabricated 0 (a 0 would be
+  // indistinguishable from a real all-zero latency distribution).
+  EXPECT_TRUE(std::isnan(empty->quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty->quantile(0.0)));
+  EXPECT_TRUE(std::isnan(empty->quantile(1.0)));
 
   // All samples identical: min/max clamping reports the exact value.
   for (int i = 0; i < 100; ++i) histogram.record(42);
@@ -154,12 +159,35 @@ TEST(Metrics, QuantileDegenerateCases) {
       find(MetricsRegistry::global().snapshot(), "test.metrics.quantile_edge");
   EXPECT_DOUBLE_EQ(zero->quantile(0.99), 0.0);
 
-  // Counters have no quantiles.
+  // Counters have no quantiles — NaN, even with a nonzero count.
   Counter counter("test.metrics.quantile_counter");
   counter.add(5);
   const auto* c = find(MetricsRegistry::global().snapshot(),
                        "test.metrics.quantile_counter");
-  EXPECT_DOUBLE_EQ(c->quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(c->quantile(0.5)));
+}
+
+TEST(Metrics, QuantileSingleBucketClampsToObservedRange) {
+  MetricsOn on;
+  MetricsRegistry::global().reset();
+  Histogram histogram("test.metrics.quantile_one_bucket");
+  // Two distinct samples inside one log2 bucket [128, 256): interpolation
+  // works on the bucket's nominal range, but the clamp contract promises no
+  // quantile ever escapes the recorded [min, max].
+  histogram.record(130);
+  histogram.record(140);
+  const auto* m = find(MetricsRegistry::global().snapshot(),
+                       "test.metrics.quantile_one_bucket");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->min, 130u);
+  EXPECT_EQ(m->max, 140u);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = m->quantile(q);
+    EXPECT_GE(v, 130.0) << "q=" << q;
+    EXPECT_LE(v, 140.0) << "q=" << q;
+  }
+  // Monotone in q even under clamping.
+  EXPECT_LE(m->quantile(0.1), m->quantile(0.9));
 }
 
 TEST(Metrics, GaugeLastWriterWins) {
@@ -252,6 +280,52 @@ TEST(MetricsExport, TableListsEveryMetric) {
   render_metrics_table(os, MetricsRegistry::global().snapshot());
   EXPECT_NE(os.str().find("test.table.counter"), std::string::npos);
   EXPECT_NE(os.str().find("11"), std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusNamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(prometheus_metric_name("queue.depth"), "rp_queue_depth");
+  EXPECT_EQ(prometheus_metric_name("req.world-info.p50_us"),
+            "rp_req_world_info_p50_us");
+  // Already rp_-prefixed keys are not double-prefixed.
+  EXPECT_EQ(prometheus_metric_name("rp_custom"), "rp_custom");
+  // Colons are legal in Prometheus metric names and pass through.
+  EXPECT_EQ(prometheus_metric_name("rp_a:b"), "rp_a:b");
+}
+
+TEST(MetricsExport, CanonicalNumberGrammarIsStrict) {
+  for (const char* ok : {"0", "3", "-7", "1.5", "0.25", "-0.5", "1e9",
+                         "2.5e-3", "1.797e+308", "1234567890"})
+    EXPECT_TRUE(is_canonical_number(ok)) << ok;
+  // Leading zeros are the tell for an all-digit hex digest, and inf/nan
+  // have no JSON spelling.
+  for (const char* bad :
+       {"", "0000000000000000", "007", "9f3ac2d47b81e605", "1,2,3", "inf",
+        "-inf", "nan", "+5", ".5", "1.", "1e", "-", "1.5.2", "0x10", " 1"})
+    EXPECT_FALSE(is_canonical_number(bad)) << bad;
+}
+
+TEST(MetricsExport, PrometheusWritesOnlyNumericRows) {
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"queue.depth", "3"},
+      {"pool.world.0.digest", "9f3ac2d47b81e605"},  // hex: not a sample
+      {"slow.0.world", "0000000000000000"},  // all-digit digest: still not
+      {"stats.uptime_s", "1.5"},
+      {"ts.series", "1,2,3"},  // comma-joined window: not a sample
+      {"bad.inf", "inf"},      // parses leniently but non-finite: skipped
+      {"bad.empty", ""},
+  };
+  std::ostringstream os;
+  EXPECT_EQ(write_prometheus(os, rows), 2u);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE rp_queue_depth gauge\nrp_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE rp_stats_uptime_s gauge\nrp_stats_uptime_s 1.5\n"),
+      std::string::npos);
+  EXPECT_EQ(text.find("digest"), std::string::npos);
+  EXPECT_EQ(text.find("slow_0_world"), std::string::npos);
+  EXPECT_EQ(text.find("ts_series"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
 }
 
 }  // namespace

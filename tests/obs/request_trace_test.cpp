@@ -1,0 +1,205 @@
+// Unit tests of the rp::obs request tracer: per-thread ring residency and
+// wrap, deterministic slow-query ordering, per-type latency aggregates, the
+// enabled gate, and cross-thread merge order.
+#include "obs/request_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace rp::obs {
+namespace {
+
+/// Resets and arms the global tracer for one test, restoring the disarmed
+/// default (and an empty tracer) on exit so suites never leak state.
+struct TracerOn {
+  TracerOn() {
+    RequestTracer::global().reset();
+    RequestTracer::global().set_enabled(true);
+  }
+  ~TracerOn() {
+    RequestTracer::global().set_enabled(false);
+    RequestTracer::global().reset();
+  }
+};
+
+RequestRecord make_record(std::uint64_t request_id, std::uint8_t type,
+                          std::uint64_t compute_ns) {
+  RequestRecord record;
+  record.request_id = request_id;
+  record.type = type;
+  record.world_digest = 0xabcdef;
+  record.accept_ns = 1000 + request_id;
+  record.queue_ns = 10;
+  record.pool_ns = 20;
+  record.compute_ns = compute_ns;
+  record.write_ns = 5;
+  return record;
+}
+
+TEST(RequestTracer, DisabledRecordsAreDropped) {
+  RequestTracer& tracer = RequestTracer::global();
+  tracer.reset();
+  ASSERT_FALSE(tracer.enabled());
+  tracer.record(make_record(1, 1, 100));
+  EXPECT_EQ(tracer.completed(), 0u);
+  EXPECT_TRUE(tracer.recent().empty());
+  EXPECT_TRUE(tracer.type_latencies().empty());
+}
+
+TEST(RequestTracer, RequestIdsAreMonotoneAndOneBased) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  const std::uint64_t first = tracer.next_request_id();
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(tracer.next_request_id(), first + 1);
+  EXPECT_EQ(tracer.next_request_id(), first + 2);
+}
+
+TEST(RequestTracer, RecentComesBackOldestToNewestWithFieldsIntact) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  tracer.record(make_record(11, 1, 300));
+  tracer.record(make_record(12, 2, 100));
+  tracer.record(make_record(13, 1, 200));
+  EXPECT_EQ(tracer.completed(), 3u);
+
+  const std::vector<RequestRecord> all = tracer.recent();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].request_id, 11u);
+  EXPECT_EQ(all[1].request_id, 12u);
+  EXPECT_EQ(all[2].request_id, 13u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(all[i - 1].seq, all[i].seq);
+
+  // Full phase breakdown round-trips through the ring.
+  EXPECT_EQ(all[1].type, 2u);
+  EXPECT_TRUE(all[1].ok);
+  EXPECT_EQ(all[1].world_digest, 0xabcdefu);
+  EXPECT_EQ(all[1].queue_ns, 10u);
+  EXPECT_EQ(all[1].pool_ns, 20u);
+  EXPECT_EQ(all[1].compute_ns, 100u);
+  EXPECT_EQ(all[1].write_ns, 5u);
+
+  // `max` trims from the oldest side.
+  const std::vector<RequestRecord> last_two = tracer.recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].request_id, 12u);
+  EXPECT_EQ(last_two[1].request_id, 13u);
+}
+
+TEST(RequestTracer, SlowestOrdersByComputeDescThenSeqAsc) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  tracer.record(make_record(1, 1, 500));
+  tracer.record(make_record(2, 1, 900));
+  tracer.record(make_record(3, 1, 500));  // Ties with id 1: seq breaks it.
+  tracer.record(make_record(4, 1, 100));
+
+  const std::vector<RequestRecord> top = tracer.slowest(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].request_id, 2u);
+  EXPECT_EQ(top[1].request_id, 1u);  // Equal compute: earlier seq first.
+  EXPECT_EQ(top[2].request_id, 3u);
+
+  // Deterministic: a second read of the quiescent tracer agrees exactly.
+  const std::vector<RequestRecord> again = tracer.slowest(3);
+  ASSERT_EQ(again.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(again[i].request_id, top[i].request_id);
+
+  // Asking for more than resident returns everything, still ordered.
+  EXPECT_EQ(tracer.slowest(100).size(), 4u);
+}
+
+TEST(RequestTracer, TypeLatenciesAggregatePerType) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  // Total latency is queue + pool + compute + write = 35 + compute.
+  tracer.record(make_record(1, 1, 65));    // total 100
+  tracer.record(make_record(2, 1, 165));   // total 200
+  tracer.record(make_record(3, 3, 9965));  // total 10000
+
+  const std::vector<TypeLatency> latencies = tracer.type_latencies();
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_EQ(latencies[0].type, 1u);
+  EXPECT_EQ(latencies[0].count, 2u);
+  EXPECT_EQ(latencies[0].max_ns, 200u);
+  EXPECT_GE(latencies[0].p50_ns, 100.0);
+  EXPECT_LE(latencies[0].p50_ns, 200.0);
+  EXPECT_LE(latencies[0].p50_ns, latencies[0].p99_ns);
+
+  EXPECT_EQ(latencies[1].type, 3u);
+  EXPECT_EQ(latencies[1].count, 1u);
+  EXPECT_EQ(latencies[1].max_ns, 10000u);
+  EXPECT_GE(latencies[1].p99_ns, 10000.0 * 0.5);
+  EXPECT_LE(latencies[1].p99_ns, 10000.0);
+}
+
+TEST(RequestTracer, RingWrapKeepsTheNewestRecords) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  const std::size_t capacity = tracer.ring_capacity();
+  ASSERT_GE(capacity, 16u);
+  const std::size_t total = capacity + 8;
+  for (std::size_t i = 1; i <= total; ++i)
+    tracer.record(make_record(i, 1, i));
+  EXPECT_EQ(tracer.completed(), total);  // Monotone across the wrap.
+
+  const std::vector<RequestRecord> resident = tracer.recent();
+  ASSERT_EQ(resident.size(), capacity);
+  // The 8 oldest fell off; the survivors are contiguous and ordered.
+  EXPECT_EQ(resident.front().request_id, 9u);
+  EXPECT_EQ(resident.back().request_id, total);
+}
+
+TEST(RequestTracer, CrossThreadRecordsMergeInSequenceOrder) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([t, &tracer] {
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        tracer.record(make_record(t * kPerThread + i + 1, 1, i));
+    });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(tracer.completed(), kThreads * kPerThread);
+  const std::vector<RequestRecord> all = tracer.recent();
+  // Per-thread rings are big enough (capacity >= 16 each) that nothing
+  // wrapped; the merge must be strictly ordered by completion sequence.
+  ASSERT_EQ(all.size(), kThreads * kPerThread);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(all[i - 1].seq, all[i].seq);
+
+  const auto latencies = tracer.type_latencies();
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_EQ(latencies[0].count, kThreads * kPerThread);
+}
+
+TEST(RequestTracer, ResetClearsEverything) {
+  TracerOn on;
+  RequestTracer& tracer = RequestTracer::global();
+  tracer.record(make_record(1, 1, 100));
+  tracer.record(make_record(2, 2, 200));
+  ASSERT_EQ(tracer.completed(), 2u);
+
+  tracer.reset();
+  EXPECT_EQ(tracer.completed(), 0u);
+  EXPECT_TRUE(tracer.recent().empty());
+  EXPECT_TRUE(tracer.slowest(5).empty());
+  EXPECT_TRUE(tracer.type_latencies().empty());
+
+  // The tracer (and this thread's ring) keep working after a reset.
+  tracer.record(make_record(3, 1, 300));
+  EXPECT_EQ(tracer.completed(), 1u);
+  ASSERT_EQ(tracer.recent().size(), 1u);
+  EXPECT_EQ(tracer.recent()[0].request_id, 3u);
+}
+
+}  // namespace
+}  // namespace rp::obs

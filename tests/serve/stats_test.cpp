@@ -1,0 +1,203 @@
+// Integration tests of the daemon's stats surface over real loopback
+// sockets: the kStats request shape, pool/queue/latency rows after traffic,
+// time-series windows, and serve.stats fault isolation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/timeseries.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+namespace rp::serve {
+namespace {
+
+const std::filesystem::path& shared_cache_dir() {
+  static const std::filesystem::path dir = [] {
+    const auto path =
+        std::filesystem::temp_directory_path() / "rp_serve_stats_test_cache";
+    std::filesystem::create_directories(path);
+    return path;
+  }();
+  return dir;
+}
+
+DaemonConfig test_config() {
+  DaemonConfig config;
+  config.port = 0;
+  config.worlds = 2;
+  config.cache_dir = shared_cache_dir();
+  return config;
+}
+
+Request ping_request(const std::string& token) {
+  Request request;
+  request.type = RequestType::kPing;
+  request.id = 1;
+  request.token = token;
+  return request;
+}
+
+Request world_info_request(std::uint64_t id = 2) {
+  Request request;
+  request.type = RequestType::kWorldInfo;
+  request.id = id;
+  request.world.fast = true;
+  return request;
+}
+
+Request stats_request(std::uint64_t window = 0) {
+  Request request;
+  request.type = RequestType::kStats;
+  request.id = 42;
+  request.stats_window = window;
+  return request;
+}
+
+bool has_field(const Response& response, const std::string& key) {
+  for (const auto& [k, v] : response.fields)
+    if (k == key) return true;
+  return false;
+}
+
+TEST(Stats, AnswersInlineOnAFreshDaemon) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  // The very first request: no world exists and none is needed.
+  const Response response = client.call(stats_request());
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.id, 42u);
+  EXPECT_TRUE(has_field(response, "stats.uptime_s"));
+  EXPECT_TRUE(has_field(response, "stats.completed"));
+  EXPECT_GT(std::stoull(std::string(response.field("stats.ring_capacity"))),
+            0u);
+  EXPECT_GT(std::stoull(std::string(response.field("queue.capacity"))), 0u);
+  EXPECT_TRUE(has_field(response, "queue.depth"));
+  EXPECT_TRUE(has_field(response, "queue.high_water"));
+  EXPECT_EQ(response.field("pool.worlds"), "0");  // Nothing resident yet.
+  EXPECT_TRUE(has_field(response, "ts.samples"));
+  daemon.stop();
+}
+
+TEST(Stats, ReportsTrafficPoolAndPerTypeLatencies) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  client.call(ping_request("one"));
+  client.call(ping_request("two"));
+  client.call(world_info_request(10));  // Miss: builds the world.
+  client.call(world_info_request(11));  // Hit: bumps the pool hit count.
+
+  // Inline requests (ping, stats) are recorded before the reader touches
+  // the connection's next frame, but queued requests land their record just
+  // after the response write — poll briefly until the world-info row shows.
+  Response response;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    response = client.call(stats_request());
+    ASSERT_EQ(response.status, Status::kOk);
+    const std::string count(response.field("req.world-info.count"));
+    if ((!count.empty() && std::stoull(count) >= 2) ||
+        std::chrono::steady_clock::now() >= deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Per-type latency rows: pings were inline, world-infos went through the
+  // queue; both carry count + quantiles.
+  EXPECT_GE(std::stoull(std::string(response.field("req.ping.count"))), 2u);
+  EXPECT_TRUE(has_field(response, "req.ping.p50_us"));
+  EXPECT_TRUE(has_field(response, "req.ping.p99_us"));
+  EXPECT_TRUE(has_field(response, "req.ping.max_us"));
+  EXPECT_GE(std::stoull(std::string(response.field("req.world-info.count"))),
+            2u);
+  EXPECT_GT(std::stod(std::string(response.field("req.world-info.p99_us"))),
+            0.0);
+
+  // The pool shows the one resident world with a real memory estimate.
+  EXPECT_EQ(response.field("pool.worlds"), "1");
+  EXPECT_EQ(response.field("pool.resident"), "1");
+  EXPECT_EQ(response.field("pool.world.0.ready"), "1");
+  EXPECT_EQ(response.field("pool.world.0.digest").size(), 16u);
+  EXPECT_GE(std::stoull(std::string(response.field("pool.world.0.hits"))),
+            1u);
+  EXPECT_GT(
+      std::stoull(std::string(response.field("pool.world.0.resident_bytes"))),
+      0u);
+
+  // Traffic flowed through the admission queue at least once.
+  EXPECT_GE(std::stoull(std::string(response.field("queue.high_water"))), 1u);
+  EXPECT_GE(std::stoull(std::string(response.field("stats.completed"))), 4u);
+
+  // The slow-query log is populated and ordered by compute time descending.
+  // (Exact cross-read stability lives in the RequestTracer unit tests — over
+  // the socket each stats request records itself, so the tracer is never
+  // quiescent between two calls.)
+  ASSERT_TRUE(has_field(response, "slow.0.request_id"));
+  ASSERT_TRUE(has_field(response, "slow.0.compute_us"));
+  if (has_field(response, "slow.1.compute_us")) {
+    EXPECT_GE(std::stod(std::string(response.field("slow.0.compute_us"))),
+              std::stod(std::string(response.field("slow.1.compute_us"))));
+  }
+  daemon.stop();
+}
+
+TEST(Stats, WindowEmitsTimeSeriesRows) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  client.call(ping_request("warm"));  // Fills the phase histograms.
+
+  // Drive the recorder deterministically instead of waiting for its thread.
+  obs::TimeSeriesRecorder::global().sample_once();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  obs::TimeSeriesRecorder::global().sample_once();
+
+  const Response response = client.call(stats_request(/*window=*/4));
+  ASSERT_EQ(response.status, Status::kOk);
+  EXPECT_GE(std::stoull(std::string(response.field("ts.samples"))), 2u);
+  // At least one serve-side series rode along (the ping filled
+  // rp.serve.phase.compute_ns, so its p50 series must exist).
+  EXPECT_TRUE(has_field(response, "ts.rp.serve.phase.compute_ns.p50"));
+  EXPECT_FALSE(
+      std::string(response.field("ts.rp.serve.phase.compute_ns.p50"))
+          .empty());
+
+  // window == 0 keeps the payload small: no ts.<series> rows at all.
+  const Response bare = client.call(stats_request(0));
+  EXPECT_FALSE(has_field(bare, "ts.rp.serve.phase.compute_ns.p50"));
+  EXPECT_TRUE(has_field(bare, "ts.samples"));
+  daemon.stop();
+}
+
+TEST(Stats, StatsFaultKillsOnlyThatConnection) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client healthy = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(healthy.call(ping_request("pre")).status, Status::kOk);
+
+  fault::arm(std::string(fault::kSiteServeStats) + ":nth=1");
+  Client victim = Client::connect("127.0.0.1", daemon.port());
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(stats_request()));
+  victim.send_bytes(frame);
+  EXPECT_THROW(victim.read_payload(), ClientError);
+  fault::disarm_all();
+
+  // Only that connection died: the healthy one still pings, and a fresh
+  // connection's stats request succeeds.
+  EXPECT_EQ(healthy.call(ping_request("post")).field("token"), "post");
+  Client fresh = Client::connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(fresh.call(stats_request()).status, Status::kOk);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace rp::serve
