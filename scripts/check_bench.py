@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare BENCH_*.json against committed baselines.
+
+Every perf binary writes a flat BENCH_<name>.json trajectory file (see
+bench/perf_json.hpp). This script compares the *throughput* keys of a fresh
+run against the committed baselines in bench/baselines/ and fails when any
+of them regressed beyond the tolerance:
+
+  * keys containing `_per_sec`  (rates: events, requests, bins, bytes ...)
+  * keys containing `speedup`   (head-to-head ratios, e.g. delta_speedup)
+
+Latency/time keys are deliberately not gated — they scale with machine load
+in ways rates bounded by the same noise do not, and the rates already move
+when the timed region slows down.
+
+Usage:
+  check_bench.py --check DIR [--tolerance 0.25] [--baselines BDIR]
+      compare every BENCH_*.json in DIR against BDIR (exit 1 on regression)
+  check_bench.py --update DIR [--baselines BDIR]
+      (re)write the baselines from the BENCH_*.json files in DIR
+  check_bench.py --self-test
+      prove the gate trips: a synthetic 2x regression must fail the check
+
+Exit codes: 0 pass, 1 regression (or self-test failure), 2 usage/missing
+files.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def is_gated_key(key):
+    # "_per_sec" also catches google-benchmark's *_per_second rate counters.
+    return "_per_sec" in key or "speedup" in key
+
+
+def load_flat_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a flat JSON object")
+    return {k: v for k, v in data.items() if isinstance(v, (int, float))}
+
+
+def bench_files(directory):
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as error:
+        print(f"check_bench: cannot list {directory}: {error}", file=sys.stderr)
+        sys.exit(2)
+    return [
+        n for n in names if n.startswith("BENCH_") and n.endswith(".json")
+    ]
+
+
+def compare(current_dir, baseline_dir, tolerance, out=sys.stdout):
+    """Returns (regressions, rows); rows drive the trajectory table."""
+    regressions = []
+    rows = []
+    current_names = bench_files(current_dir)
+    if not current_names:
+        print(f"check_bench: no BENCH_*.json in {current_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    for name in current_names:
+        baseline_path = os.path.join(baseline_dir, name)
+        current = load_flat_json(os.path.join(current_dir, name))
+        if not os.path.exists(baseline_path):
+            rows.append((name, "(no baseline; run --update)", None, None, "NEW"))
+            continue
+        baseline = load_flat_json(baseline_path)
+        for key in sorted(baseline):
+            if not is_gated_key(key):
+                continue
+            base_value = baseline[key]
+            if key not in current:
+                regressions.append(f"{name}: {key} missing from current run")
+                rows.append((name, key, base_value, None, "MISSING"))
+                continue
+            value = current[key]
+            if base_value <= 0:
+                continue
+            delta = (value - base_value) / base_value
+            status = "ok"
+            if delta < -tolerance:
+                status = "REGRESSED"
+                regressions.append(
+                    f"{name}: {key} {value:.6g} vs baseline "
+                    f"{base_value:.6g} ({delta * 100.0:+.1f}% < "
+                    f"-{tolerance * 100.0:.0f}%)")
+            rows.append((name, key, base_value, value, status))
+
+    print(f"perf trajectory vs {baseline_dir} "
+          f"(tolerance {tolerance * 100.0:.0f}%):", file=out)
+    width = max((len(r[1]) for r in rows), default=10)
+    for name, key, base_value, value, status in rows:
+        base_text = f"{base_value:.6g}" if base_value is not None else "-"
+        value_text = f"{value:.6g}" if value is not None else "-"
+        delta_text = "-"
+        if base_value and value is not None and base_value > 0:
+            delta_text = f"{(value - base_value) / base_value * 100.0:+.1f}%"
+        print(f"  {name:28s} {key:{width}s} "
+              f"{base_text:>12s} -> {value_text:>12s}  {delta_text:>8s}  "
+              f"{status}", file=out)
+    return regressions, rows
+
+
+def update(current_dir, baseline_dir):
+    names = bench_files(current_dir)
+    if not names:
+        print(f"check_bench: no BENCH_*.json in {current_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    os.makedirs(baseline_dir, exist_ok=True)
+    for name in names:
+        flat = load_flat_json(os.path.join(current_dir, name))
+        gated = {k: v for k, v in sorted(flat.items()) if is_gated_key(k)}
+        if not gated:
+            continue
+        path = os.path.join(baseline_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(gated, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"check_bench: wrote {path} ({len(gated)} gated keys)")
+
+
+def self_test():
+    """The gate must trip on an injected regression and pass on a clean run."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        baseline_dir = os.path.join(scratch, "baselines")
+        current_dir = os.path.join(scratch, "current")
+        os.makedirs(baseline_dir)
+        os.makedirs(current_dir)
+        baseline = {
+            "BM_Ingest.bins_per_sec": 1000.0,
+            "BM_WhatIf.delta_speedup": 20.0,
+            "BM_Ingest.real_time_ms": 3.0,  # not gated
+        }
+        with open(os.path.join(baseline_dir, "BENCH_selftest.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(baseline, handle)
+
+        sink = open(os.devnull, "w", encoding="utf-8")
+
+        # Clean: everything within tolerance (times may drift freely).
+        healthy = dict(baseline, **{"BM_Ingest.real_time_ms": 300.0})
+        with open(os.path.join(current_dir, "BENCH_selftest.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(healthy, handle)
+        regressions, _ = compare(current_dir, baseline_dir,
+                                 DEFAULT_TOLERANCE, out=sink)
+        if regressions:
+            print("check_bench self-test: clean run flagged:", regressions,
+                  file=sys.stderr)
+            return 1
+
+        # Injected: halve one rate — far beyond the default 25% tolerance.
+        broken = dict(baseline, **{"BM_Ingest.bins_per_sec": 500.0})
+        with open(os.path.join(current_dir, "BENCH_selftest.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(broken, handle)
+        regressions, _ = compare(current_dir, baseline_dir,
+                                 DEFAULT_TOLERANCE, out=sink)
+        if not regressions:
+            print("check_bench self-test: injected 2x regression passed the "
+                  "gate", file=sys.stderr)
+            return 1
+
+        # A missing gated key must also trip it.
+        del broken["BM_WhatIf.delta_speedup"]
+        broken["BM_Ingest.bins_per_sec"] = 1000.0
+        with open(os.path.join(current_dir, "BENCH_selftest.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(broken, handle)
+        regressions, _ = compare(current_dir, baseline_dir,
+                                 DEFAULT_TOLERANCE, out=sink)
+        if not regressions:
+            print("check_bench self-test: missing key passed the gate",
+                  file=sys.stderr)
+            return 1
+
+    print("check_bench self-test passed "
+          "(clean ok, injected regression and missing key both fail)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json throughput keys against baselines.")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", metavar="DIR",
+                      help="directory holding fresh BENCH_*.json files")
+    mode.add_argument("--update", metavar="DIR",
+                      help="regenerate baselines from DIR")
+    mode.add_argument("--self-test", action="store_true",
+                      help="verify the gate trips on an injected regression")
+    parser.add_argument("--baselines", metavar="BDIR",
+                        default=os.path.join(
+                            os.path.dirname(os.path.dirname(
+                                os.path.abspath(__file__))),
+                            "bench", "baselines"),
+                        help="baseline directory (default: bench/baselines)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop (default: 0.25)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.update:
+        update(args.update, args.baselines)
+        sys.exit(0)
+    regressions, _ = compare(args.check, args.baselines, args.tolerance)
+    if regressions:
+        print("check_bench: PERF REGRESSION", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print("check_bench: all gated keys within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,20 @@ tmpdir() {
   echo "$d"
 }
 
+# Smoke temp dirs are wiped on exit; when RP_CI_ARTIFACTS is set (the GitHub
+# workflow points it at an upload dir), copy the named files out first so the
+# perf trajectories and traces survive as build artifacts.
+export_artifacts() {
+  local src="$1"
+  shift
+  [[ -n "${RP_CI_ARTIFACTS:-}" ]] || return 0
+  mkdir -p "$RP_CI_ARTIFACTS"
+  local pattern
+  for pattern in "$@"; do
+    cp -f "$src"/$pattern "$RP_CI_ARTIFACTS"/ 2> /dev/null || true
+  done
+}
+
 # Asserts that `rpworld ...` exits with $1 (under set -e).
 expect_rc() {
   local want="$1" rc=0
@@ -163,6 +177,7 @@ obs_smoke() {
     grep -q "\"$metric\"" "$dir/metrics.json"
     grep -q "$metric" "$dir/rpstat.log"
   done
+  export_artifacts "$dir" metrics.json trace.json
 }
 
 # Graceful degradation end to end: with the first snapshot read injected to
@@ -195,7 +210,8 @@ perf_smoke() {
   echo "=== [$build] perf smoke (RP_BENCH_FAST=1) ==="
   local dir bin
   dir="$(tmpdir)"
-  for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload; do
+  for bin in perf_io perf_net perf_topology perf_bgp perf_sim perf_offload \
+             perf_stream; do
     echo "--- $bin ---"
     RP_BENCH_FAST=1 RP_BENCH_JSON_DIR="$dir" \
       "build/$build/bench/$bin" --benchmark_min_time=0.01
@@ -220,6 +236,26 @@ for key in ("BM_SmallIxpCampaign.events_per_sec",
             "BM_AllIxpCampaign/1/iterations:1.interfaces"):
     assert bench.get(key, 0) > 0, (key, sorted(bench))
 EOF
+  # The streaming trajectory must carry the ingest rate and the incremental
+  # what-if's head-to-head speedup over the batch recompute.
+  python3 - "$dir/BENCH_perf_stream.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("BM_StreamIngestBins.bins_per_sec",
+            "BM_BinLogReplay.bins_per_sec",
+            "BM_WhatIfDeltaVsRecompute.delta_speedup",
+            "BM_WhatIfDeltaVsRecompute.whatifs_per_sec",
+            "BM_IncrementalGreedy.steps"):
+    assert bench.get(key, 0) > 0, (key, sorted(bench))
+EOF
+  # Perf-trajectory gate: every throughput key against the committed
+  # baselines. The gate must first prove it trips on an injected regression;
+  # the tolerance is generous because the smoke runs at min_time=0.01 on
+  # shared runners (override CHECK_BENCH_TOL to tighten locally).
+  python3 scripts/check_bench.py --self-test
+  python3 scripts/check_bench.py --check "$dir" \
+    --tolerance "${CHECK_BENCH_TOL:-0.6}"
+  export_artifacts "$dir" 'BENCH_*.json'
 }
 
 # The query daemon end to end: ephemeral port, rpq queries against a warm
@@ -328,6 +364,10 @@ for key in ("requests_per_sec", "p50_us", "p99_us", "clients",
 assert bench.get("requests_failed", 1) == 0, bench
 assert bench["p50_us"] <= bench["p99_us"], bench
 EOF
+  # The daemon's throughput also feeds the perf-trajectory gate.
+  python3 scripts/check_bench.py --check "$dir" \
+    --tolerance "${CHECK_BENCH_TOL:-0.6}"
+  export_artifacts "$dir" 'BENCH_*.json' daemon.log
 }
 
 figure_smoke() {
@@ -376,14 +416,44 @@ EOF
   cmp "$dir/a/results.json" "$dir/b/results.json"
 }
 
+# rpstream end to end: a 400-bin fast-world flow log ingested uninterrupted
+# at RP_THREADS=1 (the reference), then again at 8 threads killed by a
+# stream.bin fault at the 300th frame (two checkpoints survive), resumed,
+# and the %.17g summaries — billing p95s, live offload, greedy curve —
+# compared byte for byte: the streaming determinism contract of DESIGN.md §16.
+stream_smoke() {
+  local build="$1"
+  echo "=== [$build] stream smoke (rpstream ingest/kill/resume byte-identity) ==="
+  local dir rpstream="build/$build/examples/rpstream"
+  dir="$(tmpdir)"
+  "$rpstream" log --fast --span-days 2 --cache-dir "$dir/cache" \
+    --out "$dir/bins.rpsnap" --bins 400 2> /dev/null
+  # Reference: single-threaded, uninterrupted.
+  RP_THREADS=1 "$rpstream" ingest --fast --span-days 2 \
+    --cache-dir "$dir/cache" --log "$dir/bins.rpsnap" \
+    > "$dir/full.txt" 2> /dev/null
+  # The same log at 8 threads, killed mid-ingest at the 300th frame...
+  expect_rc 9 env RP_THREADS=8 RP_FAULT=stream.bin:nth=300 \
+    "$rpstream" ingest --fast --span-days 2 --cache-dir "$dir/cache" \
+    --log "$dir/bins.rpsnap" --checkpoint "$dir/ckpt.rpsnap" --every 100
+  # ...resumes from the last checkpoint (bin 200)...
+  RP_THREADS=8 "$rpstream" ingest --fast --span-days 2 \
+    --cache-dir "$dir/cache" --log "$dir/bins.rpsnap" \
+    --checkpoint "$dir/ckpt.rpsnap" --resume \
+    > "$dir/resumed.txt" 2> "$dir/resume.log"
+  grep -q "resumed at bin 200" "$dir/resume.log"
+  # ...to a byte-identical summary.
+  cmp "$dir/full.txt" "$dir/resumed.txt"
+}
+
 # The concurrency-sensitive suites again at a fixed high thread count, so the
 # TSan lane actually exercises contended pool/metrics/fault paths (the default
 # pool sizes itself to the machine and may be serial on small runners).
 tsan_thread_stress() {
   local build="$1"
-  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, serve, campaigns) ==="
+  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, serve, stream, campaigns) ==="
   local suite
-  for suite in test_obs test_util test_fault test_serve; do
+  for suite in test_obs test_util test_fault test_serve test_stream; do
     echo "--- $suite ---"
     RP_THREADS=8 "build/$build/tests/$suite" --gtest_brief=1
   done
@@ -404,6 +474,7 @@ run_lane() {
       obs_smoke "$preset"
       fault_smoke "$preset"
       sweep_smoke "$preset"
+      stream_smoke "$preset"
       serve_smoke "$preset"
       perf_smoke "$preset"
       figure_smoke "$preset"

@@ -4,8 +4,9 @@
 // gracefully under failure: snapshot read/write and checksum verification
 // (src/io), the scenario cache (src/core/scenario_cache.cpp), thread-pool
 // task execution (src/util/thread_pool), dataset parsing and campaign probe
-// execution (src/measure), and event scheduling in the discrete-event
-// engine (src/sim/simulator). A site costs one predictable branch when the
+// execution (src/measure), event scheduling in the discrete-event
+// engine (src/sim/simulator), and bin delivery in the streaming ingest
+// (src/stream). A site costs one predictable branch when the
 // framework is disarmed — the same discipline as rp::obs — so the sites can
 // stay in release builds and the greedy benchmark does not move.
 //
@@ -198,7 +199,9 @@ std::vector<SiteStatus> site_status();
 /// The canonical site names compiled into the pipeline (for docs and the
 /// tests that drive every site): io.read, io.write, io.verify, cache.load,
 /// cache.store, pool.task, dataset.parse, campaign.probe, sweep.run,
-/// sim.event, serve.accept, serve.parse, serve.respond, serve.stats. Most
+/// sim.event, serve.accept, serve.parse, serve.respond, serve.stats,
+/// stream.bin (fires as a streaming ingest pulls its next bin frame — CI
+/// kills a replay mid-stream with it and proves checkpoint resume). Most
 /// sites treat every action as a throw; sim.event instead drops the scheduled
 /// event on a throw action and delays it by 250 ms on a flip/truncate action
 /// (a simulator must degrade, not unwind, mid-run), and the serve.* sites
@@ -219,5 +222,6 @@ inline constexpr const char* kSiteServeAccept = "serve.accept";
 inline constexpr const char* kSiteServeParse = "serve.parse";
 inline constexpr const char* kSiteServeRespond = "serve.respond";
 inline constexpr const char* kSiteServeStats = "serve.stats";
+inline constexpr const char* kSiteStreamBin = "stream.bin";
 
 }  // namespace rp::fault

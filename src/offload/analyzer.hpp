@@ -129,6 +129,14 @@ class OffloadAnalyzer {
   /// All reachable IXP ids (the analysis universe).
   std::vector<ixp::IxpId> all_ixps() const;
 
+  /// The per-IXP coverage masks of a group, indexed by IxpId: endpoint-space
+  /// bitsets in transit_endpoints() order. Built lazily (shared with every
+  /// other query); rp::stream's incremental layer folds them into live
+  /// covered-set state instead of re-unioning per what-if.
+  const std::vector<util::DynamicBitset>& coverage_masks(PeerGroup group) const {
+    return coverage_for(group);
+  }
+
  private:
   /// All coverage masks of a group, indexed by IxpId. Built lazily (in
   /// parallel across IXPs) on first use and cached for the analyzer's

@@ -53,6 +53,10 @@ std::size_t World::resident_bytes() const {
   if (greedy_)
     bytes += sizeof(*greedy_) + greedy_->capacity() * sizeof(offload::GreedyStep);
   if (spread_) bytes += sizeof(core::SpreadStudy);
+  for (std::size_t g = 0; g < whatif_.size(); ++g) {
+    std::lock_guard<std::mutex> engine_lock(whatif_mutexes_[g]);
+    if (whatif_[g]) bytes += whatif_[g]->retained_bytes();
+  }
   return bytes;
 }
 
@@ -75,6 +79,22 @@ const std::vector<offload::GreedyStep>& World::greedy_curve() const {
         study.analyzer().greedy_by_traffic(offload::PeerGroup::kAll, 20));
   }
   return *greedy_;
+}
+
+World::WhatIfLease World::what_if_engine(offload::PeerGroup group) const {
+  const auto slot = static_cast<std::size_t>(group);
+  if (slot >= whatif_.size())
+    throw std::invalid_argument("World::what_if_engine: bad peer group");
+  // offload() takes and releases mutex_ internally, so the lock order stays
+  // mutex_ → whatif_mutexes_[slot] (matching resident_bytes).
+  const core::OffloadStudy& study = offload();
+  std::unique_lock<std::mutex> lock(whatif_mutexes_[slot]);
+  if (!whatif_[slot]) {
+    obs::Span span("serve.world.whatif_engine");
+    whatif_[slot] = std::make_unique<stream::IncrementalOffload>(
+        study.analyzer(), scenario_.ecosystem(), group);
+  }
+  return {std::move(lock), whatif_[slot].get()};
 }
 
 const core::SpreadStudy& World::spread() const {

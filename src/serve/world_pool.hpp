@@ -16,6 +16,7 @@
 // in-flight load) / .evictions, plus the rp.serve.pool.resident gauge.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -27,6 +28,7 @@
 #include "core/offload_study.hpp"
 #include "core/scenario.hpp"
 #include "core/spread_study.hpp"
+#include "stream/incremental.hpp"
 
 namespace rp::serve {
 
@@ -55,6 +57,18 @@ class World {
   /// The §3 study (campaigns + filters + classification).
   const core::SpreadStudy& spread() const;
 
+  /// Exclusive lease on the per-group incremental what-if engine
+  /// (rp::stream::IncrementalOffload over the offload analyzer's cached
+  /// coverage masks). Built on first use per group; the lease's lock
+  /// serializes the engine's delta state across request threads, so a
+  /// what-if is answered by O(one mask) coverage-count transitions instead
+  /// of a full potential recompute.
+  struct WhatIfLease {
+    std::unique_lock<std::mutex> lock;
+    stream::IncrementalOffload* engine = nullptr;
+  };
+  WhatIfLease what_if_engine(offload::PeerGroup group) const;
+
   /// Lower-bound estimate of this residency's memory footprint: the world's
   /// snapshot-file size (a good proxy for the deserialized scenario) plus
   /// the directly measurable footprint of each artifact built so far. Used
@@ -71,6 +85,12 @@ class World {
   mutable std::unique_ptr<core::OffloadStudy> offload_;
   mutable std::unique_ptr<std::vector<offload::GreedyStep>> greedy_;
   mutable std::unique_ptr<core::SpreadStudy> spread_;
+
+  /// Per-group what-if engines, indexed by static_cast of PeerGroup. Each
+  /// slot has its own mutex (the lease lock), taken after mutex_ never
+  /// before it.
+  mutable std::array<std::mutex, 5> whatif_mutexes_;
+  mutable std::array<std::unique_ptr<stream::IncrementalOffload>, 5> whatif_;
 };
 
 class WorldPool {

@@ -1,0 +1,156 @@
+#include "stream/ingest.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rp::stream {
+
+StreamIngest::StreamIngest(BinSchema schema, util::DynamicBitset covered,
+                           std::size_t exact_capacity)
+    : schema_(std::move(schema)),
+      covered_(std::move(covered)),
+      in_sketches_(schema_.size(), P95Sketch(exact_capacity)),
+      out_sketches_(schema_.size(), P95Sketch(exact_capacity)),
+      transit_in_(exact_capacity),
+      transit_out_(exact_capacity),
+      offload_in_(exact_capacity),
+      offload_out_(exact_capacity) {
+  if (covered_.size() != schema_.size())
+    throw std::invalid_argument(
+        "StreamIngest: covered mask size does not match schema");
+}
+
+void StreamIngest::consume(const BinFrame& frame) {
+  if (frame.bin != next_bin_)
+    throw std::invalid_argument("StreamIngest: out-of-order bin");
+  if (frame.in_bps.size() != schema_.size() ||
+      frame.out_bps.size() != schema_.size())
+    throw std::invalid_argument("StreamIngest: frame width != schema");
+
+  // Per-network sketches are independent; fan the folds across the pool.
+  // Each position only touches its own sketch, so the result is identical
+  // at any RP_THREADS.
+  util::ThreadPool::global().parallel_for(
+      schema_.size(), [this, &frame](std::size_t i) {
+        in_sketches_[i].add(frame.in_bps[i]);
+        out_sketches_[i].add(frame.out_bps[i]);
+      });
+
+  // Aggregates accumulate serially in schema order — the exact summation
+  // order of RateModel::aggregate_series — so the fed samples (and hence the
+  // percentiles) are bit-identical to the batch series.
+  double transit_in = 0.0;
+  double transit_out = 0.0;
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    transit_in += frame.in_bps[i];
+    transit_out += frame.out_bps[i];
+  }
+  double offload_in = 0.0;
+  double offload_out = 0.0;
+  covered_.for_each([&frame, &offload_in, &offload_out](std::size_t i) {
+    offload_in += frame.in_bps[i];
+    offload_out += frame.out_bps[i];
+  });
+  transit_in_.add(transit_in);
+  transit_out_.add(transit_out);
+  offload_in_.add(offload_in);
+  offload_out_.add(offload_out);
+
+  ++bins_;
+  next_bin_ = frame.bin + 1;
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter bins("rp.stream.bins_ingested");
+    static obs::Gauge retained("rp.stream.retained_bytes");
+    bins.add();
+    retained.set(static_cast<double>(retained_bytes()));
+  }
+}
+
+double StreamIngest::transit_p95(flow::Direction dir) const {
+  return transit_sketch(dir).p95();
+}
+
+double StreamIngest::offload_p95(flow::Direction dir) const {
+  return offload_sketch(dir).p95();
+}
+
+const P95Sketch& StreamIngest::transit_sketch(flow::Direction dir) const {
+  return dir == flow::Direction::kInbound ? transit_in_ : transit_out_;
+}
+
+const P95Sketch& StreamIngest::offload_sketch(flow::Direction dir) const {
+  return dir == flow::Direction::kInbound ? offload_in_ : offload_out_;
+}
+
+const P95Sketch& StreamIngest::network_sketch(std::size_t index,
+                                              flow::Direction dir) const {
+  if (index >= schema_.size())
+    throw std::out_of_range("StreamIngest::network_sketch");
+  return dir == flow::Direction::kInbound ? in_sketches_[index]
+                                          : out_sketches_[index];
+}
+
+std::size_t StreamIngest::retained_bytes() const {
+  std::size_t bytes = transit_in_.retained_bytes() +
+                      transit_out_.retained_bytes() +
+                      offload_in_.retained_bytes() +
+                      offload_out_.retained_bytes();
+  for (const P95Sketch& sketch : in_sketches_) bytes += sketch.retained_bytes();
+  for (const P95Sketch& sketch : out_sketches_)
+    bytes += sketch.retained_bytes();
+  return bytes;
+}
+
+void StreamIngest::serialize(io::ByteWriter& writer) const {
+  writer.varint(schema_.size());
+  for (net::Asn asn : schema_.networks) writer.varint(asn.value());
+  writer.varint(covered_.size());
+  for (std::uint64_t word : covered_.words()) writer.u64_fixed(word);
+  writer.varint(bins_);
+  writer.varint(next_bin_);
+  for (const P95Sketch& sketch : in_sketches_) sketch.serialize(writer);
+  for (const P95Sketch& sketch : out_sketches_) sketch.serialize(writer);
+  transit_in_.serialize(writer);
+  transit_out_.serialize(writer);
+  offload_in_.serialize(writer);
+  offload_out_.serialize(writer);
+}
+
+StreamIngest StreamIngest::deserialize(io::ByteReader& reader) {
+  BinSchema schema;
+  const std::size_t networks = static_cast<std::size_t>(reader.varint());
+  schema.networks.reserve(networks);
+  for (std::size_t i = 0; i < networks; ++i)
+    schema.networks.push_back(
+        net::Asn{static_cast<std::uint32_t>(reader.varint())});
+  const std::size_t covered_bits = static_cast<std::size_t>(reader.varint());
+  if (covered_bits != networks)
+    throw io::SnapshotError("StreamIngest: covered mask size != schema");
+  std::vector<std::uint64_t> words((covered_bits + 63) / 64);
+  for (std::uint64_t& word : words) word = reader.u64_fixed();
+  util::DynamicBitset covered;
+  try {
+    covered = util::DynamicBitset::from_words(covered_bits, std::move(words));
+  } catch (const std::invalid_argument& e) {
+    throw io::SnapshotError(std::string("StreamIngest: ") + e.what());
+  }
+
+  StreamIngest ingest(std::move(schema), std::move(covered), 1);
+  ingest.bins_ = reader.varint();
+  ingest.next_bin_ = reader.varint();
+  for (P95Sketch& sketch : ingest.in_sketches_)
+    sketch = P95Sketch::deserialize(reader);
+  for (P95Sketch& sketch : ingest.out_sketches_)
+    sketch = P95Sketch::deserialize(reader);
+  ingest.transit_in_ = P95Sketch::deserialize(reader);
+  ingest.transit_out_ = P95Sketch::deserialize(reader);
+  ingest.offload_in_ = P95Sketch::deserialize(reader);
+  ingest.offload_out_ = P95Sketch::deserialize(reader);
+  return ingest;
+}
+
+}  // namespace rp::stream

@@ -1,0 +1,88 @@
+// StreamIngest: online 95th-percentile state over an arriving bin stream.
+//
+// The batch path (core::OffloadStudy::time_series + util::p95_billing_rate)
+// materializes the whole month before a single percentile is known. The
+// ingest instead folds each BinFrame as it arrives into
+//
+//   * one P95Sketch per (network, direction)   — every transit endpoint's
+//     own billing percentile, and
+//   * four aggregate sketches                  — transit in/out (all schema
+//     networks) and offload in/out (the covered subset), the Fig. 5b pair.
+//
+// Byte-identity contract (DESIGN.md §16): per-bin aggregate sums accumulate
+// in schema order — the same network order RateModel::aggregate_series folds
+// with — and the offload aggregate sums the covered subset in ascending
+// schema index, matching the index-ordered covered_endpoints() list the
+// batch path aggregates. Networks the model rates at zero add +0.0, which
+// is exact, so after N bins transit_p95()/offload_p95() equal
+// util::p95_billing_rate over the batch series bit for bit (while the
+// sketches are in their exact regime).
+//
+// The complete state round-trips through the snapshot byte codec, so a
+// checkpointed ingest resumes with bit-identical percentiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/traffic_matrix.hpp"
+#include "io/container.hpp"
+#include "stream/bin_source.hpp"
+#include "stream/p95.hpp"
+#include "util/bitset.hpp"
+
+namespace rp::stream {
+
+class StreamIngest {
+ public:
+  /// `covered` flags the schema positions whose networks are offloadable
+  /// (endpoint-space coverage at the reached IXPs); its size must equal the
+  /// schema's. `exact_capacity` = 0 uses configured_exact_capacity().
+  StreamIngest(BinSchema schema, util::DynamicBitset covered,
+               std::size_t exact_capacity = 0);
+
+  /// Folds one bin. Frames must arrive in order: frame.bin must equal
+  /// next_bin() (the contract a resumed checkpoint relies on). Throws
+  /// std::invalid_argument on a gap, rewind, or column-size mismatch.
+  void consume(const BinFrame& frame);
+
+  const BinSchema& schema() const { return schema_; }
+  const util::DynamicBitset& covered() const { return covered_; }
+  /// Bins folded so far.
+  std::uint64_t bins() const { return bins_; }
+  /// The bin index the next consume() must carry.
+  std::uint64_t next_bin() const { return next_bin_; }
+
+  /// Aggregate billing percentiles (throw std::logic_error before any bin).
+  double transit_p95(flow::Direction dir) const;
+  double offload_p95(flow::Direction dir) const;
+  const P95Sketch& transit_sketch(flow::Direction dir) const;
+  const P95Sketch& offload_sketch(flow::Direction dir) const;
+
+  /// Per-network sketch at a schema position.
+  const P95Sketch& network_sketch(std::size_t index,
+                                  flow::Direction dir) const;
+
+  /// Bytes retained across every sketch (diagnostic; feeds the
+  /// rp.stream.retained_bytes gauge).
+  std::size_t retained_bytes() const;
+
+  void serialize(io::ByteWriter& writer) const;
+  static StreamIngest deserialize(io::ByteReader& reader);
+
+ private:
+  BinSchema schema_;
+  util::DynamicBitset covered_;
+  std::uint64_t bins_ = 0;
+  std::uint64_t next_bin_ = 0;
+
+  /// Per-network sketches, schema order.
+  std::vector<P95Sketch> in_sketches_;
+  std::vector<P95Sketch> out_sketches_;
+  P95Sketch transit_in_;
+  P95Sketch transit_out_;
+  P95Sketch offload_in_;
+  P95Sketch offload_out_;
+};
+
+}  // namespace rp::stream

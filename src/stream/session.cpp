@@ -1,0 +1,122 @@
+#include "stream/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rp::stream {
+
+namespace {
+
+/// Checkpoint container sections.
+constexpr std::uint32_t kSectionIngest = 1;
+constexpr std::uint32_t kSectionReached = 2;
+
+util::DynamicBitset maximal_coverage(const offload::OffloadAnalyzer& analyzer,
+                                     offload::PeerGroup group) {
+  util::DynamicBitset covered(analyzer.transit_endpoints().size());
+  const auto& masks = analyzer.coverage_masks(group);
+  for (ixp::IxpId id : analyzer.all_ixps()) covered |= masks[id];
+  return covered;
+}
+
+BinSchema endpoint_schema(const offload::OffloadAnalyzer& analyzer) {
+  BinSchema schema;
+  for (const auto& endpoint : analyzer.transit_endpoints())
+    schema.networks.push_back(endpoint.asn);
+  return schema;
+}
+
+}  // namespace
+
+StreamSession::StreamSession(BinSource& source,
+                             const offload::OffloadAnalyzer& analyzer,
+                             const ixp::IxpEcosystem& ecosystem,
+                             offload::PeerGroup group,
+                             StreamSessionConfig config)
+    : source_(&source),
+      config_(std::move(config)),
+      ingest_(endpoint_schema(analyzer), maximal_coverage(analyzer, group)),
+      incremental_(analyzer, ecosystem, group) {
+  if (!(source.schema() == ingest_.schema()))
+    throw std::invalid_argument(
+        "StreamSession: source schema != analyzer transit endpoints");
+  if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty())
+    throw std::invalid_argument(
+        "StreamSession: checkpoint cadence without a checkpoint path");
+  // Start from the maximal peering set so the live view mirrors the ingest's
+  // covered mask (Fig. 5b's offload series); callers can reset() to any
+  // other reached set, and resume() restores the checkpointed one.
+  const std::vector<ixp::IxpId> all = analyzer.all_ixps();
+  incremental_.reset(all);
+}
+
+std::uint64_t StreamSession::run(std::uint64_t max_bins) {
+  obs::Span span("stream.session.run");
+  std::uint64_t consumed = 0;
+  BinFrame frame;
+  while (consumed < max_bins && source_->next(frame)) {
+    ingest_.consume(frame);
+    incremental_.on_bin(frame);
+    ++consumed;
+    if (config_.checkpoint_every > 0 &&
+        ingest_.bins() % config_.checkpoint_every == 0)
+      checkpoint();
+  }
+  return consumed;
+}
+
+void StreamSession::checkpoint() const {
+  if (config_.checkpoint_path.empty())
+    throw std::logic_error("StreamSession::checkpoint: no path configured");
+  obs::Span span("stream.session.checkpoint");
+  io::ContainerWriter container;
+  io::ByteWriter ingest_bytes;
+  ingest_.serialize(ingest_bytes);
+  container.add_section(kSectionIngest, ingest_bytes.take());
+  io::ByteWriter reached_bytes;
+  reached_bytes.varint(incremental_.reached().size());
+  for (ixp::IxpId id : incremental_.reached()) reached_bytes.varint(id);
+  container.add_section(kSectionReached, reached_bytes.take());
+  container.write_file_atomic(config_.checkpoint_path);
+  if (obs::metrics_enabled()) {
+    static obs::Counter checkpoints("rp.stream.checkpoints");
+    checkpoints.add();
+  }
+}
+
+bool StreamSession::resume() {
+  if (config_.checkpoint_path.empty() ||
+      !std::filesystem::exists(config_.checkpoint_path))
+    return false;
+  obs::Span span("stream.session.resume");
+  io::ContainerReader container =
+      io::ContainerReader::from_file(config_.checkpoint_path);
+  io::ByteReader ingest_bytes(container.section(kSectionIngest),
+                              "stream checkpoint ingest");
+  StreamIngest restored = StreamIngest::deserialize(ingest_bytes);
+  ingest_bytes.expect_end();
+  if (!(restored.schema() == source_->schema()))
+    throw io::SnapshotError(
+        "stream checkpoint: schema does not match the source");
+  io::ByteReader reached_bytes(container.section(kSectionReached),
+                               "stream checkpoint reached set");
+  std::vector<ixp::IxpId> reached(
+      static_cast<std::size_t>(reached_bytes.varint()));
+  for (ixp::IxpId& id : reached)
+    id = static_cast<ixp::IxpId>(reached_bytes.varint());
+  reached_bytes.expect_end();
+
+  source_->seek(restored.next_bin());
+  ingest_ = std::move(restored);
+  incremental_.reset(reached);
+  if (obs::metrics_enabled()) {
+    static obs::Counter resumes("rp.stream.resumes");
+    resumes.add();
+  }
+  return true;
+}
+
+}  // namespace rp::stream

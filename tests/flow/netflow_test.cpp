@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
 #include "topology/generator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rp::flow {
 namespace {
@@ -82,6 +86,72 @@ TEST(NetFlowCollector, JoinRecoversPerNetworkBytes) {
     EXPECT_NEAR(entry.inbound_bytes, expected_in,
                 expected_in * 1e-9 + 1e-6)
         << asn.to_string();
+  }
+}
+
+TEST(NetFlowCollector, JoinRoundTripIsDeterministic) {
+  // Same seed, same bin -> the sampled records and the joined per-network
+  // byte counts are byte-identical run to run.
+  Fixture f;
+  FlowSampler first(f.graph, f.vantage, f.rates, util::Rng(9));
+  FlowSampler second(f.graph, f.vantage, f.rates, util::Rng(9));
+  const auto a = first.sample_bin(3, 0.0, 2);
+  const auto b = second.sample_bin(3, 0.0, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].direction, b[i].direction);
+  }
+  NetFlowCollector ca(f.rib);
+  NetFlowCollector cb(f.rib);
+  for (const auto& r : a) ca.add(r);
+  for (const auto& r : b) cb.add(r);
+  ASSERT_EQ(ca.by_network().size(), cb.by_network().size());
+  for (const auto& [asn, entry] : ca.by_network()) {
+    const auto& other = cb.by_network().at(asn);
+    EXPECT_EQ(entry.inbound_bytes, other.inbound_bytes);
+    EXPECT_EQ(entry.outbound_bytes, other.outbound_bytes);
+    EXPECT_EQ(entry.records, other.records);
+  }
+}
+
+TEST(NetFlowCollector, JoinRoundTripStableAcrossThreadWidths) {
+  // The sampler/collector path must not depend on the global pool width:
+  // the §4.1 round trip (rates -> flows -> LPM join) rejoins to the same
+  // bytes whether the harness runs with RP_THREADS=1 or 8.
+  Fixture f;
+  std::map<net::Asn, std::pair<double, double>> narrow;
+  std::map<net::Asn, std::pair<double, double>> wide;
+  for (const unsigned threads : {1u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    FlowSampler sampler(f.graph, f.vantage, f.rates, util::Rng(21));
+    NetFlowCollector collector(f.rib);
+    for (const auto& record : sampler.sample_bin(11, 0.0, 2))
+      collector.add(record);
+    auto& out = threads == 1 ? narrow : wide;
+    for (const auto& [asn, entry] : collector.by_network())
+      out[asn] = {entry.inbound_bytes, entry.outbound_bytes};
+  }
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(narrow, wide);
+
+  // And the join still rejoins the rate model within epsilon.
+  const double bin_seconds = 300.0;
+  FlowSampler sampler(f.graph, f.vantage, f.rates, util::Rng(21));
+  NetFlowCollector collector(f.rib);
+  for (const auto& record : sampler.sample_bin(11, 0.0, 2))
+    collector.add(record);
+  for (const auto& [asn, entry] : collector.by_network()) {
+    const double expected_in =
+        f.rates.rate_bps(asn, Direction::kInbound, 11) * bin_seconds / 8.0;
+    const double expected_out =
+        f.rates.rate_bps(asn, Direction::kOutbound, 11) * bin_seconds / 8.0;
+    EXPECT_NEAR(entry.inbound_bytes, expected_in,
+                expected_in * 1e-9 + 1e-6);
+    EXPECT_NEAR(entry.outbound_bytes, expected_out,
+                expected_out * 1e-9 + 1e-6);
   }
 }
 

@@ -1,0 +1,134 @@
+// Shared fixture for the stream tests: the hand-built offload world of
+// tests/offload/analyzer_test.cpp plus a rate model over its matrix, so
+// streaming results can be checked against known batch answers.
+//
+// Topology (transit edges point provider -> customer):
+//   T1a (1), T1b (2): tier-1 providers of the vantage V (10).
+//   P1 (21, open) with customers C1 (31), C2 (32).
+//   P2 (22, selective) with customer C3 (33).
+//   P3 (23, restrictive) with customer C4 (34).
+//   P4 (24, selective) with customer C5 (35).
+//   D (40, open content stub).
+// IXPs: X1 {P1, P2, P4}, X2 {P2, P3, D}, HOME {P1, V}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/rate_model.hpp"
+#include "geo/cities.hpp"
+#include "offload/analyzer.hpp"
+
+namespace rp::stream::testing {
+
+inline net::Asn as(std::uint32_t n) { return net::Asn{n}; }
+
+struct StreamWorld {
+  topology::AsGraph graph;
+  ixp::IxpEcosystem eco;
+  net::Asn vantage = as(10);
+  flow::TrafficMatrix matrix;
+  std::unique_ptr<bgp::Rib> rib;
+  std::unique_ptr<offload::OffloadAnalyzer> analyzer;
+  std::unique_ptr<flow::RateModel> rates;
+
+  /// `span_days` sizes the rate model (288 five-minute bins per day).
+  explicit StreamWorld(std::int64_t span_days = 1) {
+    auto add = [this](std::uint32_t asn, topology::AsClass cls,
+                      topology::PeeringPolicy policy, const char* prefix,
+                      double scale) {
+      topology::AsNode node;
+      node.asn = as(asn);
+      node.name = "AS" + std::to_string(asn);
+      node.cls = cls;
+      node.policy = policy;
+      node.home_city = geo::CityRegistry::world().at("Amsterdam");
+      node.prefixes.push_back(*net::Ipv4Prefix::parse(prefix));
+      node.traffic_scale = scale;
+      graph.add_as(std::move(node));
+    };
+    using AC = topology::AsClass;
+    using PP = topology::PeeringPolicy;
+    add(1, AC::kTier1, PP::kRestrictive, "10.1.0.0/16", 12.0);
+    add(2, AC::kTier1, PP::kRestrictive, "10.2.0.0/16", 11.0);
+    add(10, AC::kNren, PP::kSelective, "10.10.0.0/16", 1.0);
+    add(21, AC::kTier2, PP::kOpen, "10.21.0.0/16", 10.0);
+    add(22, AC::kTier2, PP::kSelective, "10.22.0.0/16", 9.0);
+    add(23, AC::kTier2, PP::kRestrictive, "10.23.0.0/16", 8.0);
+    add(24, AC::kTier2, PP::kSelective, "10.24.0.0/16", 7.5);
+    add(31, AC::kAccess, PP::kOpen, "10.31.0.0/16", 7.0);
+    add(32, AC::kAccess, PP::kOpen, "10.32.0.0/16", 6.0);
+    add(33, AC::kAccess, PP::kOpen, "10.33.0.0/16", 5.0);
+    add(34, AC::kAccess, PP::kOpen, "10.34.0.0/16", 4.0);
+    add(35, AC::kAccess, PP::kOpen, "10.35.0.0/16", 3.5);
+    add(40, AC::kContent, PP::kOpen, "10.40.0.0/16", 3.0);
+
+    graph.add_peering(as(1), as(2));
+    graph.add_transit(as(1), as(10));
+    graph.add_transit(as(2), as(10));
+    for (std::uint32_t p : {21, 22, 23, 24, 40}) {
+      graph.add_transit(as(1), as(p));
+      if (p != 40) graph.add_transit(as(2), as(p));
+    }
+    graph.add_transit(as(21), as(31));
+    graph.add_transit(as(21), as(32));
+    graph.add_transit(as(22), as(33));
+    graph.add_transit(as(23), as(34));
+    graph.add_transit(as(24), as(35));
+
+    util::Rng rng(1);
+    flow::TrafficConfig traffic;
+    traffic.rank_jitter_sigma = 0.0;
+    traffic.direction_ratio_sigma = 0.0;
+    matrix = flow::TrafficMatrix::generate(graph, vantage, traffic, rng);
+
+    const auto& city = geo::CityRegistry::world().at("Amsterdam");
+    auto lan = [](int i) {
+      return net::Ipv4Prefix::make(
+          net::Ipv4Addr(198, 18, static_cast<std::uint8_t>(i), 0), 24);
+    };
+    const auto x1 = eco.add_ixp("X1", "X1", city, 1.0, lan(1));
+    const auto x2 = eco.add_ixp("X2", "X2", city, 1.0, lan(2));
+    const auto home = eco.add_ixp("HOME", "HOME", city, 0.1, lan(3));
+    int serial = 1;
+    auto join = [&](ixp::IxpId id, std::uint32_t member, int host) {
+      ixp::MemberInterface iface;
+      iface.asn = as(member);
+      iface.addr = net::Ipv4Addr(198, 18, static_cast<std::uint8_t>(id + 1),
+                                 static_cast<std::uint8_t>(host));
+      iface.mac = net::MacAddr::from_id(serial++);
+      iface.equipment_city = city;
+      eco.ixp(id).add_interface(iface);
+    };
+    join(x1, 21, 1);
+    join(x1, 22, 2);
+    join(x1, 24, 3);
+    join(x2, 22, 1);
+    join(x2, 23, 2);
+    join(x2, 40, 3);
+    join(home, 21, 1);
+    join(home, 10, 2);
+
+    rib = std::make_unique<bgp::Rib>(bgp::Rib::build(graph, vantage));
+    offload::AnalyzerConfig config;
+    config.vantage_member_ixps = {"HOME"};
+    config.exclude_nren_fellows = true;
+    analyzer = std::make_unique<offload::OffloadAnalyzer>(
+        graph, eco, vantage, matrix, *rib, config);
+
+    flow::RateModelConfig rate_config;
+    rate_config.span = util::SimDuration::days(span_days);
+    rates = std::make_unique<flow::RateModel>(matrix, rate_config);
+  }
+
+  /// The streaming schema: analyzer transit endpoints, in order.
+  std::vector<net::Asn> endpoint_networks() const {
+    std::vector<net::Asn> networks;
+    for (const auto& endpoint : analyzer->transit_endpoints())
+      networks.push_back(endpoint.asn);
+    return networks;
+  }
+};
+
+}  // namespace rp::stream::testing
