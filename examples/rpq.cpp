@@ -12,6 +12,11 @@
 //   spread                           §3 measurement-study report
 //   what-if-econ --variant p,g,u,h,v [--prices p,g,u,h,v]
 //   what-if-peering --add IXP[,IXP...] [--reached IXP[,IXP...]] [--group N]
+//   world-at-epoch --timeline FILE --epoch K
+//                                    replay the timeline over its base world
+//                                    and report epoch K's composition
+//   epoch-series --timeline FILE [--group N] [--steps N]
+//                                    one composition + offload block per epoch
 //   badframe                         send a deliberately malformed frame
 //                                    (expects the daemon to hang up; exit 0)
 //   stats [--json|--prom] [--window N]
@@ -46,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "evolve/timeline.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "serve/client.hpp"
@@ -57,7 +63,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port N] [--fast] [--set field=value]...\n"
       "       <ping|world-info|offload-curve|viability|spread|what-if-econ|"
-      "what-if-peering|badframe|stats|top|shutdown> [options]\n",
+      "what-if-peering|world-at-epoch|epoch-series|badframe|stats|top|"
+      "shutdown> [options]\n",
       argv0);
   return 2;
 }
@@ -68,15 +75,17 @@ bool parse_prices(const std::string& text, rp::serve::EconPrices& prices) {
 }
 
 void print_stats_json(const rp::serve::Response& response) {
-  // Numeric values pass through verbatim; everything else (hex digests —
-  // including all-digit ones a lenient parse would misread — and
+  // Numeric values and the "null" the daemon emits for absent quantiles
+  // (empty-histogram types) pass through verbatim; everything else (hex
+  // digests — including all-digit ones a lenient parse would misread — and
   // comma-joined windows) becomes a JSON string.
   std::vector<rp::obs::json::Entry> entries;
   entries.reserve(response.fields.size());
   for (const auto& [key, value] : response.fields)
-    entries.emplace_back(key, rp::obs::is_canonical_number(value)
-                                  ? value
-                                  : '"' + rp::obs::json::escape(value) + '"');
+    entries.emplace_back(
+        key, value == "null" || rp::obs::is_canonical_number(value)
+                 ? value
+                 : '"' + rp::obs::json::escape(value) + '"');
   rp::obs::json::write_flat_object(std::cout, entries);
 }
 
@@ -206,6 +215,10 @@ int main(int argc, char** argv) {
   } else if (command == "what-if-peering") {
     request.type = rp::serve::RequestType::kWhatIf;
     request.whatif_mode = 2;
+  } else if (command == "world-at-epoch") {
+    request.type = rp::serve::RequestType::kWorldAtEpoch;
+  } else if (command == "epoch-series") {
+    request.type = rp::serve::RequestType::kEpochSeries;
   } else if (command == "badframe") {
     badframe = true;
   } else if (command == "stats") {
@@ -224,6 +237,7 @@ int main(int argc, char** argv) {
   }
 
   bool have_variant = false;
+  std::string timeline_path;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -268,6 +282,10 @@ int main(int argc, char** argv) {
                                          std::atoll(value())));
     } else if (arg == "--count") {
       top_count = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--timeline") {
+      timeline_path = value();
+    } else if (arg == "--epoch") {
+      request.epoch = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
       return usage(argv[0]);
     }
@@ -277,6 +295,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: what-if-econ needs --variant p,g,u,h,v\n",
                  argv[0]);
     return 2;
+  }
+  if (request.type == rp::serve::RequestType::kWorldAtEpoch ||
+      request.type == rp::serve::RequestType::kEpochSeries) {
+    if (timeline_path.empty()) {
+      std::fprintf(stderr, "%s: %s needs --timeline FILE\n", argv[0],
+                   command.c_str());
+      return 2;
+    }
+    try {
+      // Canonical text crosses the wire, and the timeline's fast/base lines
+      // become the world spec — so the epoch query lands on the exact warm
+      // world the timeline's own base resolves to (any --fast/--set flags
+      // are overridden; the timeline is the authority on its base).
+      const rp::evolve::Timeline timeline =
+          rp::evolve::load_timeline(timeline_path);
+      request.timeline = rp::evolve::canonical_timeline_text(timeline);
+      request.world.fast = timeline.fast;
+      request.world.fields = timeline.base;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
   }
 
   try {

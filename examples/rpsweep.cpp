@@ -57,6 +57,10 @@ int list_fields() {
     std::printf("  %-28s %.*s\n", std::string(field.name).c_str(),
                 static_cast<int>(field.description.size()),
                 field.description.data());
+  std::printf(
+      "\nepoch axis (specs with a `timeline <path>` line only):\n"
+      "  %-28s epoch index into the embedded rp::evolve timeline\n",
+      "evolve.epoch");
   return 0;
 }
 

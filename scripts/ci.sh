@@ -248,6 +248,20 @@ for key in ("BM_StreamIngestBins.bins_per_sec",
             "BM_IncrementalGreedy.steps"):
     assert bench.get(key, 0) > 0, (key, sorted(bench))
 EOF
+  # The epoch-overlay gate is a standalone arm-vs-arm harness (no
+  # google-benchmark flags); it fails itself when the overlay is not at
+  # least 5x faster than per-epoch rebuilds.
+  echo "--- perf_evolve ---"
+  RP_BENCH_FAST=1 RP_BENCH_JSON_DIR="$dir" "build/$build/bench/perf_evolve"
+  python3 - "$dir/BENCH_perf_evolve.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("epochs", "events", "base_build_ms", "overlay_ms", "rebuild_ms",
+            "epochs_per_sec", "overlay_speedup"):
+    assert bench.get(key, 0) > 0, (key, sorted(bench))
+assert bench["epochs"] >= 20, bench
+assert bench["overlay_speedup"] >= 5.0, bench
+EOF
   # Perf-trajectory gate: every throughput key against the committed
   # baselines. The gate must first prove it trips on an injected regression;
   # the tolerance is generous because the smoke runs at min_time=0.01 on
@@ -416,6 +430,48 @@ EOF
   cmp "$dir/a/results.json" "$dir/b/results.json"
 }
 
+# rpevolve end to end: the decade example timeline replays over its fast
+# base world, the first and last epoch snapshots must describe different
+# worlds (membership grew), then the same replay is killed mid-timeline by an
+# evolve.apply fault and resumed to byte-identical records and snapshots —
+# the overlay determinism contract of DESIGN.md §17.
+evolve_smoke() {
+  local build="$1"
+  echo "=== [$build] evolve smoke (rpevolve replay/kill/resume byte-identity) ==="
+  local dir rpevolve="build/$build/examples/rpevolve"
+  local rpworld="build/$build/examples/rpworld"
+  dir="$(tmpdir)"
+  "$rpevolve" plan examples/timelines/decade.timeline --dir "$dir/a" \
+    > "$dir/plan.log"
+  grep -q "8 epochs, 27 events" "$dir/plan.log"
+  RP_THREADS=1 RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpevolve" replay examples/timelines/decade.timeline --dir "$dir/a" \
+    > /dev/null
+  # A decade of churn: epoch 0 and epoch 7 are different worlds...
+  expect_rc 1 "$rpworld" diff "$dir/a/epochs/epoch-0000.rpsnap" \
+    "$dir/a/epochs/epoch-0007.rpsnap"
+  # ...and the epoch diff shows membership growth (a positive interface
+  # delta; the new-ixp epoch also added an exchange).
+  "$rpevolve" diff --dir "$dir/a" 0 7 > "$dir/diff.log"
+  grep -qE 'ixps .*\(\+1\)' "$dir/diff.log"
+  grep -qE 'interfaces .*\(\+[1-9]' "$dir/diff.log"
+  # The same replay at 8 threads, killed at the 11th applied event...
+  expect_rc 1 env RP_THREADS=8 RP_FAULT=evolve.apply:nth=11 \
+    RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpevolve" replay examples/timelines/decade.timeline --dir "$dir/b"
+  # ...resumes from the surviving epoch records...
+  RP_THREADS=8 RP_SNAPSHOT_CACHE="$dir/cache" \
+    "$rpevolve" resume --dir "$dir/b" > "$dir/resume.log"
+  grep -q "skipped via completion records" "$dir/resume.log"
+  # ...to byte-identical results and per-epoch snapshots.
+  cmp "$dir/a/results.csv" "$dir/b/results.csv"
+  cmp "$dir/a/results.json" "$dir/b/results.json"
+  local k
+  for k in 0000 0003 0007; do
+    cmp "$dir/a/epochs/epoch-$k.rpsnap" "$dir/b/epochs/epoch-$k.rpsnap"
+  done
+}
+
 # rpstream end to end: a 400-bin fast-world flow log ingested uninterrupted
 # at RP_THREADS=1 (the reference), then again at 8 threads killed by a
 # stream.bin fault at the 300th frame (two checkpoints survive), resumed,
@@ -451,9 +507,10 @@ stream_smoke() {
 # pool sizes itself to the machine and may be serial on small runners).
 tsan_thread_stress() {
   local build="$1"
-  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, serve, stream, campaigns) ==="
+  echo "=== [$build] RP_THREADS=8 reruns (obs, pool, fault, serve, stream, evolve, campaigns) ==="
   local suite
-  for suite in test_obs test_util test_fault test_serve test_stream; do
+  for suite in test_obs test_util test_fault test_serve test_stream \
+               test_evolve; do
     echo "--- $suite ---"
     RP_THREADS=8 "build/$build/tests/$suite" --gtest_brief=1
   done
@@ -474,6 +531,7 @@ run_lane() {
       obs_smoke "$preset"
       fault_smoke "$preset"
       sweep_smoke "$preset"
+      evolve_smoke "$preset"
       stream_smoke "$preset"
       serve_smoke "$preset"
       perf_smoke "$preset"

@@ -4,26 +4,26 @@
 
 namespace rp::core {
 
-OffloadStudy OffloadStudy::run(const Scenario& scenario,
+OffloadStudy OffloadStudy::run(const WorldView& world,
                                const OffloadStudyConfig& config) {
   obs::Span span("core.offload_study.run");
   OffloadStudy study;
   study.config_ = config;
 
-  util::Rng traffic_rng = scenario.fork_rng(0x200);
+  util::Rng traffic_rng = world.fork_rng(0x200);
   {
     obs::Span traffic_span("flow.traffic_matrix.generate");
     study.matrix_ = std::make_unique<flow::TrafficMatrix>(
-        flow::TrafficMatrix::generate(scenario.graph(), scenario.vantage(),
+        flow::TrafficMatrix::generate(*world.graph, world.vantage,
                                       config.traffic, traffic_rng));
     study.rates_ =
         std::make_unique<flow::RateModel>(*study.matrix_, config.rate_model);
   }
   study.rib_ = std::make_unique<bgp::Rib>(
-      bgp::Rib::build(scenario.graph(), scenario.vantage()));
+      bgp::Rib::build(*world.graph, world.vantage));
   study.analyzer_ = std::make_unique<offload::OffloadAnalyzer>(
-      scenario.graph(), scenario.ecosystem(), scenario.vantage(),
-      *study.matrix_, *study.rib_, config.analyzer);
+      *world.graph, *world.ecosystem, world.vantage, *study.matrix_,
+      *study.rib_, config.analyzer);
   return study;
 }
 

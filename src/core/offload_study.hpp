@@ -29,8 +29,16 @@ struct OffloadStudyConfig {
 
 class OffloadStudy {
  public:
-  static OffloadStudy run(const Scenario& scenario,
+  /// Runs the study over any world view — a plain Scenario or an epoch
+  /// overlay (src/evolve). Randomness forks from the view's seed, so equal
+  /// views yield byte-identical studies through either entry point.
+  static OffloadStudy run(const WorldView& world,
                           const OffloadStudyConfig& config = {});
+
+  static OffloadStudy run(const Scenario& scenario,
+                          const OffloadStudyConfig& config = {}) {
+    return run(scenario.view(), config);
+  }
 
   const flow::TrafficMatrix& matrix() const { return *matrix_; }
   const flow::RateModel& rates() const { return *rates_; }

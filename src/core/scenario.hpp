@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/world_view.hpp"
 #include "ixp/ixp.hpp"
 #include "ixp/seeds.hpp"
 #include "topology/generator.hpp"
@@ -118,6 +119,14 @@ class Scenario {
   util::Rng fork_rng(std::uint64_t label) const {
     util::Rng base(config_.seed);
     return base.fork(label);
+  }
+
+  /// A borrowed read-only view over this world (see world_view.hpp): the
+  /// WorldView-taking study/encode entry points run identically on a
+  /// Scenario and on an epoch overlay.
+  WorldView view() const {
+    return WorldView{&config_,  &graph_,        &ecosystem_,
+                     vantage_,  measured_ixps_, config_.seed};
   }
 
  private:

@@ -5,7 +5,7 @@
 
 namespace rp::core {
 
-SpreadStudy SpreadStudy::run(const Scenario& scenario,
+SpreadStudy SpreadStudy::run(const WorldView& world,
                              const SpreadStudyConfig& config) {
   obs::Span span("core.spread_study.run");
   SpreadStudy study;
@@ -13,14 +13,13 @@ SpreadStudy SpreadStudy::run(const Scenario& scenario,
   // Each per-IXP campaign owns its own simulator and a deterministically
   // forked RNG (keyed on the IXP id alone), so the fan-out is pure per
   // index: the report is byte-identical at any RP_THREADS / RP_SIM_SHARDS.
-  const std::vector<ixp::IxpId>& measured = scenario.measured_ixps();
   std::vector<const ixp::Ixp*> ixps;
-  ixps.reserve(measured.size());
-  for (const ixp::IxpId id : measured)
-    ixps.push_back(&scenario.ecosystem().ixp(id));
+  ixps.reserve(world.measured_ixps.size());
+  for (const ixp::IxpId id : world.measured_ixps)
+    ixps.push_back(&world.ecosystem->ixp(id));
   study.raw_ = measure::CampaignRunner::run(
-      ixps, config.campaign, [&scenario](const ixp::Ixp& ixp) {
-        return scenario.fork_rng(0x100 + ixp.id());
+      ixps, config.campaign, [&world](const ixp::Ixp& ixp) {
+        return world.fork_rng(0x100 + ixp.id());
       });
   util::ThreadPool& pool = util::ThreadPool::global();
   {

@@ -24,9 +24,15 @@ struct SpreadStudyConfig {
 
 class SpreadStudy {
  public:
-  /// Runs campaigns at all measured IXPs. Deterministic given the scenario.
-  static SpreadStudy run(const Scenario& scenario,
+  /// Runs campaigns at all measured IXPs of any world view — a plain
+  /// Scenario or an epoch overlay (src/evolve). Deterministic given the view.
+  static SpreadStudy run(const WorldView& world,
                          const SpreadStudyConfig& config = {});
+
+  static SpreadStudy run(const Scenario& scenario,
+                         const SpreadStudyConfig& config = {}) {
+    return run(scenario.view(), config);
+  }
 
   /// Re-analyzes prior raw measurements under different filter/classifier
   /// settings without re-running the simulations (the ablation path).

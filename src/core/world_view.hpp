@@ -1,0 +1,46 @@
+// WorldView: the immutable-world half of the world/overlay split.
+//
+// A WorldView is a non-owning, read-only view over the five pieces every
+// study consumes — config, AS graph, IXP ecosystem, vantage, measured IXPs.
+// A Scenario exposes one over its own members (Scenario::view()), and the
+// epoch engine (src/evolve) exposes one per epoch over the shared base graph
+// plus a copy-on-write ecosystem overlay — which is how a 20-epoch timeline
+// replays without 20 graph rebuilds. Studies that take a WorldView therefore
+// run unchanged on a plain Scenario and on any epoch overlay.
+//
+// Lifetime: a WorldView borrows; the owner (Scenario or evolve::EpochTimeline
+// state) must outlive every study run against the view.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ixp/ixp.hpp"
+#include "net/ip.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rp::core {
+
+struct ScenarioConfig;
+
+struct WorldView {
+  const ScenarioConfig* config = nullptr;
+  const topology::AsGraph* graph = nullptr;
+  const ixp::IxpEcosystem* ecosystem = nullptr;
+  net::Asn vantage;
+  std::span<const ixp::IxpId> measured_ixps;
+  /// The scenario seed, duplicated out of the config so fork_rng stays
+  /// header-only while ScenarioConfig is only forward-declared here.
+  std::uint64_t seed = 0;
+
+  /// A deterministic child RNG for downstream stages — same derivation as
+  /// Scenario::fork_rng, so a study sees identical randomness through either
+  /// entry point.
+  util::Rng fork_rng(std::uint64_t label) const {
+    util::Rng base(seed);
+    return base.fork(label);
+  }
+};
+
+}  // namespace rp::core

@@ -1,0 +1,335 @@
+#include "evolve/replay.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/viability_study.hpp"
+#include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace rp::evolve {
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", v);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Atomic file write: stage into a sibling temp file, then rename. A killed
+/// replay never leaves a partial record or results table visible.
+void atomic_write(const std::filesystem::path& path,
+                  const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) throw std::runtime_error("cannot write " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::string record_header(const std::string& digest, std::size_t k) {
+  return "rpevolve-record v1 " + digest + " " + std::to_string(k);
+}
+
+/// Reads a completion record; nullopt when missing, malformed, or written by
+/// a different timeline (a stale record must look incomplete, not poison the
+/// table).
+struct RecordPayload {
+  std::string csv;
+  std::string json;
+};
+std::optional<RecordPayload> read_record(const std::filesystem::path& path,
+                                         const std::string& digest,
+                                         std::size_t k) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header, csv, json;
+  if (!std::getline(in, header) || !std::getline(in, csv) ||
+      !std::getline(in, json))
+    return std::nullopt;
+  if (header != record_header(digest, k) || csv.empty() || json.empty())
+    return std::nullopt;
+  return RecordPayload{std::move(csv), std::move(json)};
+}
+
+}  // namespace
+
+std::filesystem::path EvolvePaths::record(std::size_t k) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "epoch-%04zu.rec", k);
+  return epochs_dir() / name;
+}
+
+std::filesystem::path EvolvePaths::snapshot(std::size_t k) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "epoch-%04zu.rpsnap", k);
+  return epochs_dir() / name;
+}
+
+void write_manifest(const Timeline& timeline,
+                    const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream out;
+  out << "rpevolve-manifest v1\n"
+      << "digest " << timeline_digest_hex(timeline) << "\n"
+      << "epochs " << timeline.epochs.size() << "\n"
+      << "timeline\n"
+      << canonical_timeline_text(timeline);
+  atomic_write(EvolvePaths(dir).manifest(), out.str());
+}
+
+Timeline read_manifest(const std::filesystem::path& dir) {
+  const std::filesystem::path path = EvolvePaths(dir).manifest();
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("no replay manifest at " + path.string() +
+                             " (run `rpevolve plan` or `rpevolve replay` "
+                             "first)");
+  std::string line;
+  if (!std::getline(in, line) || line != "rpevolve-manifest v1")
+    throw std::runtime_error("unsupported manifest header in " +
+                             path.string());
+  if (!std::getline(in, line) || line.rfind("digest ", 0) != 0)
+    throw std::runtime_error("manifest missing digest line: " + path.string());
+  const std::string digest = line.substr(7);
+  if (!std::getline(in, line) || line.rfind("epochs ", 0) != 0)
+    throw std::runtime_error("manifest missing epochs line: " + path.string());
+  const std::size_t epochs = std::strtoull(line.substr(7).c_str(), nullptr, 10);
+  if (!std::getline(in, line) || line != "timeline")
+    throw std::runtime_error("manifest missing timeline block: " +
+                             path.string());
+  std::ostringstream timeline_text;
+  timeline_text << in.rdbuf();
+  const Timeline timeline = parse_timeline(timeline_text.str());
+  if (timeline_digest_hex(timeline) != digest)
+    throw std::runtime_error("manifest digest mismatch in " + path.string() +
+                             " (hand-edited timeline block?)");
+  if (timeline.epochs.size() != epochs)
+    throw std::runtime_error("manifest epoch count mismatch in " +
+                             path.string());
+  return timeline;
+}
+
+EpochResult evaluate_epoch(EpochTimeline& engine, std::size_t k,
+                           const ReplayOptions& options) {
+  obs::Span span("evolve.epoch");
+  const EpochState& state = engine.state_at(k);
+
+  EpochResult result;
+  result.index = k;
+  result.label = state.label;
+  result.events = state.events;
+  result.joins = state.joins;
+  result.leaves = state.leaves;
+  result.new_ixps = state.new_ixps;
+  result.stashed = state.stashed;
+  result.traffic_scale = state.traffic_scale;
+  result.ixps = state.ecosystem.ixps().size();
+  for (const ixp::Ixp& ixp : state.ecosystem.ixps()) {
+    result.interfaces += ixp.interfaces().size();
+    for (const ixp::MemberInterface& iface : ixp.interfaces())
+      result.remote_interfaces += iface.is_remote_ground_truth() ? 1 : 0;
+  }
+
+  core::OffloadStudyConfig study_config = engine.study_config_at(k);
+  study_config.rate_model.span =
+      util::SimDuration::days(static_cast<std::int64_t>(options.days));
+  const core::OffloadStudy study =
+      core::OffloadStudy::run(engine.view_at(k), study_config);
+  const offload::OffloadAnalyzer& analyzer = study.analyzer();
+  result.transit_bps =
+      analyzer.transit_inbound_bps() + analyzer.transit_outbound_bps();
+  const std::vector<offload::GreedyStep> curve = analyzer.greedy_by_traffic(
+      static_cast<offload::PeerGroup>(options.group), options.steps);
+  result.greedy_picked = curve.size();
+  if (!curve.empty() && result.transit_bps > 0.0)
+    result.offload_fraction =
+        (result.transit_bps - curve.back().remaining) / result.transit_bps;
+
+  // §5 at the epoch's prices: b fitted from the epoch's own greedy curve (a
+  // flat curve keeps the prices' default b — deterministic either way).
+  double decay = state.prices.decay;
+  try {
+    decay = core::ViabilityStudy::from_greedy_curve(curve, result.transit_bps,
+                                                    state.prices)
+                .fitted_decay();
+  } catch (const std::invalid_argument&) {
+  }
+  try {
+    const core::ViabilityStudy viability =
+        core::ViabilityStudy::from_decay(decay, state.prices);
+    result.fitted_decay = decay;
+    result.optimal_n = viability.optimal_direct_n();
+    result.optimal_m = viability.optimal_remote_m();
+    result.viable = viability.remote_viable();
+  } catch (const std::invalid_argument&) {
+    // A price timeline may cross ineqs. 7-8 mid-decade; record, don't abort.
+    result.status = "invalid-params";
+  }
+  return result;
+}
+
+ReplayOutcome replay_timeline(const Timeline& timeline,
+                              const std::filesystem::path& dir,
+                              const ReplayOptions& options) {
+  obs::Span span("evolve.replay");
+  static obs::Counter replays("rp.evolve.replays");
+  static obs::Counter epochs_recorded("rp.evolve.epochs.recorded");
+  static obs::Counter epochs_skipped("rp.evolve.epochs.skipped");
+  replays.add();
+
+  const EvolvePaths paths(dir);
+  std::filesystem::create_directories(paths.epochs_dir());
+  const std::filesystem::path cache_dir =
+      options.cache_dir.empty() ? io::default_cache_dir() : options.cache_dir;
+  const std::string digest = timeline_digest_hex(timeline);
+
+  const core::Scenario base =
+      core::Scenario::build_cached(timeline.base_config(), cache_dir);
+  EpochTimeline engine(timeline, base);
+
+  ReplayOutcome outcome;
+  outcome.total = engine.epoch_count();
+  for (std::size_t k = 0; k < engine.epoch_count(); ++k) {
+    const bool recorded =
+        read_record(paths.record(k), digest, k).has_value() &&
+        (!options.snapshots || std::filesystem::exists(paths.snapshot(k)));
+    if (recorded) {
+      // The engine stays lazy: a later missing epoch replays the cursor
+      // through this one without re-evaluating its study.
+      ++outcome.skipped;
+      epochs_skipped.add();
+      continue;
+    }
+    const EpochResult result = evaluate_epoch(engine, k, options);
+    if (options.snapshots) {
+      io::SaveOptions save;
+      save.with_cones = false;  // the cone memo belongs to the shared graph
+      io::save_scenario(engine.view_at(k), paths.snapshot(k), save);
+    }
+    atomic_write(paths.record(k), record_header(digest, k) + "\n" +
+                                      results_csv_row(result) + "\n" +
+                                      results_json_row(result) + "\n");
+    ++outcome.executed;
+    epochs_recorded.add();
+  }
+  return outcome;
+}
+
+std::size_t completed_epochs(const Timeline& timeline,
+                             const std::filesystem::path& dir) {
+  const EvolvePaths paths(dir);
+  const std::string digest = timeline_digest_hex(timeline);
+  std::size_t completed = 0;
+  for (std::size_t k = 0; k < timeline.epochs.size(); ++k)
+    completed += read_record(paths.record(k), digest, k).has_value() ? 1 : 0;
+  return completed;
+}
+
+std::size_t summarize_replay(const Timeline& timeline,
+                             const std::filesystem::path& dir) {
+  obs::Span span("evolve.summarize");
+  static obs::Counter summaries("rp.evolve.summaries");
+  const EvolvePaths paths(dir);
+  const std::string digest = timeline_digest_hex(timeline);
+  const std::size_t total = timeline.epochs.size();
+
+  std::string csv = "#rpevolve-results v" +
+                    std::to_string(kEvolveSchemaVersion) + " name=" +
+                    timeline.name + " timeline=" + digest + " epochs=" +
+                    std::to_string(total) + "\n" + results_csv_header() + "\n";
+  std::string json = "{\"schema\":\"rpevolve-results-v" +
+                     std::to_string(kEvolveSchemaVersion) + "\",\"name\":\"" +
+                     json_escape(timeline.name) + "\",\"timeline\":\"" +
+                     digest + "\",\"rows\":[";
+  std::size_t recorded = 0;
+  for (std::size_t k = 0; k < total; ++k) {
+    const auto record = read_record(paths.record(k), digest, k);
+    if (!record)
+      throw std::runtime_error(
+          "replay incomplete: epoch " + std::to_string(k) +
+          " has no completion record (" + std::to_string(recorded) + " of " +
+          std::to_string(total) +
+          " recorded) — `rpevolve replay` finishes it");
+    csv += record->csv + "\n";
+    if (k != 0) json += ",";
+    json += record->json;
+    ++recorded;
+  }
+  json += "]}\n";
+  atomic_write(paths.results_csv(), csv);
+  atomic_write(paths.results_json(), json);
+  summaries.add();
+  return recorded;
+}
+
+std::string results_csv_header() {
+  return "epoch,label,events,joins,leaves,new_ixps,stashed,ixps,interfaces,"
+         "remote_interfaces,traffic_scale,status,transit_bps,"
+         "offload_fraction,greedy_picked,fitted_decay,optimal_n,optimal_m,"
+         "viable";
+}
+
+std::string results_csv_row(const EpochResult& result) {
+  std::string row = std::to_string(result.index);
+  row += "," + result.label;
+  row += "," + std::to_string(result.events);
+  row += "," + std::to_string(result.joins);
+  row += "," + std::to_string(result.leaves);
+  row += "," + std::to_string(result.new_ixps);
+  row += "," + std::to_string(result.stashed);
+  row += "," + std::to_string(result.ixps);
+  row += "," + std::to_string(result.interfaces);
+  row += "," + std::to_string(result.remote_interfaces);
+  row += "," + format_double(result.traffic_scale);
+  row += "," + result.status;
+  row += "," + format_double(result.transit_bps);
+  row += "," + format_double(result.offload_fraction);
+  row += "," + std::to_string(result.greedy_picked);
+  row += "," + format_double(result.fitted_decay);
+  row += "," + format_double(result.optimal_n);
+  row += "," + format_double(result.optimal_m);
+  row += result.viable ? ",1" : ",0";
+  return row;
+}
+
+std::string results_json_row(const EpochResult& result) {
+  std::ostringstream out;
+  out << "{\"epoch\":" << result.index << ",\"label\":\""
+      << json_escape(result.label) << "\""
+      << ",\"events\":" << result.events << ",\"joins\":" << result.joins
+      << ",\"leaves\":" << result.leaves
+      << ",\"new_ixps\":" << result.new_ixps
+      << ",\"stashed\":" << result.stashed << ",\"ixps\":" << result.ixps
+      << ",\"interfaces\":" << result.interfaces
+      << ",\"remote_interfaces\":" << result.remote_interfaces
+      << ",\"traffic_scale\":" << format_double(result.traffic_scale)
+      << ",\"status\":\"" << json_escape(result.status) << "\""
+      << ",\"transit_bps\":" << format_double(result.transit_bps)
+      << ",\"offload_fraction\":" << format_double(result.offload_fraction)
+      << ",\"greedy_picked\":" << result.greedy_picked
+      << ",\"fitted_decay\":" << format_double(result.fitted_decay)
+      << ",\"optimal_n\":" << format_double(result.optimal_n)
+      << ",\"optimal_m\":" << format_double(result.optimal_m)
+      << ",\"viable\":" << (result.viable ? "true" : "false") << "}";
+  return out.str();
+}
+
+}  // namespace rp::evolve

@@ -1,0 +1,140 @@
+// rp::evolve replay: run a timeline end-to-end and persist one record (and
+// optionally one .rpsnap snapshot) per epoch.
+//
+// Layout of a replay directory:
+//
+//   <dir>/manifest.txt              "rpevolve-manifest v1" + timeline digest
+//                                   + epoch count + the canonical timeline
+//                                   block (the manifest alone is enough to
+//                                   resume — no timeline file needed)
+//   <dir>/epochs/epoch-<k>.rec      one completion record per finished
+//                                   epoch: header line (schema, timeline
+//                                   digest, epoch index), the epoch's CSV
+//                                   row, the epoch's JSON row
+//   <dir>/epochs/epoch-<k>.rpsnap   the epoch world as a snapshot —
+//                                   `rpworld info` / `rpworld diff` read
+//                                   these directly, so two epochs (or an
+//                                   epoch against its base) diff like any
+//                                   two worlds
+//   <dir>/results.csv               header + rows in epoch order
+//   <dir>/results.json              the same rows as a JSON document
+//
+// Resume and determinism: a record is written atomically (temp + rename) the
+// moment its epoch finishes, and replay_timeline() skips any epoch whose
+// record already carries the current timeline digest — so a replay killed
+// mid-timeline (including via the RP_FAULT site "evolve.apply") resumes with
+// only the missing epochs, and the engine's deterministic event RNG makes
+// the resumed records and snapshots byte-identical to an uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "evolve/engine.hpp"
+#include "evolve/timeline.hpp"
+
+namespace rp::evolve {
+
+/// Results-table schema version (bumped when columns change meaning).
+inline constexpr int kEvolveSchemaVersion = 1;
+
+/// The per-epoch outcome: membership composition plus the §4 offload and §5
+/// viability numbers for the epoch's world, prices, and traffic scale.
+struct EpochResult {
+  std::size_t index = 0;
+  std::string label;
+  std::size_t events = 0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t new_ixps = 0;
+  std::size_t stashed = 0;        ///< Interfaces down at epoch end.
+  std::size_t ixps = 0;           ///< IXPs in the epoch ecosystem.
+  std::size_t interfaces = 0;     ///< Member interfaces across all IXPs.
+  std::size_t remote_interfaces = 0;  ///< Ground-truth remote among them.
+  double traffic_scale = 1.0;
+  double transit_bps = 0.0;       ///< Initial transit weight (in + out).
+  double offload_fraction = 0.0;  ///< Fraction removed by the greedy curve.
+  std::size_t greedy_picked = 0;
+  double fitted_decay = 0.0;      ///< b fitted from this epoch's curve.
+  double optimal_n = 0.0;         ///< Eq. 11 ñ at epoch prices.
+  double optimal_m = 0.0;         ///< Eq. 13 m̃ at epoch prices.
+  bool viable = false;            ///< Eq. 14 verdict at epoch prices.
+  /// "ok", or "invalid-params" when epoch prices violate ineqs. 7-8 (price
+  /// timelines may legitimately cross them; recorded, not fatal).
+  std::string status = "ok";
+};
+
+/// Paths inside a replay directory.
+struct EvolvePaths {
+  explicit EvolvePaths(std::filesystem::path dir) : dir(std::move(dir)) {}
+  std::filesystem::path dir;
+  std::filesystem::path manifest() const { return dir / "manifest.txt"; }
+  std::filesystem::path epochs_dir() const { return dir / "epochs"; }
+  std::filesystem::path record(std::size_t k) const;
+  std::filesystem::path snapshot(std::size_t k) const;
+  std::filesystem::path results_csv() const { return dir / "results.csv"; }
+  std::filesystem::path results_json() const { return dir / "results.json"; }
+};
+
+/// Writes <dir>/manifest.txt atomically (creating <dir>).
+void write_manifest(const Timeline& timeline,
+                    const std::filesystem::path& dir);
+
+/// Reads the manifest back into a Timeline. Throws std::runtime_error when
+/// it is missing/malformed or its digest does not match its own timeline
+/// block (a hand-edited manifest must not silently redefine a replay).
+Timeline read_manifest(const std::filesystem::path& dir);
+
+struct ReplayOptions {
+  /// Scenario snapshot cache for the base build; empty uses
+  /// io::default_cache_dir().
+  std::filesystem::path cache_dir;
+  /// Write per-epoch .rpsnap snapshots (rpworld-diffable). On by default;
+  /// benches that only want the rows switch it off.
+  bool snapshots = true;
+  /// Peer group for the epoch offload studies (offload::PeerGroup value).
+  int group = 4;
+  /// Greedy-curve length per epoch.
+  std::size_t steps = 8;
+  /// Rate-model span in days.
+  double days = 7.0;
+};
+
+struct ReplayOutcome {
+  std::size_t total = 0;     ///< Epochs in the timeline.
+  std::size_t executed = 0;  ///< Epochs evaluated and recorded this call.
+  std::size_t skipped = 0;   ///< Epochs with a valid prior record.
+};
+
+/// Evaluates epoch k on an engine: membership composition from the epoch
+/// state, then an OffloadStudy over view_at(k) (traffic scaled, §5 numbers
+/// at the epoch's prices). Pure given (timeline, base config, k, options).
+EpochResult evaluate_epoch(EpochTimeline& engine, std::size_t k,
+                           const ReplayOptions& options);
+
+/// Replays every epoch lacking a valid record, in timeline order, writing a
+/// record (and snapshot) per epoch as it completes. Propagates the first
+/// failure (including an injected "evolve.apply" fault); records written
+/// before it survive, so a rerun resumes. Counts land in rp.evolve.* when
+/// metrics are enabled.
+ReplayOutcome replay_timeline(const Timeline& timeline,
+                              const std::filesystem::path& dir,
+                              const ReplayOptions& options = {});
+
+/// Epochs with a valid completion record for this timeline.
+std::size_t completed_epochs(const Timeline& timeline,
+                             const std::filesystem::path& dir);
+
+/// Collates the records into results.csv / results.json (atomically).
+/// Throws std::runtime_error naming the first missing epoch when the replay
+/// is incomplete. Returns the number of rows written.
+std::size_t summarize_replay(const Timeline& timeline,
+                             const std::filesystem::path& dir);
+
+/// The results-table header (fixed columns; timelines have no axes).
+std::string results_csv_header();
+std::string results_csv_row(const EpochResult& result);
+std::string results_json_row(const EpochResult& result);
+
+}  // namespace rp::evolve

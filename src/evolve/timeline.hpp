@@ -1,0 +1,116 @@
+// rp::evolve timelines: a declarative epoch script over a base world.
+//
+// A timeline names a base scenario (the same dotted-field pins rpsweep and
+// rpserve use) and an ordered list of epochs, each a list of events applied
+// on top of the previous epoch's state. Events never touch the AS graph —
+// they mutate the IXP ecosystem, the §5 prices, and the traffic scale — so
+// the engine (engine.hpp) can replay a decade as copy-on-write ecosystem
+// overlays that all share the immutable base graph.
+//
+// Timeline text is line-based:
+//
+//   # comment
+//   name  <slug>                          output stem (default "timeline")
+//   fast  <0|1>                           apply core::apply_fast_mode first
+//   base  <field> <value>                 pin a ScenarioConfig field
+//   epoch <label>                         open the next epoch (unique labels)
+//     join <IXP> <count> [<remote-share>] add members (share via providers)
+//     leave <IXP> <count>                 remove members (never the vantage)
+//     new-ixp <ACRO> <LIKE> <peak-tbps>   found an IXP in LIKE's city
+//     capacity <IXP> <peak-tbps>          port-capacity upgrade
+//     prices <p> <g> <u> <h> <v>          set the §5 price symbols
+//     price-decay <factor>                multiply all five prices
+//     traffic <factor>                    grow the traffic matrix (cumulative)
+//     outage <IXP>                        fabric down: interfaces stashed
+//     restore <IXP>                       undo an outage
+//     provider-fail <name>                remote provider's circuits drop
+//     provider-restore <name>             undo a provider failure
+//     region-cap <IXP> <factor>           low-capacity region: scale the
+//                                         city's peaks, shed remote members
+//
+// Values are canonicalized at parse time (%.10g for numbers, the config
+// registry's canonical tokens for base fields), so two spellings of the same
+// timeline produce byte-identical canonical text — and one digest, the
+// identity every replay record, manifest, and epoch snapshot carries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace rp::evolve {
+
+enum class EventKind : std::uint8_t {
+  kJoin,
+  kLeave,
+  kNewIxp,
+  kCapacity,
+  kPrices,
+  kPriceDecay,
+  kTraffic,
+  kOutage,
+  kRestore,
+  kProviderFail,
+  kProviderRestore,
+  kRegionCap,
+};
+
+/// The timeline keyword for a kind ("join", "new-ixp", ...).
+std::string_view event_keyword(EventKind kind);
+
+/// One parsed epoch event. `target` is the IXP acronym (or provider name for
+/// the provider events); `like` is new-ixp's city-donor acronym; numeric
+/// operands sit in `values` in grammar order (join's remote share, prices'
+/// five symbols, every factor).
+struct EpochEvent {
+  EventKind kind = EventKind::kJoin;
+  std::string target;
+  std::string like;
+  std::uint64_t count = 0;
+  std::vector<double> values;
+};
+
+struct TimelineEpoch {
+  std::string label;
+  std::vector<EpochEvent> events;
+};
+
+struct Timeline {
+  std::string name = "timeline";
+  bool fast = false;
+  /// Pinned ScenarioConfig fields (canonical tokens, spec order).
+  std::vector<std::pair<std::string, std::string>> base;
+  std::vector<TimelineEpoch> epochs;
+
+  /// Defaults + fast mode + base pins, in that order — the world the first
+  /// epoch's events apply to (and the WorldPool key for serve epoch queries).
+  core::ScenarioConfig base_config() const;
+
+  /// Total events across all epochs.
+  std::size_t event_count() const;
+};
+
+/// Parses timeline text. Throws std::invalid_argument with the 1-based line
+/// number and offending token on any violation (unknown keyword, event
+/// outside an epoch, duplicate epoch label, bad count/factor/share).
+Timeline parse_timeline(std::string_view text);
+
+/// Reads and parses a timeline file. Throws std::runtime_error when the file
+/// cannot be read, std::invalid_argument on parse errors.
+Timeline load_timeline(const std::string& path);
+
+/// The canonical text form: normalized whitespace, comments dropped, one
+/// value spelling (%.10g). parse_timeline(canonical_timeline_text(t))
+/// round-trips to an identical Timeline.
+std::string canonical_timeline_text(const Timeline& timeline);
+
+/// FNV-1a-64 digest of canonical_timeline_text as 16 hex digits — the
+/// identity carried by replay manifests, per-epoch records, and serve
+/// epoch queries.
+std::string timeline_digest_hex(const Timeline& timeline);
+
+}  // namespace rp::evolve

@@ -207,7 +207,9 @@ std::vector<SiteStatus> site_status();
 /// (a simulator must degrade, not unwind, mid-run), and the serve.* sites
 /// kill the one connection they fire on (the daemon itself never unwinds) —
 /// serve.stats fires while a stats request is being answered inline on its
-/// reader thread.
+/// reader thread. evolve.apply fires once per epoch event as a timeline
+/// replay applies it — CI kills a replay mid-timeline with it and proves
+/// the per-epoch records resume byte-identically.
 inline constexpr const char* kSiteIoRead = "io.read";
 inline constexpr const char* kSiteIoWrite = "io.write";
 inline constexpr const char* kSiteIoVerify = "io.verify";
@@ -223,5 +225,6 @@ inline constexpr const char* kSiteServeParse = "serve.parse";
 inline constexpr const char* kSiteServeRespond = "serve.respond";
 inline constexpr const char* kSiteServeStats = "serve.stats";
 inline constexpr const char* kSiteStreamBin = "stream.bin";
+inline constexpr const char* kSiteEvolveApply = "evolve.apply";
 
 }  // namespace rp::fault

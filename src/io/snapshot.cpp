@@ -376,11 +376,11 @@ ixp::IxpEcosystem decode_ecosystem(std::span<const std::uint8_t> payload) {
 
 // --- kVantageSection ---------------------------------------------------------
 
-std::vector<std::uint8_t> encode_vantage(const core::Scenario& scenario) {
+std::vector<std::uint8_t> encode_vantage(const core::WorldView& world) {
   ByteWriter out;
-  out.varint(scenario.vantage().value());
-  out.varint(scenario.measured_ixps().size());
-  for (ixp::IxpId id : scenario.measured_ixps()) out.varint(id);
+  out.varint(world.vantage.value());
+  out.varint(world.measured_ixps.size());
+  for (ixp::IxpId id : world.measured_ixps) out.varint(id);
   return std::move(out).take();
 }
 
@@ -501,10 +501,10 @@ const char* section_name(std::uint32_t id) {
   return "?";
 }
 
-std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
+std::vector<std::uint8_t> encode_scenario(const core::WorldView& world,
                                           const SaveOptions& options) {
   obs::Span span("io.encode_scenario");
-  const topology::AsGraph& graph = scenario.graph();
+  const topology::AsGraph& graph = *world.graph;
 
   // Force the cone memo before fanning out so its (mutex-guarded) build does
   // not run concurrently with the node/edge encoders.
@@ -518,15 +518,15 @@ std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
     std::function<std::vector<std::uint8_t>()> encode;
   };
   std::vector<Job> jobs;
-  jobs.push_back({kConfigSection,
-                  [&scenario] { return encode_config(scenario.config()); }});
+  jobs.push_back(
+      {kConfigSection, [&world] { return encode_config(*world.config); }});
   jobs.push_back({kNodesSection, [&graph] { return encode_nodes(graph); }});
   jobs.push_back({kEdgesSection, [&graph] { return encode_edges(graph); }});
-  jobs.push_back({kEcosystemSection, [&scenario] {
-                    return encode_ecosystem(scenario.ecosystem());
+  jobs.push_back({kEcosystemSection, [&world] {
+                    return encode_ecosystem(*world.ecosystem);
                   }});
   jobs.push_back(
-      {kVantageSection, [&scenario] { return encode_vantage(scenario); }});
+      {kVantageSection, [&world] { return encode_vantage(world); }});
   if (options.with_cones)
     jobs.push_back({kConesSection, [&cones] { return encode_cones(cones); }});
   if (options.rib != nullptr)
@@ -546,10 +546,10 @@ std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
   return writer.serialize();
 }
 
-void save_scenario(const core::Scenario& scenario,
+void save_scenario(const core::WorldView& world,
                    const std::filesystem::path& path,
                    const SaveOptions& options) {
-  write_bytes_atomic(encode_scenario(scenario, options), path);
+  write_bytes_atomic(encode_scenario(world, options), path);
 }
 
 namespace {

@@ -52,16 +52,28 @@ struct SaveOptions {
   const bgp::Rib* rib = nullptr;
 };
 
-/// Encodes a scenario into a full container image. Section payloads are
+/// Encodes a world view into a full container image. Section payloads are
 /// encoded in parallel across rp::util::ThreadPool::global(); the bytes are
-/// identical at any thread count.
-std::vector<std::uint8_t> encode_scenario(const core::Scenario& scenario,
+/// identical at any thread count. Epoch overlays (src/evolve) encode through
+/// this entry point without materializing a Scenario copy.
+std::vector<std::uint8_t> encode_scenario(const core::WorldView& world,
                                           const SaveOptions& options = {});
 
+inline std::vector<std::uint8_t> encode_scenario(
+    const core::Scenario& scenario, const SaveOptions& options = {}) {
+  return encode_scenario(scenario.view(), options);
+}
+
 /// encode_scenario + atomic file write (temp file, then rename).
-void save_scenario(const core::Scenario& scenario,
+void save_scenario(const core::WorldView& world,
                    const std::filesystem::path& path,
                    const SaveOptions& options = {});
+
+inline void save_scenario(const core::Scenario& scenario,
+                          const std::filesystem::path& path,
+                          const SaveOptions& options = {}) {
+  save_scenario(scenario.view(), path, options);
+}
 
 /// A decoded snapshot: the world plus whatever optional artifacts it embeds.
 struct LoadedWorld {

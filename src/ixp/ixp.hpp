@@ -132,10 +132,30 @@ class Ixp {
   /// Peak traffic in Tbps as advertised by the IXP; negative when unknown
   /// (Table 1 lists N/A for DIX-IE).
   double peak_traffic_tbps() const { return peak_traffic_tbps_; }
+  /// Port-capacity upgrades (epoch events) move the advertised peak.
+  void set_peak_traffic_tbps(double tbps) { peak_traffic_tbps_ = tbps; }
   const net::Ipv4Prefix& peering_lan() const { return peering_lan_; }
 
   void add_interface(MemberInterface iface);
   void add_looking_glass(LookingGlass lg);
+
+  /// Removes every interface matching `pred` (member leave / outage epoch
+  /// events) and returns them in their original relative order; the
+  /// remaining interfaces keep their order too, so removal is deterministic.
+  template <typename Pred>
+  std::vector<MemberInterface> extract_interfaces(Pred pred) {
+    std::vector<MemberInterface> removed;
+    std::vector<MemberInterface> kept;
+    kept.reserve(interfaces_.size());
+    for (MemberInterface& iface : interfaces_) {
+      if (pred(static_cast<const MemberInterface&>(iface)))
+        removed.push_back(std::move(iface));
+      else
+        kept.push_back(std::move(iface));
+    }
+    interfaces_ = std::move(kept);
+    return removed;
+  }
 
   std::span<const MemberInterface> interfaces() const { return interfaces_; }
   std::span<const LookingGlass> looking_glasses() const {

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/config_fields.hpp"
@@ -115,6 +116,11 @@ std::string format_double(double v) {
   return buf;
 }
 
+std::string format_double_or_null(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
+}
+
 std::vector<std::uint8_t> encode_request(const Request& request) {
   io::ByteWriter w;
   w.u8(kProtocolVersion);
@@ -156,6 +162,17 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
     case RequestType::kStats:
       w.varint(request.stats_window);
       break;
+    case RequestType::kWorldAtEpoch:
+      encode_world(w, request.world);
+      w.str(request.timeline);
+      w.varint(request.epoch);
+      break;
+    case RequestType::kEpochSeries:
+      encode_world(w, request.world);
+      w.str(request.timeline);
+      w.u8(request.group);
+      w.varint(request.max_steps);
+      break;
   }
   return std::move(w).take();
 }
@@ -169,7 +186,7 @@ Request decode_request(std::span<const std::uint8_t> payload) {
   Request request;
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(RequestType::kPing) ||
-      type > static_cast<std::uint8_t>(RequestType::kStats))
+      type > static_cast<std::uint8_t>(RequestType::kEpochSeries))
     throw ProtocolError("unknown request type " + std::to_string(type));
   request.type = static_cast<RequestType>(type);
   request.id = r.varint();
@@ -211,6 +228,17 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       break;
     case RequestType::kStats:
       request.stats_window = r.varint();
+      break;
+    case RequestType::kWorldAtEpoch:
+      request.world = decode_world(r);
+      request.timeline = r.str();
+      request.epoch = r.varint();
+      break;
+    case RequestType::kEpochSeries:
+      request.world = decode_world(r);
+      request.timeline = r.str();
+      request.group = r.u8();
+      request.max_steps = r.varint();
       break;
   }
   r.expect_end();

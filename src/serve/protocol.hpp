@@ -24,6 +24,14 @@
 //   shutdown       (empty)
 //   stats          varint window (time-series points per series to include;
 //                  0 = no time-series rows)
+//   world-at-epoch world, str timeline, varint epoch — replay the canonical
+//                  timeline text over the world (which must equal the
+//                  timeline's own base; the executor validates the digests
+//                  match so the WorldPool key stays honest) and report epoch
+//                  k's composition
+//   epoch-series   world, str timeline, u8 group, varint max_steps — replay
+//                  the whole timeline and report one row block per epoch
+//                  (members, remote share, transit, offload fraction)
 // with
 //   world   := u8 fast, varint n, n x (str field, str value)   — dotted
 //              core::ScenarioConfig field assignments (config_fields.hpp)
@@ -76,6 +84,8 @@ enum class RequestType : std::uint8_t {
   kWhatIf = 6,
   kShutdown = 7,
   kStats = 8,
+  kWorldAtEpoch = 9,
+  kEpochSeries = 10,
 };
 
 enum class Status : std::uint8_t {
@@ -125,6 +135,8 @@ struct Request {
   std::vector<std::string> reached_ixps;  ///< what-if peering: current set
   std::vector<std::string> added_ixps;    ///< what-if peering: delta
   std::uint64_t stats_window = 0;         ///< stats: ts points per series
+  std::string timeline;  ///< world-at-epoch / epoch-series: canonical text
+  std::uint64_t epoch = 0;                ///< world-at-epoch: epoch index
 };
 
 struct Response {
@@ -140,6 +152,12 @@ struct Response {
 /// Canonical double formatting for response values ("%.10g", like the
 /// config-field registry) — one spelling per value, so responses diff clean.
 std::string format_double(double v);
+
+/// format_double for values that may legitimately be "absent": NaN and
+/// infinities (e.g. MetricValue::quantile on an empty histogram) render as
+/// the literal "null", which every JSON consumer passes through unquoted —
+/// "%.10g" would print "nan", and a quoted "nan" string is not a number.
+std::string format_double_or_null(double v);
 
 std::vector<std::uint8_t> encode_request(const Request& request);
 /// Throws ProtocolError on any malformed payload.

@@ -46,6 +46,10 @@ const char* request_type_name(std::uint8_t type) {
       return "shutdown";
     case RequestType::kStats:
       return "stats";
+    case RequestType::kWorldAtEpoch:
+      return "world-at-epoch";
+    case RequestType::kEpochSeries:
+      return "epoch-series";
   }
   return "other";
 }
@@ -66,7 +70,9 @@ void emit_u64(Response& response, std::string key, std::uint64_t value) {
 }
 
 void emit_f(Response& response, std::string key, double value) {
-  emit(response, std::move(key), format_double(value));
+  // Latency quantiles borrow MetricValue::quantile, whose empty-histogram
+  // result is NaN — that must reach JSON consumers as null, never "nan".
+  emit(response, std::move(key), format_double_or_null(value));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/viability_study.hpp"
+#include "evolve/engine.hpp"
 #include "fault/fault.hpp"
 #include "io/snapshot.hpp"
 #include "obs/metrics.hpp"
@@ -99,7 +100,9 @@ WorldArtifacts world_artifacts(const core::OffloadStudy& study,
 
 RunResult evaluate_run(const SweepSpec& spec, const SweepRun& run,
                        const WorldArtifacts& artifacts) {
-  const MaterializedRun mat = materialize_run(spec, run);
+  const MaterializedRun mat = materialize_run(
+      spec, run,
+      artifacts.has_epoch_prices ? &artifacts.epoch_prices : nullptr);
   RunResult result;
   result.index = run.index;
   result.world_digest = artifacts.world_digest;
@@ -328,13 +331,25 @@ ExecuteOutcome execute_sweep(const SweepSpec& spec,
     core::OffloadStudyConfig study_config;
     study_config.rate_model.span =
         util::SimDuration::days(static_cast<std::int64_t>(spec.days));
-    const core::OffloadStudy study =
-        core::OffloadStudy::run(scenario, study_config);
-    WorldArtifacts artifacts = world_artifacts(
-        study, static_cast<offload::PeerGroup>(spec.group), spec.steps);
-    artifacts.world_digest = group.world_digest;
     worlds_built.fetch_add(1, std::memory_order_relaxed);
     worlds_built_counter.add();
+
+    // Timeline specs replay epochs over the group's world; each swept epoch
+    // realizes its own artifacts lazily. Plain grids keep the single shared
+    // artifact set. The engine cursor is per-group, so runs stay serial
+    // within a group and parallelism stays across groups.
+    std::optional<evolve::EpochTimeline> evolution;
+    if (!spec.timeline.empty())
+      evolution.emplace(evolve::parse_timeline(spec.timeline), scenario);
+    std::unordered_map<std::size_t, WorldArtifacts> epoch_artifacts;
+    WorldArtifacts shared_artifacts;
+    if (!evolution) {
+      const core::OffloadStudy study =
+          core::OffloadStudy::run(scenario, study_config);
+      shared_artifacts = world_artifacts(
+          study, static_cast<offload::PeerGroup>(spec.group), spec.steps);
+      shared_artifacts.world_digest = group.world_digest;
+    }
 
     for (const std::size_t id : group.run_ids) {
       if (done[id] != 0) continue;
@@ -343,7 +358,24 @@ ExecuteOutcome execute_sweep(const SweepSpec& spec,
       // aborts the sweep exactly K completed-or-attempted runs in, after
       // the records of earlier runs are already on disk.
       run_site.maybe_throw();
-      const RunResult result = evaluate_run(spec, runs[id], artifacts);
+      const WorldArtifacts* artifacts = &shared_artifacts;
+      if (evolution) {
+        const std::size_t epoch = materialize_run(spec, runs[id]).epoch;
+        const auto [it, inserted] = epoch_artifacts.try_emplace(epoch);
+        if (inserted) {
+          obs::Span epoch_span("sweep.epoch");
+          const core::OffloadStudy study = core::OffloadStudy::run(
+              evolution->view_at(epoch),
+              evolution->study_config_at(epoch, study_config));
+          it->second = world_artifacts(
+              study, static_cast<offload::PeerGroup>(spec.group), spec.steps);
+          it->second.world_digest = group.world_digest;
+          it->second.epoch_prices = evolution->state_at(epoch).prices;
+          it->second.has_epoch_prices = true;
+        }
+        artifacts = &it->second;
+      }
+      const RunResult result = evaluate_run(spec, runs[id], *artifacts);
       const std::string content =
           record_header(digest, id) + "\n" +
           results_csv_row(spec, runs[id], result) + "\n" +

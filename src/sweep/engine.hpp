@@ -68,11 +68,18 @@ struct RunResult {
   double cost_with_remote = 0.0;
 };
 
-/// The per-world inputs shared by every run of a world group.
+/// The per-world inputs shared by every run of a world group. For timeline
+/// specs there is one of these per swept epoch (same world digest — the
+/// epochs share the base world's cache key — but each epoch's own study,
+/// curve, and prices).
 struct WorldArtifacts {
   std::string world_digest;
   double initial_bps = 0.0;
   std::vector<offload::GreedyStep> curve;
+  /// Epoch prices (timeline `prices` / `price-decay` events applied); the
+  /// pricing baseline the spec's econ pins override. Unset on plain grids.
+  econ::CostParameters epoch_prices;
+  bool has_epoch_prices = false;
 };
 
 /// Derives the shared artifacts from a finished §4 study.

@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/config_fields.hpp"
+#include "evolve/timeline.hpp"
 
 namespace rp::sweep {
 namespace {
+
+/// The epoch-selector pseudo-field: valid only as an axis of a spec that
+/// embeds a timeline; values are epoch indices into it.
+constexpr std::string_view kEpochField = "evolve.epoch";
 
 // The paper's §5 symbols. Sorted by name (find_econ_field binary-searches).
 constexpr EconField kEconFields[] = {
@@ -148,8 +154,32 @@ SweepSpec parse_sweep_spec(std::string_view text) {
   std::istringstream stream{std::string(text)};
   std::string raw;
   std::size_t line_no = 0;
+  bool in_timeline = false;
+  std::string timeline_text;
+  const auto adopt_timeline = [&](const std::string& body) {
+    if (!spec.timeline.empty())
+      bad_spec(line_no, "duplicate timeline");
+    try {
+      spec.timeline =
+          evolve::canonical_timeline_text(evolve::parse_timeline(body));
+    } catch (const std::invalid_argument& e) {
+      bad_spec(line_no, std::string("embedded timeline: ") + e.what());
+    }
+  };
   while (std::getline(stream, raw)) {
     ++line_no;
+    if (in_timeline) {
+      // Raw lines (no comment stripping) until the end marker: the block is
+      // timeline grammar, not spec grammar.
+      if (raw == "timeline-end") {
+        in_timeline = false;
+        adopt_timeline(timeline_text);
+        continue;
+      }
+      timeline_text += raw;
+      timeline_text += '\n';
+      continue;
+    }
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
     const std::vector<std::string> tokens = split_tokens(raw);
@@ -196,13 +226,18 @@ SweepSpec parse_sweep_spec(std::string_view text) {
       if (tokens.size() < 3) bad_spec(line_no, "axis wants a field + values");
       SweepAxis axis;
       axis.field = tokens[1];
-      if (!is_sweepable_field(axis.field))
+      if (axis.field != kEpochField && !is_sweepable_field(axis.field))
         bad_spec(line_no, "unknown field '" + axis.field + "'");
       for (const auto& existing : spec.axes)
         if (existing.field == axis.field)
           bad_spec(line_no, "duplicate axis '" + axis.field + "'");
       try {
         for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (axis.field == kEpochField) {
+            axis.values.push_back(std::to_string(
+                parse_count(line_no, "evolve.epoch", tokens[i])));
+            continue;
+          }
           std::vector<double> range;
           if (expand_linear(tokens[i], range)) {
             for (const double v : range)
@@ -217,9 +252,54 @@ SweepSpec parse_sweep_spec(std::string_view text) {
         bad_spec(line_no, e.what());
       }
       spec.axes.push_back(std::move(axis));
+    } else if (key == "timeline") {
+      want(1);
+      std::ifstream file(tokens[1]);
+      if (!file)
+        bad_spec(line_no, "cannot read timeline file '" + tokens[1] + "'");
+      std::ostringstream body;
+      body << file.rdbuf();
+      adopt_timeline(body.str());
+    } else if (key == "timeline-begin") {
+      want(0);
+      in_timeline = true;
+      timeline_text.clear();
     } else {
       bad_spec(line_no, "unknown key '" + key + "'");
     }
+  }
+  if (in_timeline)
+    bad_spec(line_no, "timeline-begin without timeline-end");
+
+  // Cross-line validation: the epoch axis and the timeline need each other,
+  // and a timeline spec must not also re-pin the world it evolves.
+  const SweepAxis* epoch_axis = nullptr;
+  for (const auto& axis : spec.axes)
+    if (axis.field == kEpochField) epoch_axis = &axis;
+  if (epoch_axis != nullptr && spec.timeline.empty())
+    throw std::invalid_argument(
+        "sweep spec: an evolve.epoch axis needs a timeline line");
+  if (!spec.timeline.empty()) {
+    if (epoch_axis == nullptr)
+      throw std::invalid_argument(
+          "sweep spec: a timeline needs an evolve.epoch axis (else nothing "
+          "selects the epochs)");
+    const std::size_t epochs =
+        evolve::parse_timeline(spec.timeline).epochs.size();
+    for (const auto& value : epoch_axis->values)
+      if (std::strtoull(value.c_str(), nullptr, 10) >= epochs)
+        throw std::invalid_argument("sweep spec: evolve.epoch " + value +
+                                    " out of range (timeline has " +
+                                    std::to_string(epochs) + " epochs)");
+    const auto reject_world_field = [](const std::string& field) {
+      if (field != kEpochField && find_econ_field(field) == nullptr)
+        throw std::invalid_argument(
+            "sweep spec: field '" + field +
+            "' conflicts with the timeline (its fast/base lines pin the "
+            "world; sweep econ.* or evolve.epoch)");
+    };
+    for (const auto& [field, value] : spec.base) reject_world_field(field);
+    for (const auto& axis : spec.axes) reject_world_field(axis.field);
   }
   return spec;
 }
@@ -239,6 +319,8 @@ std::string canonical_spec_text(const SweepSpec& spec) {
   out << "steps " << spec.steps << "\n";
   out << "days " << spec.days << "\n";
   out << "fast " << (spec.fast ? 1 : 0) << "\n";
+  if (!spec.timeline.empty())
+    out << "timeline-begin\n" << spec.timeline << "timeline-end\n";
   for (const auto& [field, value] : spec.base)
     out << "base " << field << " " << value << "\n";
   for (const auto& axis : spec.axes) {
@@ -277,10 +359,20 @@ std::vector<SweepRun> expand_runs(const SweepSpec& spec) {
   return runs;
 }
 
-MaterializedRun materialize_run(const SweepSpec& spec, const SweepRun& run) {
+MaterializedRun materialize_run(const SweepSpec& spec, const SweepRun& run,
+                                const econ::CostParameters* base_prices) {
   MaterializedRun out;
-  if (spec.fast) core::apply_fast_mode(out.config);
+  if (base_prices != nullptr) out.prices = *base_prices;
+  if (!spec.timeline.empty())
+    out.config = evolve::parse_timeline(spec.timeline).base_config();
+  else if (spec.fast)
+    core::apply_fast_mode(out.config);
   const auto apply = [&](const std::string& field, const std::string& value) {
+    if (field == kEpochField) {
+      out.has_epoch = true;
+      out.epoch = std::strtoull(value.c_str(), nullptr, 10);
+      return;
+    }
     if (const EconField* econ = find_econ_field(field)) {
       out.prices.*(econ->member) = parse_double_or(field, value);
       if (field == "econ.b") out.decay_pinned = true;

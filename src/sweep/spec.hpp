@@ -26,10 +26,21 @@
 //   base  <field> <value>         pin a field for every run
 //   axis  <field> <v1> <v2> ...   explicit value list
 //   axis  <field> lin:<lo>:<hi>:<n>   n evenly spaced values in [lo, hi]
+//   timeline <path>               embed an rp::evolve timeline; unlocks the
+//                                 "evolve.epoch" axis (epoch indices)
 //
 // Values are validated and canonicalized at parse time (parse, then format
 // back), so a spec written as "0.10" and one written as "0.1" expand to
 // byte-identical manifests and results.
+//
+// A spec with a timeline sweeps *epochs of one evolving world* instead of a
+// family of worlds: the timeline's own fast/base lines define the base
+// scenario, an "evolve.epoch" axis (required) selects epochs, and the only
+// other sweepable fields are econ.* — each run starts from its epoch's
+// prices (timeline `prices` / `price-decay` events included) and the spec's
+// econ pins override individual symbols on top. The canonical form embeds
+// the timeline between `timeline-begin` / `timeline-end` lines, so a
+// manifest stays self-contained and the spec digest covers the timeline.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +92,10 @@ struct SweepSpec {
   /// overrides the fast-mode shrink).
   std::vector<std::pair<std::string, std::string>> base;
   std::vector<SweepAxis> axes;
+  /// Canonical rp::evolve timeline text; empty when this is a plain grid.
+  /// Non-empty restricts base/axis fields to econ.* plus the mandatory
+  /// "evolve.epoch" axis, and the timeline defines the base world.
+  std::string timeline;
 
   /// Total runs: the product of the axis sizes (1 when there are no axes).
   std::size_t run_count() const;
@@ -120,9 +135,17 @@ struct MaterializedRun {
   /// True when econ.b was pinned by a base line or an axis: the §5 study
   /// then uses the explicit decay instead of fitting it from the curve.
   bool decay_pinned = false;
+  /// Epoch selected by an "evolve.epoch" axis (timeline specs only).
+  bool has_epoch = false;
+  std::size_t epoch = 0;
 };
 
 /// Applies defaults, fast mode, base lines, then the run's axis values.
-MaterializedRun materialize_run(const SweepSpec& spec, const SweepRun& run);
+/// Timeline specs take their config from the embedded timeline's base; when
+/// `base_prices` is non-null the econ pins apply on top of it instead of the
+/// defaults (the engine passes the run's epoch prices here).
+MaterializedRun materialize_run(const SweepSpec& spec, const SweepRun& run,
+                                const econ::CostParameters* base_prices =
+                                    nullptr);
 
 }  // namespace rp::sweep

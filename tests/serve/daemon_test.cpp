@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "evolve/timeline.hpp"
 #include "fault/fault.hpp"
 #include "serve/client.hpp"
 #include "util/thread_pool.hpp"
@@ -234,6 +235,56 @@ TEST(Daemon, PipelinedSameWorldQueriesComeBackInOrder) {
     EXPECT_EQ(response.status, Status::kOk);
     EXPECT_EQ(response.id, 100 + i);
   }
+  daemon.stop();
+}
+
+TEST(Daemon, EpochQueriesReplayTimelinesOnTheWarmWorld) {
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  // Canonical text crosses the wire, exactly as rpq sends it; the timeline's
+  // fast line makes its base the same world the requests address.
+  const std::string canonical = evolve::canonical_timeline_text(
+      evolve::parse_timeline("name serve-tl\nfast 1\n"
+                             "epoch a\njoin LINX 2 1\ntraffic 1.5\n"
+                             "epoch b\nleave LINX 1\n"));
+
+  Request at;
+  at.type = RequestType::kWorldAtEpoch;
+  at.id = 21;
+  at.world.fast = true;
+  at.timeline = canonical;
+  at.epoch = 0;
+  const Response r0 = client.call(at);
+  ASSERT_EQ(r0.status, Status::kOk) << r0.message;
+  EXPECT_EQ(r0.field("timeline.name"), "serve-tl");
+  EXPECT_EQ(r0.field("epoch.label"), "a");
+  EXPECT_EQ(r0.field("epoch.joins"), "2");
+
+  at.epoch = 5;  // Past the last epoch: a soft error, not a dead connection.
+  EXPECT_EQ(client.call(at).status, Status::kError);
+
+  Request series;
+  series.type = RequestType::kEpochSeries;
+  series.id = 22;
+  series.world.fast = true;
+  series.timeline = canonical;
+  series.group = 4;
+  series.max_steps = 4;
+  const Response rs = client.call(series);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  EXPECT_EQ(rs.field("series.epochs"), "2");
+  EXPECT_EQ(rs.field("epoch.0.label"), "a");
+  EXPECT_EQ(rs.field("epoch.1.label"), "b");
+  EXPECT_FALSE(rs.field("epoch.1.transit_bps").empty());
+
+  // A timeline whose base disagrees with the addressed world is rejected:
+  // the epochs would describe a different world than the client named.
+  Request mismatch = at;
+  mismatch.epoch = 0;
+  mismatch.timeline = evolve::canonical_timeline_text(evolve::parse_timeline(
+      "name other\nfast 1\nbase seed 99\nepoch a\ntraffic 1.1\n"));
+  EXPECT_EQ(client.call(mismatch).status, Status::kError);
   daemon.stop();
 }
 

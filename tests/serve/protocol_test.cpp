@@ -78,6 +78,31 @@ TEST(Protocol, WhatIfModesRoundTrip) {
   EXPECT_EQ(peering_decoded.added_ixps[0], "LINX");
 }
 
+TEST(Protocol, EpochRequestsRoundTrip) {
+  Request at;
+  at.type = RequestType::kWorldAtEpoch;
+  at.id = 9;
+  at.world.fast = true;
+  at.timeline = "name tl\nepoch a\ntraffic 1.3\n";
+  at.epoch = 3;
+  const Request at_decoded = decode_request(encode_request(at));
+  EXPECT_EQ(at_decoded.type, RequestType::kWorldAtEpoch);
+  EXPECT_TRUE(at_decoded.world.fast);
+  EXPECT_EQ(at_decoded.timeline, at.timeline);
+  EXPECT_EQ(at_decoded.epoch, 3u);
+
+  Request series;
+  series.type = RequestType::kEpochSeries;
+  series.timeline = at.timeline;
+  series.group = 2;
+  series.max_steps = 6;
+  const Request series_decoded = decode_request(encode_request(series));
+  EXPECT_EQ(series_decoded.type, RequestType::kEpochSeries);
+  EXPECT_EQ(series_decoded.timeline, at.timeline);
+  EXPECT_EQ(series_decoded.group, 2);
+  EXPECT_EQ(series_decoded.max_steps, 6u);
+}
+
 TEST(Protocol, ResponseRoundTripsEveryStatus) {
   Response ok;
   ok.id = 5;

@@ -4,15 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 
 namespace rp::serve {
 namespace {
@@ -174,6 +178,34 @@ TEST(Stats, WindowEmitsTimeSeriesRows) {
   const Response bare = client.call(stats_request(0));
   EXPECT_FALSE(has_field(bare, "ts.rp.serve.phase.compute_ns.p50"));
   EXPECT_TRUE(has_field(bare, "ts.samples"));
+  daemon.stop();
+}
+
+TEST(Stats, EmptyHistogramQuantilesRenderAsNullNotNan) {
+  // MetricValue::quantile signals "no samples" with NaN by contract...
+  obs::MetricValue empty;
+  empty.kind = obs::MetricKind::kHistogram;
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  // ...and the serve boundary must map that to null — "nan" is not JSON, so
+  // it used to poison `rpq stats --json` consumers downstream.
+  EXPECT_EQ(format_double_or_null(empty.quantile(0.99)), "null");
+  EXPECT_EQ(format_double_or_null(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(format_double_or_null(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(format_double_or_null(1.5), "1.5");
+
+  // No field of a live stats response ever leaks a bare nan/inf token.
+  Daemon daemon(test_config());
+  daemon.start();
+  Client client = Client::connect("127.0.0.1", daemon.port());
+  client.call(ping_request("warm"));
+  const Response response = client.call(stats_request(/*window=*/4));
+  ASSERT_EQ(response.status, Status::kOk);
+  for (const auto& [key, value] : response.fields) {
+    EXPECT_EQ(value.find("nan"), std::string::npos) << key << "=" << value;
+    EXPECT_EQ(value.find("inf"), std::string::npos) << key << "=" << value;
+  }
   daemon.stop();
 }
 

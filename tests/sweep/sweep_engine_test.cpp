@@ -185,6 +185,59 @@ TEST_F(SweepEngineTest, ManifestRoundTripsAndRejectsTampering) {
   EXPECT_THROW(read_manifest(root_ / "nowhere"), std::runtime_error);
 }
 
+// A 3-epoch timeline over the same tiny world as kGridSpec (identical base
+// lines, so the snapshot cache is shared): the epoch axis multiplies the
+// econ grid on overlay views instead of rebuilding worlds per epoch.
+constexpr const char* kEpochSpec =
+    "name epoch-grid\n"
+    "group 4\n"
+    "steps 6\n"
+    "days 2\n"
+    "timeline-begin\n"
+    "name engine-evolve\n"
+    "base seed 31\n"
+    "base euroix 0\n"
+    "base membership_scale 0.05\n"
+    "base topology.tier2_count 15\n"
+    "base topology.access_count 60\n"
+    "base topology.content_count 15\n"
+    "base topology.cdn_count 5\n"
+    "base topology.nren_count 4\n"
+    "base topology.enterprise_count 30\n"
+    "epoch start\n"
+    "join LINX 3 0.5\n"
+    "prices 1.2 0.03 0.15 0.008 0.5\n"
+    "epoch surge\n"
+    "traffic 1.5\n"
+    "join VIX 2 1\n"
+    "epoch dark\n"
+    "outage LINX\n"
+    "timeline-end\n"
+    "axis evolve.epoch 0 1 2\n"
+    "axis econ.h 0.002 0.01\n";
+
+TEST_F(SweepEngineTest, EpochAxisSweepsTheTimelineOverOneWorld) {
+  const SweepSpec spec = parse_sweep_spec(kEpochSpec);
+  ASSERT_EQ(spec.run_count(), 6u);
+  const auto dir = root_ / "epochs1";
+  util::ThreadPool::set_global_threads(1);
+  const ExecuteOutcome outcome = execute_sweep(spec, dir, options_);
+  EXPECT_EQ(outcome.executed, 6u);
+  EXPECT_EQ(outcome.worlds_built, 1u);  // One base world, overlay epochs.
+  EXPECT_EQ(summarize_sweep(spec, dir), 6u);
+  const std::string reference = read_file(SweepPaths(dir).results_csv());
+  EXPECT_NE(reference.find(",ok,"), std::string::npos);
+  // The manifest embeds the canonical timeline; reading it back is lossless.
+  write_manifest(spec, dir);
+  EXPECT_EQ(spec_digest_hex(read_manifest(dir)), spec_digest_hex(spec));
+  // The same grid at 8 threads lands on byte-identical results.
+  const auto dir8 = root_ / "epochs8";
+  util::ThreadPool::set_global_threads(8);
+  execute_sweep(spec, dir8, options_);
+  summarize_sweep(spec, dir8);
+  EXPECT_EQ(read_file(SweepPaths(dir8).results_csv()), reference);
+}
+
 TEST_F(SweepEngineTest, InvalidPriceCornersAreRecordedNotFatal) {
   // h = 0.025 > g violates ineq. 7: that corner must land in the table as
   // status=invalid-params instead of aborting the sweep.

@@ -145,6 +145,87 @@ TEST(SweepSpec, MaterializeAppliesFastBaseThenAxes) {
   EXPECT_LE(first.config.topology.tier2_count, 30u);
 }
 
+// --- Timeline specs (the evolve.epoch axis, DESIGN.md §17) -----------------
+
+constexpr const char* kTimelineSpec =
+    "name evo\n"
+    "steps 6\n"
+    "timeline-begin\n"
+    "name tl\n"
+    "fast 1\n"
+    "base seed 7\n"
+    "epoch a\n"
+    "join CATNIX 2 0.5\n"
+    "epoch b\n"
+    "traffic 1.3\n"
+    "timeline-end\n"
+    "axis evolve.epoch 0 1\n"
+    "axis econ.h 0.002 0.01\n";
+
+TEST(SweepSpec, TimelineSpecEmbedsCanonicallyAndRoundTrips) {
+  const SweepSpec spec = parse_sweep_spec(kTimelineSpec);
+  EXPECT_EQ(spec.run_count(), 4u);
+  EXPECT_NE(spec.timeline.find("join CATNIX 2 0.5\n"), std::string::npos);
+  const std::string canonical = canonical_spec_text(spec);
+  EXPECT_NE(canonical.find("timeline-begin\n"), std::string::npos);
+  EXPECT_EQ(spec_digest_hex(parse_sweep_spec(canonical)),
+            spec_digest_hex(spec));
+  // Respelling the embedded timeline does not move the digest: the timeline
+  // is canonicalized before it lands in the spec.
+  std::string variant = kTimelineSpec;
+  const auto at = variant.find("traffic 1.3");
+  ASSERT_NE(at, std::string::npos);
+  variant.replace(at, 11, "traffic 1.30");
+  EXPECT_EQ(spec_digest_hex(parse_sweep_spec(variant)), spec_digest_hex(spec));
+}
+
+TEST(SweepSpec, TimelineAndEpochAxisNeedEachOther) {
+  // An epoch axis with nothing to index.
+  EXPECT_THROW(parse_sweep_spec("axis evolve.epoch 0\n"),
+               std::invalid_argument);
+  // A timeline with nothing selecting its epochs.
+  std::string no_axis = kTimelineSpec;
+  const auto axis_at = no_axis.find("axis evolve.epoch 0 1\n");
+  ASSERT_NE(axis_at, std::string::npos);
+  no_axis.erase(axis_at, 22);
+  EXPECT_THROW(parse_sweep_spec(no_axis), std::invalid_argument);
+  // Epoch indices past the timeline's two epochs.
+  std::string oor = kTimelineSpec;
+  oor.replace(oor.find("axis evolve.epoch 0 1"), 21, "axis evolve.epoch 0 2");
+  EXPECT_THROW(parse_sweep_spec(oor), std::invalid_argument);
+  // World fields conflict with the timeline (its base lines pin the world).
+  EXPECT_THROW(parse_sweep_spec(std::string(kTimelineSpec) + "base seed 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(std::string(kTimelineSpec) +
+                                "axis membership_scale 0.05 0.1\n"),
+               std::invalid_argument);
+  // Unterminated and malformed embedded timelines.
+  EXPECT_THROW(parse_sweep_spec("timeline-begin\nname t\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_sweep_spec("timeline-begin\nbogus 1\ntimeline-end\n"
+                       "axis evolve.epoch 0\n"),
+      std::invalid_argument);
+}
+
+TEST(SweepSpec, TimelineMaterializeUsesTimelineWorldAndEpochPrices) {
+  const SweepSpec spec = parse_sweep_spec(kTimelineSpec);
+  const auto runs = expand_runs(spec);
+  ASSERT_EQ(runs.size(), 4u);
+  const MaterializedRun plain = materialize_run(spec, runs[3]);
+  EXPECT_TRUE(plain.has_epoch);
+  EXPECT_EQ(plain.epoch, 1u);
+  // The world comes from the timeline's base lines, not the spec's.
+  EXPECT_EQ(plain.config.seed, 7u);
+  // The engine hands in the selected epoch's prices as the baseline; spec
+  // econ pins still override symbol by symbol.
+  econ::CostParameters epoch_prices;
+  epoch_prices.transit_price = 9.0;
+  const MaterializedRun priced = materialize_run(spec, runs[0], &epoch_prices);
+  EXPECT_DOUBLE_EQ(priced.prices.transit_price, 9.0);
+  EXPECT_DOUBLE_EQ(priced.prices.remote_fixed, 0.002);
+}
+
 TEST(SweepSpec, EconDecayAxisPinsTheDecay) {
   const SweepSpec spec = parse_sweep_spec("axis econ.b 0.3 0.9\n");
   const auto runs = expand_runs(spec);
